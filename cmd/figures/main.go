@@ -1,0 +1,143 @@
+// Command figures regenerates the paper's evaluation figures (Figs. 10-13)
+// on the synthetic Dublin/Seattle substrates and prints one aligned text
+// table per sub-figure. With -csv it also writes machine-readable results.
+//
+// Usage:
+//
+//	figures -fig 10            # one figure
+//	figures -fig all -quick    # smoke-test every figure
+//	figures -fig 13 -trials 100 -seed 7 -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"roadside/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, or all")
+		trials   = fs.Int("trials", 0, "trials per sub-figure (0 = harness default)")
+		seed     = fs.Int64("seed", 2015, "root random seed")
+		quick    = fs.Bool("quick", false, "shrunken sweep for smoke testing")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		ablation = fs.Bool("ablation", false, "also run the greedy design ablation")
+		ratios   = fs.Bool("ratios", false, "also run the empirical approximation-ratio study")
+		budgeted = fs.Bool("budgeted", false, "also run the budgeted-placement extension study")
+		radio    = fs.Bool("radio", false, "also run the radio-range extension study")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiment.FigureOptions{Seed: *seed, Trials: *trials, Quick: *quick}
+	if *ablation {
+		r, err := experiment.Ablation(opts)
+		if err != nil {
+			return fmt.Errorf("ablation: %w", err)
+		}
+		fmt.Println(r.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "ablation.csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	if *ratios {
+		rr, err := experiment.RunRatios(experiment.RatioConfig{Seed: *seed, Trials: *trials})
+		if err != nil {
+			return fmt.Errorf("ratios: %w", err)
+		}
+		fmt.Println(rr.Table())
+	}
+	if *budgeted {
+		r, err := experiment.Budgeted(opts)
+		if err != nil {
+			return fmt.Errorf("budgeted: %w", err)
+		}
+		fmt.Println(r.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "budgeted.csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	if *radio {
+		r, err := experiment.Radio(opts)
+		if err != nil {
+			return fmt.Errorf("radio: %w", err)
+		}
+		fmt.Println(r.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "radio.csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	if *ablation || *ratios || *budgeted || *radio {
+		figSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "fig" {
+				figSet = true
+			}
+		})
+		if !figSet {
+			return nil // explicit studies only, unless -fig was also given
+		}
+	}
+	var numbers []int
+	if *fig == "all" {
+		numbers = []int{10, 11, 12, 13}
+	} else {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			return fmt.Errorf("bad -fig %q: %w", *fig, err)
+		}
+		numbers = []int{n}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, n := range numbers {
+		results, err := experiment.Figure(n, opts)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		for _, r := range results {
+			fmt.Println(r.Table())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, r.Name+".csv")
+				if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+					return fmt.Errorf("write %s: %w", path, err)
+				}
+			}
+		}
+	}
+	return nil
+}

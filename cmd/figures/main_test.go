@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFigure(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "12", "-quick", "-trials", "2", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d CSVs, want 4 (fig12 sub-figures)", len(entries))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "figure,algo,k,mean,std,ci95\n") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(string(raw), "\n", 2)[0])
+	}
+}
+
+func TestRunAblationOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-ablation", "-quick", "-trials", "2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ablation.csv")); err != nil {
+		t.Errorf("ablation.csv missing: %v", err)
+	}
+	// Without -fig, no figure CSVs appear.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("unexpected extra outputs: %d", len(entries))
+	}
+}
+
+func TestRunRatiosOnly(t *testing.T) {
+	if err := run([]string{"-ratios", "-trials", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "7"}); err == nil {
+		t.Error("invalid figure accepted")
+	}
+	if err := run([]string{"-fig", "ten"}); err == nil {
+		t.Error("non-numeric figure accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

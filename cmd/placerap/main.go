@@ -1,0 +1,236 @@
+// Command placerap solves a RAP placement instance end-to-end: it loads a
+// street graph (JSON) and a bus GPS trace (CSV), map-matches the trace into
+// traffic flows, and prints the optimized placement for a shop location.
+//
+// Usage:
+//
+//	placerap -graph city.json -trace trace.csv -shop 42 -k 10 \
+//	         -utility linear -D 2500 -algo algorithm2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"roadside/internal/baseline"
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/opt"
+	"roadside/internal/report"
+	"roadside/internal/sim"
+	"roadside/internal/trace"
+	"roadside/internal/utility"
+	"roadside/internal/viz"
+)
+
+// dublinOrigin anchors the lon/lat projection for Dublin-format traces.
+var dublinOrigin = geo.LonLat{Lon: -6.2603, Lat: 53.3498}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "placerap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("placerap", flag.ContinueOnError)
+	var (
+		graphPath  = fs.String("graph", "", "street graph JSON (required)")
+		tracePath  = fs.String("trace", "", "GPS trace CSV (required)")
+		format     = fs.String("format", "xy", "trace format: xy or lonlat")
+		shop       = fs.Int("shop", -1, "shop intersection ID (required)")
+		k          = fs.Int("k", 5, "number of RAPs to place")
+		utilityFn  = fs.String("utility", "linear", "utility: threshold, linear, sqrt")
+		d          = fs.Float64("D", 2500, "detour threshold D in feet")
+		algo       = fs.String("algo", "algorithm2", "algorithm1|algorithm2|combined|lazy|exhaustive|maxcardinality|maxvehicles|maxcustomers|random")
+		passengers = fs.Float64("passengers", 200, "passengers per bus")
+		alpha      = fs.Float64("alpha", 0.001, "advertisement attractiveness")
+		seed       = fs.Int64("seed", 1, "seed for randomized algorithms")
+		flowsPath  = fs.String("flows", "", "load flows JSON instead of map-matching a trace")
+		saveFlows  = fs.String("save-flows", "", "write the matched flows as JSON for reuse")
+		renderMap  = fs.Bool("map", false, "render an ASCII map of the placement")
+		simDays    = fs.Int("simulate", 0, "also run an N-day stochastic simulation of the placement")
+		simRange   = fs.Float64("range", 0, "RAP radio range in feet for the simulation")
+		doReport   = fs.Bool("report", false, "print a coverage and attribution report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *shop < 0 {
+		return fmt.Errorf("-graph and -shop are required")
+	}
+	if *tracePath == "" && *flowsPath == "" {
+		return fmt.Errorf("one of -trace or -flows is required")
+	}
+	gFile, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	defer gFile.Close()
+	g, err := graph.ReadJSON(gFile)
+	if err != nil {
+		return err
+	}
+	var (
+		fset  *flow.Set
+		nRecs int
+	)
+	if *flowsPath != "" {
+		fFile, err := os.Open(*flowsPath)
+		if err != nil {
+			return err
+		}
+		defer fFile.Close()
+		fset, err = flow.ReadJSON(fFile)
+		if err != nil {
+			return err
+		}
+	} else {
+		tFile, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer tFile.Close()
+		var (
+			tf   = trace.FormatXY
+			proj *geo.Projection
+		)
+		if *format == "lonlat" {
+			tf = trace.FormatLonLat
+			proj, err = geo.NewProjection(dublinOrigin)
+			if err != nil {
+				return err
+			}
+		}
+		recs, err := trace.ReadCSV(tFile, tf, proj)
+		if err != nil {
+			return err
+		}
+		nRecs = len(recs)
+		matcher, err := trace.NewMatcher(g, trace.DefaultMatchConfig())
+		if err != nil {
+			return err
+		}
+		journeys, err := matcher.Match(recs)
+		if err != nil {
+			return err
+		}
+		flows, err := trace.AggregateFlows(journeys, *passengers, *alpha)
+		if err != nil {
+			return err
+		}
+		fset, err = flow.NewSet(flows)
+		if err != nil {
+			return err
+		}
+	}
+	if *saveFlows != "" {
+		sf, err := os.Create(*saveFlows)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if err := fset.WriteJSON(sf); err != nil {
+			return err
+		}
+	}
+	u, err := utility.ByName(*utilityFn, *d)
+	if err != nil {
+		return err
+	}
+	e, err := core.NewEngine(&core.Problem{
+		Graph:   g,
+		Shop:    graph.NodeID(*shop),
+		Flows:   fset,
+		Utility: u,
+		K:       *k,
+	})
+	if err != nil {
+		return err
+	}
+	pl, err := solve(*algo, e, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	if nRecs > 0 {
+		fmt.Printf("matched %d flows (%d GPS records)\n", fset.Len(), nRecs)
+	} else {
+		fmt.Printf("loaded %d flows\n", fset.Len())
+	}
+	fmt.Printf("placement (%s, %s utility, D=%.0fft, k=%d):\n", *algo, *utilityFn, *d, *k)
+	for i, v := range pl.Nodes {
+		p := g.Point(v)
+		fmt.Printf("  RAP %d at intersection %d (%.0f, %.0f)\n", i+1, v, p.X, p.Y)
+	}
+	fmt.Printf("expected attracted customers per day: %.2f\n", pl.Attracted)
+	if *doReport {
+		rep, err := report.Build(e, pl.Nodes, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rep.String())
+	}
+	if *simDays > 0 {
+		res, err := sim.Run(e, pl.Nodes, sim.Config{
+			Days:           *simDays,
+			Seed:           *seed,
+			RadioRangeFeet: *simRange,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated over %d days (radio range %.0f ft):\n", res.Days, *simRange)
+		fmt.Printf("  customers/day: %.2f ± %.2f (expected %.2f)\n",
+			res.MeanCustomers, res.StdCustomers, res.Expected)
+		fmt.Printf("  contact rate: %.1f%%   extra distance per customer: %.0f ft\n",
+			100*res.ContactRate, res.MeanExtraDistance)
+	}
+	if *renderMap {
+		m := &viz.Map{
+			Graph: g,
+			Flows: fset,
+			Shop:  graph.NodeID(*shop),
+			RAPs:  pl.Nodes,
+			Width: 72, Height: 28,
+		}
+		rendered, err := m.Render()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(rendered)
+		fmt.Println(viz.Legend())
+	}
+	return nil
+}
+
+func solve(name string, e *core.Engine, rng *rand.Rand) (*core.Placement, error) {
+	switch name {
+	case "algorithm1":
+		return core.Algorithm1(e)
+	case "algorithm2":
+		return core.Algorithm2(e)
+	case "combined":
+		return core.GreedyCombined(e)
+	case "lazy":
+		return core.GreedyLazy(e)
+	case "exhaustive":
+		return opt.Exhaustive(e, opt.Options{})
+	case "maxcardinality":
+		return baseline.MaxCardinality(e)
+	case "maxvehicles":
+		return baseline.MaxVehicles(e)
+	case "maxcustomers":
+		return baseline.MaxCustomers(e)
+	case "random":
+		return baseline.Random(e, rng)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadside/internal/citygen"
+	"roadside/internal/trace"
+)
+
+// fixture writes a small Seattle graph and trace to dir and returns their
+// paths.
+func fixture(t *testing.T, dir string) (graphPath, tracePath string) {
+	t.Helper()
+	city, err := citygen.Seattle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := citygen.DefaultDemand()
+	demand.Routes = 10
+	routes, err := citygen.GenerateRoutes(city, demand, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Generate(city.Graph, routes, trace.DefaultGenConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphPath = filepath.Join(dir, "g.json")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	if err := city.Graph.WriteJSON(gf); err != nil {
+		t.Fatal(err)
+	}
+	tracePath = filepath.Join(dir, "t.csv")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := trace.WriteCSV(tf, recs, trace.FormatXY, nil); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, tracePath
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, tracePath := fixture(t, dir)
+	flowsPath := filepath.Join(dir, "flows.json")
+	err := run([]string{
+		"-graph", graphPath, "-trace", tracePath, "-shop", "100",
+		"-k", "3", "-algo", "algorithm2", "-save-flows", flowsPath,
+		"-simulate", "5", "-map", "-report",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run from the cached flows.
+	err = run([]string{
+		"-graph", graphPath, "-flows", flowsPath, "-shop", "100",
+		"-k", "2", "-algo", "maxcustomers",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, tracePath := fixture(t, dir)
+	flowsPath := filepath.Join(dir, "flows.json")
+	if err := run([]string{
+		"-graph", graphPath, "-trace", tracePath, "-shop", "50",
+		"-k", "2", "-save-flows", flowsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{
+		"algorithm1", "combined", "lazy", "maxcardinality",
+		"maxvehicles", "random", "exhaustive",
+	} {
+		if err := run([]string{
+			"-graph", graphPath, "-flows", flowsPath, "-shop", "50",
+			"-k", "2", "-algo", algo,
+		}); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, tracePath := fixture(t, dir)
+	cases := [][]string{
+		{},                                  // nothing
+		{"-graph", graphPath},               // no shop / trace
+		{"-graph", graphPath, "-shop", "1"}, // no trace or flows
+		{"-trace", tracePath, "-shop", "1"}, // no graph
+		{"-graph", "/nonexistent", "-trace", tracePath, "-shop", "1"},
+		{"-graph", graphPath, "-trace", "/nonexistent", "-shop", "1"},
+		{"-graph", graphPath, "-trace", tracePath, "-shop", "1", "-algo", "oracle"},
+		{"-graph", graphPath, "-trace", tracePath, "-shop", "1", "-utility", "cubic"},
+		{"-graph", graphPath, "-trace", tracePath, "-shop", "99999"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): accepted", i, args)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command tracegen synthesizes a city street network and a bus GPS trace in
+// the shape of the paper's datasets: the Dublin layout (irregular streets,
+// lon/lat records keyed by vehicle-journey ID) or the Seattle layout
+// (partial grid, x/y records keyed by route ID).
+//
+// Usage:
+//
+//	tracegen -city dublin -routes 160 -seed 1 -trace dublin.csv -graph dublin.json
+//	tracegen -city seattle -trace seattle.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadside/internal/citygen"
+	"roadside/internal/geo"
+	"roadside/internal/trace"
+)
+
+// dublinOrigin anchors the lon/lat projection for Dublin-format output.
+var dublinOrigin = geo.LonLat{Lon: -6.2603, Lat: 53.3498}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		city     = fs.String("city", "dublin", "substrate: dublin or seattle")
+		routes   = fs.Int("routes", 0, "number of bus routes (0 = default demand)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		traceOut = fs.String("trace", "", "output CSV path for the GPS trace (required)")
+		graphOut = fs.String("graph", "", "optional output JSON path for the street graph")
+		sampleFt = fs.Float64("sample", 400, "feet between GPS samples")
+		noiseFt  = fs.Float64("noise", 50, "GPS noise sigma in feet")
+		dropProb = fs.Float64("drop", 0.05, "probability a sample is lost")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traceOut == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	var (
+		c      *citygen.City
+		err    error
+		format = trace.FormatXY
+		proj   *geo.Projection
+	)
+	switch *city {
+	case "dublin":
+		c, err = citygen.Dublin(*seed)
+		format = trace.FormatLonLat
+		proj, _ = geo.NewProjection(dublinOrigin)
+	case "seattle":
+		c, err = citygen.Seattle(*seed)
+	default:
+		return fmt.Errorf("unknown city %q", *city)
+	}
+	if err != nil {
+		return err
+	}
+	demand := citygen.DefaultDemand()
+	if *routes > 0 {
+		demand.Routes = *routes
+	}
+	rts, err := citygen.GenerateRoutes(c, demand, *seed)
+	if err != nil {
+		return err
+	}
+	gen := trace.GenConfig{
+		SampleEveryFeet: *sampleFt,
+		NoiseSigmaFeet:  *noiseFt,
+		DropProb:        *dropProb,
+	}
+	recs, err := trace.Generate(c.Graph, rts, gen, *seed)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Create(*traceOut)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := trace.WriteCSV(tf, recs, format, proj); err != nil {
+		return err
+	}
+	if *graphOut != "" {
+		gf, err := os.Create(*graphOut)
+		if err != nil {
+			return err
+		}
+		defer gf.Close()
+		if err := c.Graph.WriteJSON(gf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d intersections, %d streets, %d routes, %d GPS records -> %s\n",
+		c.Name, c.Graph.NumNodes(), c.Graph.NumEdges(), len(rts), len(recs), *traceOut)
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/trace"
+)
+
+func TestRunSeattle(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "seattle.csv")
+	graphPath := filepath.Join(dir, "seattle.json")
+	err := run([]string{
+		"-city", "seattle", "-routes", "12", "-seed", "3",
+		"-trace", tracePath, "-graph", graphPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	recs, err := trace.ReadCSV(tf, trace.FormatXY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g, err := graph.ReadJSON(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.StronglyConnected() {
+		t.Error("exported graph not strongly connected")
+	}
+}
+
+func TestRunDublinLonLat(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "dublin.csv")
+	err := run([]string{
+		"-city", "dublin", "-routes", "8", "-seed", "5", "-trace", tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(raw), "\n", 2)[0]
+	if head != "timestamp,bus_id,journey_id,lon,lat" {
+		t.Errorf("header = %q, want Dublin schema", head)
+	}
+	proj, err := geo.NewProjection(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	recs, err := trace.ReadCSV(tf, trace.FormatLonLat, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-city", "seattle"}); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-city", "atlantis", "-trace", "/tmp/x.csv"}); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

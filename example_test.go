@@ -1,0 +1,127 @@
+package roadside_test
+
+import (
+	"fmt"
+	"log"
+
+	"roadside"
+)
+
+// fig4World builds the paper's Fig. 4 street map and traffic flows.
+func fig4World() (*roadside.Graph, *roadside.FlowSet) {
+	b := roadside.NewGraphBuilder(6, 12)
+	for i := 0; i < 6; i++ {
+		b.AddNode(roadside.Pt(float64(i), float64(i%2)))
+	}
+	for _, s := range [][2]roadside.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {4, 5}} {
+		if err := b.AddStreet(s[0], s[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(id string, vol float64, path ...roadside.NodeID) roadside.Flow {
+		f, err := roadside.NewFlow(id, path, vol, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	fs, err := roadside.NewFlowSet([]roadside.Flow{
+		mk("T2,5", 6, 1, 2, 4),
+		mk("T4,3", 6, 3, 2),
+		mk("T3,5", 3, 2, 4),
+		mk("T5,6", 2, 4, 5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g, fs
+}
+
+// ExampleAlgorithm1 places two RAPs under the threshold utility on the
+// paper's running example: the greedy covers all 17 daily drivers.
+func ExampleAlgorithm1() {
+	g, flows := fig4World()
+	e, err := roadside.NewEngine(&roadside.Problem{
+		Graph: g, Shop: 0, Flows: flows,
+		Utility: roadside.ThresholdUtility{D: 6}, K: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := roadside.Algorithm1(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f customers/day\n", pl.Attracted)
+	// Output: 17 customers/day
+}
+
+// ExampleAlgorithm2 shows the decreasing-utility composite greedy landing
+// on 7 customers while the optimum achieves 8 — the overlap trap of
+// Section III-C.
+func ExampleAlgorithm2() {
+	g, flows := fig4World()
+	e, err := roadside.NewEngine(&roadside.Problem{
+		Graph: g, Shop: 0, Flows: flows,
+		Utility: roadside.LinearUtility{D: 6}, K: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := roadside.Algorithm2(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := roadside.Exhaustive(e, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy %.0f, optimal %.0f\n", greedy.Attracted, best.Attracted)
+	// Output: greedy 7, optimal 8
+}
+
+// ExampleEngine_Plan materializes the route a detouring driver actually
+// drives: the original prefix, the shop side trip, and the continuation.
+func ExampleEngine_Plan() {
+	g, flows := fig4World()
+	e, err := roadside.NewEngine(&roadside.Problem{
+		Graph: g, Shop: 0, Flows: flows,
+		Utility: roadside.LinearUtility{D: 6}, K: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := e.Plan(0, []roadside.NodeID{1, 3}) // T2,5 with RAPs at V2, V4
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detour %.0f blocks, probability %.2f, route %v\n",
+		plan.Detour, plan.Prob, plan.Path)
+	// Output: detour 2 blocks, probability 0.67, route [1 0 1 2 4]
+}
+
+// ExampleNewGridScenario solves the Manhattan grid scenario with the
+// two-stage Algorithm 3: four corner RAPs cover every turned flow and the
+// remaining budget covers straight streets.
+func ExampleNewGridScenario() {
+	sc, err := roadside.NewGridScenario(7, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows := []roadside.GridFlow{
+		{ID: "straight", EntrySide: roadside.West, EntryIndex: 3,
+			ExitSide: roadside.East, ExitIndex: 3, Volume: 100, Alpha: 1},
+		{ID: "turned", EntrySide: roadside.West, EntryIndex: 2,
+			ExitSide: roadside.South, ExitIndex: 4, Volume: 50, Alpha: 1},
+	}
+	pl, err := roadside.Algorithm3(sc, flows, roadside.ThresholdUtility{D: sc.Side()}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f of %.0f drivers attracted\n", pl.Attracted, 150.0)
+	// Output: 150 of 150 drivers attracted
+}

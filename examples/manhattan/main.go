@@ -1,0 +1,86 @@
+// The manhattan example demonstrates Section IV: RAP placement on a
+// Manhattan grid where drivers choose among multiple shortest paths to
+// collect advertisements. It builds a 21 x 21 grid spanning a
+// 2,500 x 2,500 ft region with the shop at the center, samples crossing
+// demand, classifies flows (straight / turned / other), and compares the
+// two-stage Algorithms 3 and 4 against the general-purpose greedy on both
+// the grid semantics and the fixed-route semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadside"
+)
+
+func main() {
+	const (
+		seed = 2015
+		d    = 2_500.0
+		n    = 21
+		k    = 10
+	)
+	sc, err := roadside.NewGridScenario(n, d/float64(n-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %d x %d intersections, region %.0f x %.0f ft, shop at center (node %d)\n",
+		n, n, sc.Side(), sc.Side(), sc.Shop())
+
+	demand := roadside.DefaultGridDemand()
+	flows, err := roadside.GenerateGridFlows(sc, demand, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kinds := map[roadside.GridFlowKind]int{}
+	for _, f := range flows {
+		kinds[sc.Classify(f)]++
+	}
+	fmt.Printf("demand: %d crossing flows (%d straight, %d turned, %d other)\n\n",
+		len(flows), kinds[roadside.StraightFlow], kinds[roadside.TurnedFlow],
+		kinds[roadside.OtherFlow])
+
+	// Threshold utility: Algorithm 3 (corners + straight greedy).
+	th := roadside.ThresholdUtility{D: d}
+	pl3, err := roadside.Algorithm3(sc, flows, th, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 3 (threshold): %.1f customers/day, RAPs %v\n",
+		pl3.Attracted, pl3.Nodes)
+
+	// Linear utility: Algorithm 4 (corner midpoints + straight greedy).
+	lin := roadside.LinearUtility{D: d}
+	pl4, err := roadside.Algorithm4(sc, flows, lin, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 4 (linear):    %.1f customers/day, RAPs %v\n\n",
+		pl4.Attracted, pl4.Nodes)
+
+	// Path choice matters: the same greedy solver on grid semantics
+	// (drivers divert to RAP-bearing shortest paths) vs fixed routes.
+	gridEngine, err := sc.Engine(flows, lin, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedEngine, err := sc.FixedEngine(flows, lin, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gGrid, err := roadside.GreedyCombined(gridEngine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gFixed, err := roadside.GreedyCombined(fixedEngine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy, grid semantics (path choice):  %.1f customers/day\n", gGrid.Attracted)
+	fmt.Printf("greedy, fixed routes (Section III):    %.1f customers/day\n", gFixed.Attracted)
+	fmt.Println()
+	fmt.Println("The gap between the last two lines is the benefit the paper")
+	fmt.Println("observes between Figs. 12 and 13: drivers who may pick any")
+	fmt.Println("shortest path are easier to cover.")
+}

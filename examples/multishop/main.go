@@ -1,0 +1,122 @@
+// The multishop example exercises the paper's multi-shop extension
+// (Section III-A): with several branches of the same shop, a driver
+// detours to whichever branch offers the smallest detour. It places RAPs
+// for a Seattle-scale chain with one, two, and three branches and shows how
+// extra branches raise the attracted-customer count for the same RAP
+// budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadside"
+)
+
+func main() {
+	const seed = 2015
+
+	city, err := roadside.Seattle(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	demand := roadside.DefaultDemand()
+	demand.Routes = 120
+	routes, err := roadside.GenerateRoutes(city, demand, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper assumes 200 passengers per Seattle bus and alpha = 0.001.
+	flowList, err := roadside.RoutesToFlows(routes, 200, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows, err := roadside.NewFlowSet(flowList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := roadside.ClassifyIntersections(flows, city.Graph.NumNodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pick three city-class intersections spread across the rank order as
+	// branch locations.
+	cityNodes := cls.Nodes(roadside.CityClass)
+	branches := []roadside.NodeID{
+		cityNodes[0],
+		cityNodes[len(cityNodes)/2],
+		cityNodes[len(cityNodes)-1],
+	}
+	fmt.Printf("Seattle substrate: %d intersections, %d flows\n",
+		city.Graph.NumNodes(), flows.Len())
+	fmt.Printf("branch candidates: %v\n\n", branches)
+
+	const k = 8
+	var firstPlacement []roadside.NodeID
+	engines := make([]*roadside.Engine, 0, 3)
+	for nBranches := 1; nBranches <= 3; nBranches++ {
+		p := &roadside.Problem{
+			Graph:      city.Graph,
+			Shop:       branches[0],
+			ExtraShops: branches[1:nBranches],
+			Flows:      flows,
+			Utility:    roadside.LinearUtility{D: 2_500},
+			K:          k,
+		}
+		e, err := roadside.NewEngine(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines = append(engines, e)
+		pl, err := roadside.Algorithm2(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nBranches == 1 {
+			firstPlacement = pl.Nodes
+		}
+		fmt.Printf("%d branch(es): Algorithm 2 places %v -> %.2f customers/day\n",
+			nBranches, pl.Nodes, pl.Attracted)
+	}
+	fmt.Println()
+	fmt.Println("Fixing the single-branch placement and only growing the branch")
+	fmt.Println("set shows the model's monotonicity (every flow's best detour")
+	fmt.Println("can only shrink):")
+	for i, e := range engines {
+		fmt.Printf("  %d branch(es), fixed placement: %.2f customers/day\n",
+			i+1, e.Evaluate(firstPlacement))
+	}
+	fmt.Println()
+	fmt.Println("(The greedy's own placements above may wobble slightly across")
+	fmt.Println("branch sets — the greedy is 1-1/sqrt(e)-approximate, not exact.)")
+
+	// The paper's future work: treat the three locations as three
+	// competing shops sharing RAP infrastructure. Each already-placed RAP
+	// can broadcast at most one campaign; the scheduler assigns campaigns
+	// to RAPs to maximize total attracted customers.
+	fmt.Println()
+	fmt.Println("--- multi-shop scheduling on shared infrastructure ---")
+	campaigns := make([]roadside.Campaign, 0, len(branches))
+	names := []string{"alpha-mart", "beta-books", "gamma-cafe"}
+	for i, b := range branches {
+		campaigns = append(campaigns, roadside.Campaign{
+			Name: names[i],
+			Problem: &roadside.Problem{
+				Graph:   city.Graph,
+				Shop:    b,
+				Flows:   flows,
+				Utility: roadside.LinearUtility{D: 2_500},
+				K:       1,
+			},
+		})
+	}
+	assignment, err := roadside.ScheduleGreedy(firstPlacement, campaigns, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range names {
+		fmt.Printf("%-12s broadcasts at %v -> %.2f customers/day\n",
+			name, assignment.RAPs[name], assignment.Values[name])
+	}
+	fmt.Printf("total welfare: %.2f customers/day\n", assignment.Welfare)
+}

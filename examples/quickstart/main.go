@@ -1,0 +1,92 @@
+// Quickstart reproduces the paper's Fig. 4 worked example through the
+// public API: a six-intersection street map, four traffic flows, two RAPs
+// to place, and a shop at V1. It shows the threshold-utility greedy
+// (Algorithm 1), the decreasing-utility composite greedy (Algorithm 2), and
+// the exhaustive optimum side by side — including the paper's observation
+// that the greedy attracts 7 drivers while the optimum attracts 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadside"
+)
+
+func main() {
+	// Street map of Fig. 4: unit-length two-way streets
+	// V1-V2, V2-V3, V3-V4, V4-V1, V3-V5, V5-V6 (IDs are zero-based).
+	b := roadside.NewGraphBuilder(6, 12)
+	for i := 0; i < 6; i++ {
+		b.AddNode(roadside.Pt(float64(i), 0))
+	}
+	streets := [][2]roadside.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {4, 5}}
+	for _, s := range streets {
+		if err := b.AddStreet(s[0], s[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The four daily traffic flows of the example (alpha = 1).
+	mk := func(id string, vol float64, path ...roadside.NodeID) roadside.Flow {
+		f, err := roadside.NewFlow(id, path, vol, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	flows, err := roadside.NewFlowSet([]roadside.Flow{
+		mk("T2,5", 6, 1, 2, 4),
+		mk("T4,3", 6, 3, 2),
+		mk("T3,5", 3, 2, 4),
+		mk("T5,6", 2, 4, 5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solve := func(u roadside.UtilityFunction,
+		algo func(*roadside.Engine) (*roadside.Placement, error)) *roadside.Placement {
+		e, err := roadside.NewEngine(&roadside.Problem{
+			Graph: g, Shop: 0, Flows: flows, Utility: u, K: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := algo(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pl
+	}
+	names := func(pl *roadside.Placement) []string {
+		out := make([]string, len(pl.Nodes))
+		for i, v := range pl.Nodes {
+			out[i] = fmt.Sprintf("V%d", v+1)
+		}
+		return out
+	}
+
+	th := solve(roadside.ThresholdUtility{D: 6}, roadside.Algorithm1)
+	fmt.Printf("threshold utility, Algorithm 1: RAPs at %v attract %.0f drivers\n",
+		names(th), th.Attracted)
+
+	lin := solve(roadside.LinearUtility{D: 6}, roadside.Algorithm2)
+	fmt.Printf("linear utility,    Algorithm 2: RAPs at %v attract %.0f drivers\n",
+		names(lin), lin.Attracted)
+
+	best := solve(roadside.LinearUtility{D: 6},
+		func(e *roadside.Engine) (*roadside.Placement, error) {
+			return roadside.Exhaustive(e, 0)
+		})
+	fmt.Printf("linear utility,    optimum:     RAPs at %v attract %.0f drivers\n",
+		names(best), best.Attracted)
+	fmt.Println()
+	fmt.Println("The greedy misses the optimum {V2, V4} because placing at the")
+	fmt.Println("high-traffic V3 first overlaps both flows it later improves —")
+	fmt.Println("the exact trap Section III-C of the paper walks through.")
+}

@@ -1,0 +1,79 @@
+// The simulate example validates the analytical placement objective with
+// the stochastic microsimulator and explores the radio-range generalization
+// the paper's intersection-contact model cannot express: RAPs with a real
+// broadcast radius also reach vehicles on nearby streets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadside"
+)
+
+func main() {
+	const seed = 2015
+
+	city, err := roadside.Seattle(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	demand := roadside.DefaultDemand()
+	demand.Routes = 100
+	routes, err := roadside.GenerateRoutes(city, demand, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flowList, err := roadside.RoutesToFlows(routes, 200, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows, err := roadside.NewFlowSet(flowList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := roadside.ClassifyIntersections(flows, city.Graph.NumNodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	shop := cls.Nodes(roadside.CityClass)[0]
+	e, err := roadside.NewEngine(&roadside.Problem{
+		Graph:   city.Graph,
+		Shop:    shop,
+		Flows:   flows,
+		Utility: roadside.LinearUtility{D: 2_500},
+		K:       8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := roadside.Algorithm2(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement: %v\n", pl.Nodes)
+	fmt.Printf("analytical expectation: %.2f customers/day\n\n", pl.Attracted)
+
+	// Validation: zero radio range reproduces the paper's contact model;
+	// the simulated mean converges to the expectation.
+	fmt.Println("radio range sweep (1,000 simulated days each):")
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "range ft", "sim mean", "expected", "contact %")
+	// Seattle blocks are ~500 ft, so contact jumps appear at multiples of
+	// the block length: a 500 ft radius reaches routes one street over.
+	for _, r := range []float64{0, 250, 500, 750, 1000} {
+		res, err := roadside.Simulate(e, pl.Nodes, roadside.SimConfig{
+			Days:           1000,
+			Seed:           seed,
+			RadioRangeFeet: r,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f  %12.2f  %12.2f  %11.1f%%\n",
+			r, res.MeanCustomers, res.Expected, 100*res.ContactRate)
+	}
+	fmt.Println()
+	fmt.Println("At range 0 the expectation equals the engine's objective; a")
+	fmt.Println("real broadcast radius only adds contacts, so coverage and the")
+	fmt.Println("expected customer count grow monotonically with the range.")
+}

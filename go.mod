@@ -1,0 +1,3 @@
+module roadside
+
+go 1.22

@@ -1,0 +1,250 @@
+package citygen
+
+import (
+	"errors"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/manhattan"
+)
+
+func TestDublinGeneration(t *testing.T) {
+	c, err := Dublin(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "dublin" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if !c.Graph.StronglyConnected() {
+		t.Fatal("Dublin graph not strongly connected")
+	}
+	if c.Graph.NumNodes() < 200 {
+		t.Errorf("only %d nodes", c.Graph.NumNodes())
+	}
+	// Extent roughly matches the paper's 80,000 ft central area.
+	if c.Extent.Width() < 60_000 || c.Extent.Width() > 100_000 {
+		t.Errorf("width = %v", c.Extent.Width())
+	}
+}
+
+func TestSeattleGeneration(t *testing.T) {
+	c, err := Seattle(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Graph.StronglyConnected() {
+		t.Fatal("Seattle graph not strongly connected")
+	}
+	if c.Extent.Width() < 8_000 || c.Extent.Width() > 12_000 {
+		t.Errorf("width = %v", c.Extent.Width())
+	}
+	// Partial grid: Seattle must retain at least 90% of the lattice.
+	if c.Graph.NumNodes() < 21*21*9/10 {
+		t.Errorf("Seattle too sparse: %d nodes", c.Graph.NumNodes())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Dublin(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dublin(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.Graph.NumNodes(); v++ {
+		if a.Graph.Point(graph.NodeID(v)) != b.Graph.Point(graph.NodeID(v)) {
+			t.Fatal("same seed produced different coordinates")
+		}
+	}
+	c, err := Dublin(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() == c.Graph.NumEdges() && a.Graph.NumNodes() == c.Graph.NumNodes() {
+		// Extremely unlikely for different seeds with random deletions.
+		same := true
+		for v := 0; v < a.Graph.NumNodes() && same; v++ {
+			same = a.Graph.Point(graph.NodeID(v)) == c.Graph.Point(graph.NodeID(v))
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Rows: 2, Cols: 10, ExtentFeet: 100},
+		{Rows: 10, Cols: 10, ExtentFeet: 0},
+		{Rows: 10, Cols: 10, ExtentFeet: 100, DropProb: 1.2},
+		{Rows: 10, Cols: 10, ExtentFeet: 100, OneWayProb: -0.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg, 1); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestGenerateRoutes(t *testing.T) {
+	c, err := Seattle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDemand()
+	cfg.Routes = 50
+	routes, err := GenerateRoutes(c, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 50 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	ids := map[string]bool{}
+	for _, r := range routes {
+		if len(r.Path) < cfg.MinHops {
+			t.Errorf("route %s too short: %d hops", r.ID, len(r.Path))
+		}
+		if r.Buses < 1 {
+			t.Errorf("route %s has %d buses", r.ID, r.Buses)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate route id %s", r.ID)
+		}
+		ids[r.ID] = true
+		// Paths must be valid walks in the graph.
+		if _, err := c.Graph.PathLength(r.Path); err != nil {
+			t.Errorf("route %s invalid: %v", r.ID, err)
+		}
+	}
+	// Deterministic.
+	routes2, err := GenerateRoutes(c, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range routes {
+		if routes[i].Buses != routes2[i].Buses || len(routes[i].Path) != len(routes2[i].Path) {
+			t.Fatal("routes not deterministic")
+		}
+	}
+}
+
+func TestGenerateRoutesCenterBias(t *testing.T) {
+	c, err := Dublin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := DefaultDemand()
+	biased.Routes = 80
+	biased.CenterBias = 1
+	uniform := biased
+	uniform.CenterBias = 0
+	rb, err := GenerateRoutes(c, biased, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := GenerateRoutes(c, uniform, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := c.Extent.Center()
+	avgEndpointDist := func(routes []Route) float64 {
+		var sum float64
+		var n int
+		for _, r := range routes {
+			sum += c.Graph.Point(r.Path[0]).Euclidean(center)
+			sum += c.Graph.Point(r.Path[len(r.Path)-1]).Euclidean(center)
+			n += 2
+		}
+		return sum / float64(n)
+	}
+	if avgEndpointDist(rb) >= avgEndpointDist(ru) {
+		t.Errorf("center bias did not pull endpoints inward: %v vs %v",
+			avgEndpointDist(rb), avgEndpointDist(ru))
+	}
+}
+
+func TestRoutesToFlows(t *testing.T) {
+	c, err := Seattle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDemand()
+	cfg.Routes = 20
+	routes, err := GenerateRoutes(c, cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := RoutesToFlows(routes, 200, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows {
+		if f.Volume != float64(routes[i].Buses)*200 {
+			t.Errorf("flow %d volume %v, want %v", i, f.Volume, float64(routes[i].Buses)*200)
+		}
+		if f.Alpha != 0.001 {
+			t.Errorf("flow %d alpha %v", i, f.Alpha)
+		}
+	}
+}
+
+func TestGenerateGridFlows(t *testing.T) {
+	sc, err := manhattan.NewScenario(11, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGridDemand()
+	cfg.Flows = 100
+	flows, err := GenerateGridFlows(sc, cfg, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 100 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	counts := map[manhattan.Kind]int{}
+	for _, f := range flows {
+		if err := sc.Validate(f); err != nil {
+			t.Fatalf("invalid flow: %v", err)
+		}
+		counts[sc.Classify(f)]++
+	}
+	// The requested mix is 20/50/30; allow generous sampling slack.
+	if counts[manhattan.Straight] < 8 || counts[manhattan.Turned] < 30 || counts[manhattan.Other] < 12 {
+		t.Errorf("kind mix = %v", counts)
+	}
+	// Deterministic.
+	flows2, err := GenerateGridFlows(sc, cfg, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if flows[i] != flows2[i] {
+			t.Fatal("grid flows not deterministic")
+		}
+	}
+}
+
+func TestGenerateGridFlowsValidation(t *testing.T) {
+	sc, err := manhattan.NewScenario(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []GridDemandConfig{
+		{Flows: 0, VolumeMean: 10, Alpha: 0.5},
+		{Flows: 5, VolumeMean: 10, Alpha: 2},
+		{Flows: 5, VolumeMean: 10, Alpha: 0.5, StraightFrac: 0.8, TurnedFrac: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateGridFlows(sc, cfg, 1); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package citygen
+
+import (
+	"fmt"
+	"strconv"
+
+	"roadside/internal/manhattan"
+	"roadside/internal/stats"
+)
+
+// GridDemandConfig parameterizes crossing-flow generation for the Manhattan
+// grid scenario (Section IV): flows enter the D x D region through one
+// boundary side and exit through another.
+type GridDemandConfig struct {
+	// Flows is the number of crossing flows.
+	Flows int
+	// VolumeMean is the mean daily driver volume per flow (Poisson, >= 1).
+	VolumeMean float64
+	// Alpha is the advertisement attractiveness for every flow.
+	Alpha float64
+	// StraightFrac, TurnedFrac bias the mix of flow kinds; the remainder
+	// is "other" (same orientation, different lines). They must sum to at
+	// most 1.
+	StraightFrac, TurnedFrac float64
+}
+
+// DefaultGridDemand returns the grid demand used by the Fig. 13 harness.
+// The mix matches a downtown grid: most flows turn or jog, a fifth run
+// straight through.
+func DefaultGridDemand() GridDemandConfig {
+	return GridDemandConfig{
+		Flows:        140,
+		VolumeMean:   600, // ~3 buses x 200 passengers, Seattle scale
+		Alpha:        0.001,
+		StraightFrac: 0.2,
+		TurnedFrac:   0.5,
+	}
+}
+
+// GenerateGridFlows samples crossing flows of the requested kind mix.
+// Deterministic in seed.
+func GenerateGridFlows(sc *manhattan.Scenario, cfg GridDemandConfig, seed int64) ([]manhattan.GridFlow, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("%w: flows=%d", ErrBadConfig, cfg.Flows)
+	}
+	if cfg.StraightFrac < 0 || cfg.TurnedFrac < 0 || cfg.StraightFrac+cfg.TurnedFrac > 1 {
+		return nil, fmt.Errorf("%w: kind fractions", ErrBadConfig)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("%w: alpha=%v", ErrBadConfig, cfg.Alpha)
+	}
+	rng := stats.NewRand(seed, 1)
+	n := sc.N()
+	horizontals := []manhattan.BoundarySide{manhattan.West, manhattan.East}
+	verticals := []manhattan.BoundarySide{manhattan.South, manhattan.North}
+	flows := make([]manhattan.GridFlow, 0, cfg.Flows)
+	const maxAttempts = 1000
+	for len(flows) < cfg.Flows {
+		var f manhattan.GridFlow
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.StraightFrac:
+				// Straight: opposite sides, same index.
+				idx := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					f = crossing(horizontals[rng.Intn(2)], idx, idx)
+				} else {
+					f = crossing(verticals[rng.Intn(2)], idx, idx)
+				}
+			case r < cfg.StraightFrac+cfg.TurnedFrac:
+				// Turned: one horizontal, one vertical side.
+				h := horizontals[rng.Intn(2)]
+				v := verticals[rng.Intn(2)]
+				if rng.Intn(2) == 0 {
+					f = manhattan.GridFlow{
+						EntrySide: h, EntryIndex: rng.Intn(n),
+						ExitSide: v, ExitIndex: rng.Intn(n),
+					}
+				} else {
+					f = manhattan.GridFlow{
+						EntrySide: v, EntryIndex: rng.Intn(n),
+						ExitSide: h, ExitIndex: rng.Intn(n),
+					}
+				}
+			default:
+				// Other: opposite sides, different indices.
+				i1 := rng.Intn(n)
+				i2 := rng.Intn(n)
+				if i1 == i2 {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					f = crossing(horizontals[rng.Intn(2)], i1, i2)
+				} else {
+					f = crossing(verticals[rng.Intn(2)], i1, i2)
+				}
+			}
+			f.ID = "grid-" + strconv.Itoa(len(flows))
+			f.Volume = float64(1 + stats.Poisson(rng, cfg.VolumeMean-1))
+			f.Alpha = cfg.Alpha
+			if sc.Validate(f) == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: cannot sample valid grid flow", ErrTooSparse)
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// crossing builds a flow entering side s at entryIdx and exiting the
+// opposite side at exitIdx.
+func crossing(s manhattan.BoundarySide, entryIdx, exitIdx int) manhattan.GridFlow {
+	return manhattan.GridFlow{
+		EntrySide: s, EntryIndex: entryIdx,
+		ExitSide: opposite(s), ExitIndex: exitIdx,
+	}
+}
+
+func opposite(s manhattan.BoundarySide) manhattan.BoundarySide {
+	switch s {
+	case manhattan.West:
+		return manhattan.East
+	case manhattan.East:
+		return manhattan.West
+	case manhattan.North:
+		return manhattan.South
+	default:
+		return manhattan.North
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+func TestBudgetedValidate(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &BudgetedProblem{Costs: UniformCosts(e, 1), Budget: 2}
+	if err := good.Validate(e); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		bp   *BudgetedProblem
+		err  error
+	}{
+		{"nil", nil, ErrBadBudget2},
+		{"zerobudget", &BudgetedProblem{Costs: UniformCosts(e, 1)}, ErrBadBudget2},
+		{"nanbudget", &BudgetedProblem{Costs: UniformCosts(e, 1), Budget: math.NaN()}, ErrBadBudget2},
+		{"missingcost", &BudgetedProblem{Costs: map[graph.NodeID]float64{0: 1}, Budget: 2}, ErrBadCost},
+		{"zerocost", &BudgetedProblem{Costs: UniformCosts(e, 0), Budget: 2}, ErrBadCost},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.bp.Validate(e); !errors.Is(err, c.err) {
+				t.Errorf("err = %v, want %v", err, c.err)
+			}
+			if _, err := BudgetedGreedy(e, c.bp); !errors.Is(err, c.err) {
+				t.Errorf("solver err = %v, want %v", err, c.err)
+			}
+		})
+	}
+}
+
+// Uniform costs with budget k*cost must match the combined greedy's value
+// on the Fig. 4 instance.
+func TestBudgetedUniformMatchesGreedy(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := &BudgetedProblem{Costs: UniformCosts(e, 1), Budget: 2}
+	got, err := BudgetedGreedy(e, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GreedyCombined(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Attracted-want.Attracted) > 1e-9 {
+		t.Errorf("budgeted %v != greedy %v", got.Attracted, want.Attracted)
+	}
+	if got.Spent > bp.Budget {
+		t.Errorf("spent %v over budget %v", got.Spent, bp.Budget)
+	}
+}
+
+// The budget is always respected and the solution never places duplicates.
+func TestBudgetedRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(t, rng, 30, 15, 1, utility.Linear{D: 80})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make(map[graph.NodeID]float64, 30)
+		for v := 0; v < 30; v++ {
+			costs[graph.NodeID(v)] = 0.5 + rng.Float64()*4
+		}
+		budget := 1 + rng.Float64()*8
+		got, err := BudgetedGreedy(e, &BudgetedProblem{Costs: costs, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Spent > budget+1e-9 {
+			t.Fatalf("trial %d: spent %v > budget %v", trial, got.Spent, budget)
+		}
+		var sum float64
+		seen := map[graph.NodeID]bool{}
+		for _, v := range got.Nodes {
+			if seen[v] {
+				t.Fatalf("trial %d: duplicate %d", trial, v)
+			}
+			seen[v] = true
+			sum += costs[v]
+		}
+		if math.Abs(sum-got.Spent) > 1e-9 {
+			t.Fatalf("trial %d: Spent %v != recomputed %v", trial, got.Spent, sum)
+		}
+		if math.Abs(got.Attracted-e.Evaluate(got.Nodes)) > 1e-9 {
+			t.Fatalf("trial %d: value inconsistent", trial)
+		}
+	}
+}
+
+// A single dominant expensive node: the density greedy alone would burn the
+// budget on cheap low-value nodes, but phase 2 must catch the big one.
+func TestBudgetedBestSingleton(t *testing.T) {
+	// Star-ish instance: node 2 (V3) covers 15 drivers under threshold,
+	// and costs exactly the budget; cheap nodes cover almost nothing.
+	e, err := NewEngine(fig4Problem(t, utility.Threshold{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[graph.NodeID]float64{
+		0: 0.1, 1: 0.1, 2: 10, 3: 0.1, 4: 10, 5: 0.1,
+	}
+	got, err := BudgetedGreedy(e, &BudgetedProblem{Costs: costs, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density greedy can afford {V2, V4, ...cheap} worth 12 (T2,5 + T4,3);
+	// singleton V3 is worth 15. Phase 2 must win.
+	if got.Attracted < 15-1e-9 {
+		t.Errorf("attracted %v, want >= 15 (best singleton)", got.Attracted)
+	}
+	if len(got.Nodes) != 1 || got.Nodes[0] != 2 {
+		t.Errorf("placement %v, want [V3]", got.Nodes)
+	}
+}
+
+// Approximation sanity: on small instances the budgeted greedy achieves at
+// least (1-1/e)/2 of the budgeted optimum (computed by brute force).
+func TestBudgetedRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	ratio := (1 - 1/math.E) / 2
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 12, 8, 1, utility.Linear{D: 60})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make(map[graph.NodeID]float64, 12)
+		for v := 0; v < 12; v++ {
+			costs[graph.NodeID(v)] = 1 + rng.Float64()*3
+		}
+		budget := 3 + rng.Float64()*4
+		got, err := BudgetedGreedy(e, &BudgetedProblem{Costs: costs, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := budgetedBrute(e, costs, budget)
+		if got.Attracted < ratio*best-1e-9 {
+			t.Fatalf("trial %d: %v < %v x OPT %v", trial, got.Attracted, ratio, best)
+		}
+	}
+}
+
+// budgetedBrute enumerates all subsets within budget (12 nodes -> 4096).
+func budgetedBrute(e *Engine, costs map[graph.NodeID]float64, budget float64) float64 {
+	n := len(e.Candidates())
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var cost float64
+		var nodes []graph.NodeID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v := e.Candidates()[i]
+				cost += costs[v]
+				nodes = append(nodes, v)
+			}
+		}
+		if cost > budget {
+			continue
+		}
+		if val := e.Evaluate(nodes); val > best {
+			best = val
+		}
+	}
+	return best
+}

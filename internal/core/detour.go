@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"roadside/internal/graph"
+)
+
+// visit is one (node, flow) incidence annotated with the detour distance a
+// driver of that flow incurs when diverting to the shop at that node.
+type visit struct {
+	flow   int32
+	pos    int32
+	detour float64
+}
+
+// Engine precomputes detour distances for a problem instance and evaluates
+// placements. Construction runs two Dijkstras for the shop plus one reverse
+// Dijkstra per distinct flow destination, matching the paper's
+// preprocessing budget while staying near-linear in practice.
+//
+// An Engine is immutable after construction and safe for concurrent use.
+type Engine struct {
+	p *Problem
+	// visits[v] lists the flows through node v with their detour at v.
+	visits map[graph.NodeID][]visit
+	// flowNodes[f] lists the (node, detour) pairs along flow f's path,
+	// in path order (first visit only for repeated nodes).
+	flowNodes [][]nodeDetour
+	// cands is the effective candidate list.
+	cands []graph.NodeID
+}
+
+type nodeDetour struct {
+	node   graph.NodeID
+	detour float64
+}
+
+// NewEngine validates the problem and precomputes all detour distances.
+func NewEngine(p *Problem) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Graph
+	shops := append([]graph.NodeID{p.Shop}, p.ExtraShops...)
+	toShops := make([]*graph.Tree, len(shops))   // d' = dist(v, shop)
+	fromShops := make([]*graph.Tree, len(shops)) // d'' = dist(shop, dest)
+	for i, s := range shops {
+		var err error
+		if toShops[i], err = g.ShortestTo(s); err != nil {
+			return nil, fmt.Errorf("core: to-shop tree %d: %w", s, err)
+		}
+		if fromShops[i], err = g.ShortestFrom(s); err != nil {
+			return nil, fmt.Errorf("core: from-shop tree %d: %w", s, err)
+		}
+	}
+	// d''' = dist(v, dest): one reverse tree per distinct destination.
+	destTrees := make(map[graph.NodeID]*graph.Tree)
+	for i := 0; i < p.Flows.Len(); i++ {
+		dest := p.Flows.At(i).Dest
+		if _, ok := destTrees[dest]; ok {
+			continue
+		}
+		t, err := g.ShortestTo(dest)
+		if err != nil {
+			return nil, fmt.Errorf("core: dest tree %d: %w", dest, err)
+		}
+		destTrees[dest] = t
+	}
+	e := &Engine{
+		p:         p,
+		visits:    make(map[graph.NodeID][]visit),
+		flowNodes: make([][]nodeDetour, p.Flows.Len()),
+		cands:     p.candidateList(),
+	}
+	for i := 0; i < p.Flows.Len(); i++ {
+		f := p.Flows.At(i)
+		toDest := destTrees[f.Dest]
+		seen := make(map[graph.NodeID]bool, len(f.Path))
+		nodes := make([]nodeDetour, 0, len(f.Path))
+		for pos, v := range f.Path {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			d := detourAt(toShops, fromShops, toDest, v, f.Dest)
+			nodes = append(nodes, nodeDetour{node: v, detour: d})
+			e.visits[v] = append(e.visits[v], visit{
+				flow:   int32(i),
+				pos:    int32(pos),
+				detour: d,
+			})
+		}
+		e.flowNodes[i] = nodes
+	}
+	return e, nil
+}
+
+// detourAt computes the paper's detour distance d = d' + d” - d”' for a
+// driver receiving the advertisement at node v while heading to dest. With
+// multiple shops the driver detours to the one minimizing d' + d” (the
+// paper's multi-shop extension). If no shop is reachable in both
+// directions, no detour exists and the result is +Inf.
+func detourAt(toShops, fromShops []*graph.Tree, toDest *graph.Tree, v, dest graph.NodeID) float64 {
+	dTriplePrime := toDest.Dist(v) // v -> dest
+	if math.IsInf(dTriplePrime, 1) {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for i := range toShops {
+		dPrime := toShops[i].Dist(v)            // v -> shop
+		dDoublePrime := fromShops[i].Dist(dest) // shop -> dest
+		if via := dPrime + dDoublePrime; via < best {
+			best = via
+		}
+	}
+	if math.IsInf(best, 1) {
+		return math.Inf(1)
+	}
+	d := best - dTriplePrime
+	if d < 0 {
+		// Triangle inequality guarantees d >= 0; tiny negatives are
+		// floating-point noise.
+		d = 0
+	}
+	return d
+}
+
+// Problem returns the instance the engine was built for.
+func (e *Engine) Problem() *Problem { return e.p }
+
+// Candidates returns the effective candidate list. The slice is shared and
+// must not be modified.
+func (e *Engine) Candidates() []graph.NodeID { return e.cands }
+
+// Detour returns the detour distance a driver of flow f incurs when
+// receiving the advertisement at node v, or +Inf if v is not on the flow's
+// path (no advertisement is received there).
+func (e *Engine) Detour(f int, v graph.NodeID) float64 {
+	for _, nd := range e.flowNodes[f] {
+		if nd.node == v {
+			return nd.detour
+		}
+	}
+	return math.Inf(1)
+}
+
+// FlowVisit is one (flow, detour) incidence at a node, exposed for external
+// solvers that need per-node flow scans (e.g. the Manhattan two-stage
+// greedy over straight flows).
+type FlowVisit struct {
+	// Flow indexes into the problem's flow set.
+	Flow int
+	// Detour is the detour distance a driver of that flow incurs when
+	// receiving the advertisement at the node.
+	Detour float64
+}
+
+// VisitsAt returns the flows passing through node v with their detours.
+func (e *Engine) VisitsAt(v graph.NodeID) []FlowVisit {
+	vis := e.visits[v]
+	out := make([]FlowVisit, len(vis))
+	for i, x := range vis {
+		out[i] = FlowVisit{Flow: int(x.flow), Detour: x.detour}
+	}
+	return out
+}
+
+// FlowDetour returns the effective detour of flow f under placement nodes:
+// the minimum detour over all placed RAPs on the flow's path (+Inf when the
+// flow passes no RAP). This realizes the paper's rule that redundant
+// advertisements add nothing: only the best RAP matters.
+func (e *Engine) FlowDetour(f int, nodes []graph.NodeID) float64 {
+	best := math.Inf(1)
+	for _, nd := range e.flowNodes[f] {
+		for _, p := range nodes {
+			if nd.node == p && nd.detour < best {
+				best = nd.detour
+			}
+		}
+	}
+	return best
+}
+
+// Evaluate computes the objective w(S): the expected number of drivers per
+// day who detour to the shop under placement nodes.
+func (e *Engine) Evaluate(nodes []graph.NodeID) float64 {
+	cur := e.newDetourState()
+	for _, v := range nodes {
+		cur.place(e, v)
+	}
+	return cur.total(e)
+}
+
+// StandaloneGain returns w({v}), the customers attracted by a single RAP at
+// v. Used by the MaxCustomers baseline and by upper bounds in the
+// exhaustive solver.
+func (e *Engine) StandaloneGain(v graph.NodeID) float64 {
+	var total float64
+	for _, vis := range e.visits[v] {
+		f := e.p.Flows.At(int(vis.flow))
+		total += e.p.Utility.Prob(vis.detour, f.Alpha) * f.Volume
+	}
+	return total
+}
+
+// detourState tracks the current minimum detour per flow during greedy
+// construction or evaluation.
+type detourState struct {
+	cur []float64 // per-flow minimum detour so far (+Inf = uncovered)
+}
+
+func (e *Engine) newDetourState() *detourState {
+	s := &detourState{cur: make([]float64, e.p.Flows.Len())}
+	for i := range s.cur {
+		s.cur[i] = math.Inf(1)
+	}
+	return s
+}
+
+// place updates the state with a RAP at v.
+func (s *detourState) place(e *Engine, v graph.NodeID) {
+	for _, vis := range e.visits[v] {
+		if vis.detour < s.cur[vis.flow] {
+			s.cur[vis.flow] = vis.detour
+		}
+	}
+}
+
+// total evaluates the objective for the current state.
+func (s *detourState) total(e *Engine) float64 {
+	var sum float64
+	for i, d := range s.cur {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		f := e.p.Flows.At(i)
+		sum += e.p.Utility.Prob(d, f.Alpha) * f.Volume
+	}
+	return sum
+}
+
+// marginalGain returns the objective increase from adding a RAP at v to the
+// current state, split into the uncovered-flow part (flows with no RAP yet)
+// and the covered-flow part (flows whose detour improves). These are the
+// two candidate objectives of Algorithm 2.
+func (s *detourState) marginalGain(e *Engine, v graph.NodeID) (uncovered, covered float64) {
+	u := e.p.Utility
+	for _, vis := range e.visits[v] {
+		curD := s.cur[vis.flow]
+		if vis.detour >= curD {
+			continue
+		}
+		f := e.p.Flows.At(int(vis.flow))
+		gain := u.Prob(vis.detour, f.Alpha) * f.Volume
+		if math.IsInf(curD, 1) {
+			uncovered += gain
+		} else {
+			covered += gain - u.Prob(curD, f.Alpha)*f.Volume
+		}
+	}
+	return uncovered, covered
+}

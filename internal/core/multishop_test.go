@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// Multi-shop extension: with a second shop at V5, the detour of T5,6 at V5
+// becomes 0 (the shop is on the way), while single-shop detours stay as in
+// Fig. 4.
+func TestMultiShopDetours(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 6})
+	p.ExtraShops = []graph.NodeID{4} // second branch at V5
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5,6 at V5: shop V5 is on the route, detour 0 (was 6).
+	if got := e.Detour(3, 4); got != 0 {
+		t.Errorf("T5,6 at V5 = %v, want 0", got)
+	}
+	// T5,6 at V6: nearest shop is V5: d(V6,V5)+d(V5,V6)-0 = 2 (was 8).
+	if got := e.Detour(3, 5); got != 2 {
+		t.Errorf("T5,6 at V6 = %v, want 2", got)
+	}
+	// T2,5 at V2: the branch at V5 sits on the destination itself, so the
+	// detour collapses to 0 (min over shops; via V1 it would be 2).
+	if got := e.Detour(0, 1); got != 0 {
+		t.Errorf("T2,5 at V2 = %v, want 0", got)
+	}
+	// T4,3 heads to V3; neither branch is on that route. Both branches
+	// cost the same from V4 (via V1: 1+2, via V5: 2+1), so the detour
+	// stays 2.
+	if got := e.Detour(1, 3); got != 2 {
+		t.Errorf("T4,3 at V4 = %v, want 2", got)
+	}
+	// T2,5 at V5 (destination): shop V5 at destination: detour 0 (was 6).
+	if got := e.Detour(0, 4); got != 0 {
+		t.Errorf("T2,5 at V5 = %v, want 0", got)
+	}
+}
+
+// Adding a shop can only lower detours, so any placement attracts at least
+// as many customers.
+func TestMultiShopMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		p1 := randomProblem(t, rng, 30, 15, 4, utility.Linear{D: 80})
+		e1, err := NewEngine(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := *p1
+		p2.ExtraShops = []graph.NodeID{
+			graph.NodeID(rng.Intn(30)),
+			graph.NodeID(rng.Intn(30)),
+		}
+		e2, err := NewEngine(&p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := []graph.NodeID{
+			graph.NodeID(rng.Intn(30)),
+			graph.NodeID(rng.Intn(30)),
+			graph.NodeID(rng.Intn(30)),
+		}
+		if e2.Evaluate(nodes) < e1.Evaluate(nodes)-1e-9 {
+			t.Fatalf("trial %d: extra shop reduced attraction: %v < %v",
+				trial, e2.Evaluate(nodes), e1.Evaluate(nodes))
+		}
+		// Per-flow detours never increase.
+		for f := 0; f < p1.Flows.Len(); f++ {
+			for _, v := range p1.Flows.At(f).Path {
+				if e2.Detour(f, v) > e1.Detour(f, v)+1e-9 {
+					t.Fatalf("trial %d: detour increased with extra shops", trial)
+				}
+			}
+		}
+	}
+}
+
+// A duplicate shop changes nothing.
+func TestMultiShopDuplicateIsNoop(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 6})
+	p.ExtraShops = []graph.NodeID{p.Shop}
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Evaluate([]graph.NodeID{1, 3}); math.Abs(got-8) > 1e-9 {
+		t.Errorf("w({V2,V4}) = %v, want 8", got)
+	}
+}
+
+func TestMultiShopValidation(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 6})
+	p.ExtraShops = []graph.NodeID{99}
+	if err := p.Validate(); !errors.Is(err, ErrBadShop) {
+		t.Errorf("bad extra shop: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadside/internal/graph"
+)
+
+// ErrNoFlow is returned by Plan for an out-of-range flow index.
+var ErrNoFlow = errors.New("core: no such flow")
+
+// DrivePlan materializes what a driver of one flow actually drives under a
+// placement: the original route up to the detour point, the side trip to
+// the shop, and the continuation to the destination. It is what a
+// deployment would feed to a navigation layer, and it turns the abstract
+// objective into inspectable routes.
+type DrivePlan struct {
+	// Flow indexes the flow in the problem's set.
+	Flow int
+	// Detours reports whether the driver diverts to the shop at all
+	// (a RAP on the route with finite detour and positive probability).
+	Detours bool
+	// RAP is the intersection whose advertisement wins the driver
+	// (minimum detour among placed RAPs on the route), or Invalid.
+	RAP graph.NodeID
+	// Shop is the branch the driver diverts to (the one minimizing
+	// d' + d''), or Invalid when not detouring.
+	Shop graph.NodeID
+	// Detour is the extra distance driven, +Inf when no RAP covers the
+	// flow.
+	Detour float64
+	// Prob is the detour probability f(detour) * alpha.
+	Prob float64
+	// Path is the full driven node sequence. Without a detour it is the
+	// flow's original route; with one it passes through the shop.
+	Path []graph.NodeID
+}
+
+// Plan computes the drive plan of flow f under the placement nodes.
+//
+// The detour point is the placed RAP with the minimum detour (per the
+// paper's rule that redundant advertisements add nothing; on shortest-path
+// routes this is also the first RAP encountered, Theorem 1). The side trip
+// uses shortest paths to and from the chosen shop branch.
+func (e *Engine) Plan(f int, nodes []graph.NodeID) (*DrivePlan, error) {
+	if f < 0 || f >= e.p.Flows.Len() {
+		return nil, fmt.Errorf("%w: %d", ErrNoFlow, f)
+	}
+	fl := e.p.Flows.At(f)
+	plan := &DrivePlan{
+		Flow:   f,
+		RAP:    graph.Invalid,
+		Shop:   graph.Invalid,
+		Detour: math.Inf(1),
+	}
+	// Find the minimum-detour placed RAP on the route.
+	for _, nd := range e.flowNodes[f] {
+		for _, v := range nodes {
+			if nd.node == v && nd.detour < plan.Detour {
+				plan.Detour = nd.detour
+				plan.RAP = v
+			}
+		}
+	}
+	if plan.RAP == graph.Invalid {
+		plan.Path = append([]graph.NodeID(nil), fl.Path...)
+		return plan, nil
+	}
+	plan.Prob = e.p.Utility.Prob(plan.Detour, fl.Alpha)
+	if plan.Prob <= 0 {
+		// Covered but unattracted: the driver keeps the original route.
+		plan.Path = append([]graph.NodeID(nil), fl.Path...)
+		return plan, nil
+	}
+	plan.Detours = true
+	// Choose the branch minimizing d(v, shop) + d(shop, dest).
+	shops := append([]graph.NodeID{e.p.Shop}, e.p.ExtraShops...)
+	bestShop := graph.Invalid
+	bestVia := math.Inf(1)
+	for _, s := range shops {
+		toShop, err := e.p.Graph.ShortestTo(s)
+		if err != nil {
+			return nil, err
+		}
+		fromShop, err := e.p.Graph.ShortestFrom(s)
+		if err != nil {
+			return nil, err
+		}
+		if via := toShop.Dist(plan.RAP) + fromShop.Dist(fl.Dest); via < bestVia {
+			bestVia, bestShop = via, s
+		}
+	}
+	plan.Shop = bestShop
+	// Assemble: original prefix up to (and including) the RAP, then
+	// RAP -> shop -> destination via shortest paths.
+	prefixEnd := -1
+	for i, v := range fl.Path {
+		if v == plan.RAP {
+			prefixEnd = i
+			break
+		}
+	}
+	if prefixEnd < 0 {
+		return nil, fmt.Errorf("core: internal: RAP %d not on flow %d path", plan.RAP, f)
+	}
+	path := append([]graph.NodeID(nil), fl.Path[:prefixEnd+1]...)
+	toShopSeg, _, err := e.p.Graph.ShortestPath(plan.RAP, bestShop)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan to-shop leg: %w", err)
+	}
+	fromShopSeg, _, err := e.p.Graph.ShortestPath(bestShop, fl.Dest)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan from-shop leg: %w", err)
+	}
+	path = append(path, toShopSeg[1:]...)
+	path = append(path, fromShopSeg[1:]...)
+	plan.Path = path
+	return plan, nil
+}
+
+// PlanAll computes drive plans for every flow under the placement and
+// returns them together with the expected number of detouring drivers
+// (which equals Evaluate(nodes)).
+func (e *Engine) PlanAll(nodes []graph.NodeID) ([]*DrivePlan, float64, error) {
+	plans := make([]*DrivePlan, 0, e.p.Flows.Len())
+	var expected float64
+	for f := 0; f < e.p.Flows.Len(); f++ {
+		plan, err := e.Plan(f, nodes)
+		if err != nil {
+			return nil, 0, err
+		}
+		plans = append(plans, plan)
+		expected += plan.Prob * e.p.Flows.At(f).Volume
+	}
+	return plans, expected, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+func TestPlanFig4(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement {V2, V4}: T2,5 detours at V2 (detour 2, prob 2/3).
+	plan, err := e.Plan(0, []graph.NodeID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Detours || plan.RAP != 1 || plan.Shop != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Detour != 2 || math.Abs(plan.Prob-2.0/3) > 1e-9 {
+		t.Errorf("detour %v prob %v", plan.Detour, plan.Prob)
+	}
+	// The driven path is V2 V1 V2 V3 V5 per the paper's walkthrough.
+	want := []graph.NodeID{1, 0, 1, 2, 4}
+	if len(plan.Path) != len(want) {
+		t.Fatalf("path = %v, want %v", plan.Path, want)
+	}
+	for i := range want {
+		if plan.Path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", plan.Path, want)
+		}
+	}
+	// Driven length = original (2) + detour (2).
+	l, err := e.p.Graph.PathLength(plan.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 4 {
+		t.Errorf("driven length %v, want 4", l)
+	}
+}
+
+func TestPlanNoCoverage(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5,6 with no RAP on its route keeps the original path.
+	plan, err := e.Plan(3, []graph.NodeID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Detours || plan.RAP != graph.Invalid || !math.IsInf(plan.Detour, 1) {
+		t.Errorf("plan = %+v", plan)
+	}
+	if len(plan.Path) != 2 || plan.Path[0] != 4 || plan.Path[1] != 5 {
+		t.Errorf("path = %v", plan.Path)
+	}
+}
+
+func TestPlanCoveredButUnattracted(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5,6 covered at V5 with detour 6 -> prob 0 under the linear
+	// utility: the driver receives the ad but keeps the route.
+	plan, err := e.Plan(3, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Detours {
+		t.Error("zero-probability coverage should not detour")
+	}
+	if plan.RAP != 4 || plan.Detour != 6 || plan.Prob != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	e, err := NewEngine(fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Plan(-1, nil); !errors.Is(err, ErrNoFlow) {
+		t.Errorf("negative flow: %v", err)
+	}
+	if _, err := e.Plan(99, nil); !errors.Is(err, ErrNoFlow) {
+		t.Errorf("big flow: %v", err)
+	}
+}
+
+// Properties on random instances: plans are valid walks; driven length =
+// original + detour for detouring drivers; PlanAll's expectation equals
+// Evaluate.
+func TestPlanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 30, 15, 4, utility.Linear{D: 120})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := GreedyCombined(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, expected, err := e.PlanAll(pl.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(expected-pl.Attracted) > 1e-6 {
+			t.Fatalf("trial %d: PlanAll %v != Evaluate %v", trial, expected, pl.Attracted)
+		}
+		for _, plan := range plans {
+			l, err := p.Graph.PathLength(plan.Path)
+			if err != nil {
+				t.Fatalf("trial %d flow %d: invalid driven path: %v", trial, plan.Flow, err)
+			}
+			orig, err := p.Flows.At(plan.Flow).Length(p.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Detours {
+				if math.Abs(l-(orig+plan.Detour)) > 1e-6 {
+					t.Fatalf("trial %d flow %d: driven %v != original %v + detour %v",
+						trial, plan.Flow, l, orig, plan.Detour)
+				}
+				// Path passes through the shop branch.
+				found := false
+				for _, v := range plan.Path {
+					if v == plan.Shop {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d flow %d: shop missing from path", trial, plan.Flow)
+				}
+			} else if math.Abs(l-orig) > 1e-9 {
+				t.Fatalf("trial %d flow %d: non-detour path changed", trial, plan.Flow)
+			}
+			// Endpoints preserved.
+			fl := p.Flows.At(plan.Flow)
+			if plan.Path[0] != fl.Origin || plan.Path[len(plan.Path)-1] != fl.Dest {
+				t.Fatalf("trial %d flow %d: endpoints changed", trial, plan.Flow)
+			}
+		}
+	}
+}
+
+// With multiple shops the plan diverts to the branch minimizing the side
+// trip.
+func TestPlanMultiShop(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 6})
+	p.ExtraShops = []graph.NodeID{4} // branch at V5
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5,6 covered at V5: the branch at V5 is free (detour 0).
+	plan, err := e.Plan(3, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Detours || plan.Shop != 4 || plan.Detour != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+	if l, _ := p.Graph.PathLength(plan.Path); l != 1 {
+		t.Errorf("driven length %v, want 1 (no extra distance)", l)
+	}
+}

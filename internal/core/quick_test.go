@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// Property: Evaluate is invariant under permutation and duplication of the
+// placement nodes — only the *set* of RAPs matters.
+func TestEvaluateSetSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(t, rng, 25, 12, 1, utility.Linear{D: 90})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]graph.NodeID, 5)
+		for i := range nodes {
+			nodes[i] = graph.NodeID(rng.Intn(25))
+		}
+		base := e.Evaluate(nodes)
+		shuffled := append([]graph.NodeID(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := e.Evaluate(shuffled); math.Abs(got-base) > 1e-9 {
+			t.Fatalf("trial %d: permutation changed value %v -> %v", trial, base, got)
+		}
+		duplicated := append(append([]graph.NodeID(nil), nodes...), nodes...)
+		if got := e.Evaluate(duplicated); math.Abs(got-base) > 1e-9 {
+			t.Fatalf("trial %d: duplication changed value %v -> %v", trial, base, got)
+		}
+	}
+}
+
+// Property: the incremental State agrees with batch Evaluate at every
+// prefix, and its marginal gains are exactly the value deltas.
+func TestStateMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	for trial := 0; trial < 15; trial++ {
+		var u utility.Function
+		switch trial % 3 {
+		case 0:
+			u = utility.Threshold{D: 70}
+		case 1:
+			u = utility.Linear{D: 70}
+		default:
+			u = utility.Sqrt{D: 70}
+		}
+		p := randomProblem(t, rng, 25, 12, 1, u)
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := e.NewState()
+		var placed []graph.NodeID
+		for step := 0; step < 6; step++ {
+			v := graph.NodeID(rng.Intn(25))
+			before := st.Value()
+			gain := st.Place(v)
+			placed = append(placed, v)
+			after := st.Value()
+			if math.Abs(before+gain-after) > 1e-9 {
+				t.Fatalf("trial %d: gain %v inconsistent (%v -> %v)",
+					trial, gain, before, after)
+			}
+			if math.Abs(after-e.Evaluate(placed)) > 1e-9 {
+				t.Fatalf("trial %d: state %v != Evaluate %v", trial, after, e.Evaluate(placed))
+			}
+		}
+		// Clone independence.
+		cl := st.Clone()
+		cl.Place(graph.NodeID(rng.Intn(25)))
+		if math.Abs(st.Value()-e.Evaluate(placed)) > 1e-9 {
+			t.Fatalf("trial %d: Clone mutated the original state", trial)
+		}
+	}
+}
+
+// Property: Gain's uncovered+covered split sums to Place's marginal gain
+// and never reports negative components.
+func TestGainSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 20, 10, 1, utility.Linear{D: 80})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := e.NewState()
+		for step := 0; step < 8; step++ {
+			v := graph.NodeID(rng.Intn(20))
+			un, cov := st.Gain(v)
+			if un < -1e-12 || cov < -1e-12 {
+				t.Fatalf("trial %d: negative gain component (%v, %v)", trial, un, cov)
+			}
+			gain := st.Place(v)
+			if math.Abs(gain-(un+cov)) > 1e-9 {
+				t.Fatalf("trial %d: split %v+%v != gain %v", trial, un, cov, gain)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "roadside/internal/graph"
+
+// State is an incremental placement-evaluation state exposed for external
+// solvers (the exhaustive optimum, the Manhattan two-stage algorithms). It
+// tracks each flow's current best detour so that adding one RAP and
+// measuring its marginal gain is O(flows through the node) instead of a
+// full re-evaluation.
+type State struct {
+	e *Engine
+	s *detourState
+}
+
+// NewState returns a fresh state with no RAPs placed.
+func (e *Engine) NewState() *State {
+	return &State{e: e, s: e.newDetourState()}
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	cp := &detourState{cur: append([]float64(nil), st.s.cur...)}
+	return &State{e: st.e, s: cp}
+}
+
+// Place adds a RAP at v and returns the marginal objective gain.
+func (st *State) Place(v graph.NodeID) float64 {
+	u, c := st.s.marginalGain(st.e, v)
+	st.s.place(st.e, v)
+	return u + c
+}
+
+// Gain returns the marginal gain of placing a RAP at v without mutating
+// the state, split into the uncovered-flow and covered-flow components
+// (Algorithm 2's two candidate objectives).
+func (st *State) Gain(v graph.NodeID) (uncovered, covered float64) {
+	return st.s.marginalGain(st.e, v)
+}
+
+// Value returns the objective of the current placement.
+func (st *State) Value() float64 { return st.s.total(st.e) }

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/classify"
+)
+
+// Ablation compares the paper's composite greedy (Algorithm 2) against its
+// design alternatives on the same instances:
+//
+//   - algorithm1: the coverage factor alone (candidate i only) — the
+//     single-factor greedy the paper argues is insufficient;
+//   - combined: one objective summing both factors, whose per-step gain
+//     dominates both of Algorithm 2's candidates;
+//   - lazy: the combined greedy with lazy evaluation (identical output,
+//     fewer marginal-gain evaluations);
+//   - maxcustomers: the strongest baseline, as a reference point.
+//
+// The result quantifies DESIGN.md's ablation questions: how much the
+// overlap factor matters, and whether the two-candidate rule loses anything
+// against the combined rule.
+func Ablation(opts FigureOptions) (*Result, error) {
+	cfg := GeneralConfig{
+		City:        "dublin",
+		UtilityName: "linear",
+		D:           20_000,
+		ShopClass:   classify.City,
+		Ks:          opts.ks(),
+		Trials:      opts.trials(50),
+		Seed:        opts.seed(),
+		Routes:      opts.routes(),
+		Algorithms: []string{
+			AlgoAlgorithm2, AlgoCombined, AlgoLazy, AlgoAlgorithm1, AlgoMaxCustomers,
+		},
+	}
+	r, err := RunGeneral(cfg,
+		"ablation",
+		"Dublin, linear utility, shop in city, D=20000ft — greedy design ablation")
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	r, err := Ablation(FigureOptions{Quick: true, Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 5 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// Combined and lazy must match exactly (same algorithm, different
+	// evaluation strategy) and dominate the single-factor algorithm1
+	// under the decreasing utility.
+	comb := r.SeriesByAlgo(AlgoCombined)
+	lazy := r.SeriesByAlgo(AlgoLazy)
+	a1 := r.SeriesByAlgo(AlgoAlgorithm1)
+	a2 := r.SeriesByAlgo(AlgoAlgorithm2)
+	if comb == nil || lazy == nil || a1 == nil || a2 == nil {
+		t.Fatal("missing series")
+	}
+	for i := range comb.Points {
+		if math.Abs(comb.Points[i].Mean-lazy.Points[i].Mean) > 1e-6 {
+			t.Errorf("k=%d: combined %v != lazy %v",
+				comb.Points[i].K, comb.Points[i].Mean, lazy.Points[i].Mean)
+		}
+		if comb.Points[i].Mean < a1.Points[i].Mean-1e-9 {
+			t.Errorf("k=%d: combined below single-factor greedy", comb.Points[i].K)
+		}
+		// Algorithm 2 should track the combined greedy closely (both
+		// carry guarantees); allow a small slack for composite-rule ties.
+		if a2.Points[i].Mean < 0.9*comb.Points[i].Mean {
+			t.Errorf("k=%d: algorithm2 %v far below combined %v",
+				a2.Points[i].K, a2.Points[i].Mean, comb.Points[i].Mean)
+		}
+	}
+}
+
+func TestRunRatios(t *testing.T) {
+	res, err := RunRatios(RatioConfig{Trials: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Min < row.Bound {
+			t.Errorf("%s: min ratio %v below bound %v", row.Algo, row.Min, row.Bound)
+		}
+		if row.Mean < row.Min || row.Mean > 1+1e-9 {
+			t.Errorf("%s: mean %v out of range", row.Algo, row.Mean)
+		}
+		if row.Trials != 12 {
+			t.Errorf("%s: trials = %d", row.Algo, row.Trials)
+		}
+	}
+	table := res.Table()
+	if !strings.Contains(table, "algorithm2") || !strings.Contains(table, "bound") {
+		t.Errorf("table incomplete:\n%s", table)
+	}
+}
+
+func TestRunRatiosDefaults(t *testing.T) {
+	// Zero-valued config gets defaults; just run a tiny sanity pass.
+	res, err := RunRatios(RatioConfig{Trials: 3, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

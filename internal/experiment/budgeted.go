@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/classify"
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/stats"
+	"roadside/internal/utility"
+)
+
+// Budgeted runs the budgeted-placement extension study on the Dublin
+// substrate: the same spend budget under two cost models —
+//
+//   - uniform: every intersection costs 1 unit, so a budget of B buys
+//     exactly B RAPs (the paper's count-constrained problem);
+//   - rent: an intersection's cost grows with its passing traffic
+//     (1 + 3 * volume / maxVolume), modeling real-world rents, so the
+//     budget buys fewer but cheaper spots.
+//
+// The result reuses the Result shape with the budget on the k axis; the
+// series are the two cost models plus the count-k greedy reference.
+func Budgeted(opts FigureOptions) (*Result, error) {
+	cfg := GeneralConfig{
+		City:        "dublin",
+		UtilityName: "linear",
+		D:           20_000,
+		ShopClass:   classify.City,
+		Trials:      opts.trials(30),
+		Seed:        opts.seed(),
+		Routes:      opts.routes(),
+	}
+	inst, err := BuildInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	u := utility.Linear{D: cfg.D}
+	budgets := []int{2, 4, 6, 8, 10, 12}
+	if opts.Quick {
+		budgets = []int{2, 6, 10}
+	}
+	series := []string{"uniform-cost", "traffic-rent", "count-greedy"}
+	values := make(map[string][][]float64, len(series))
+	for _, s := range series {
+		values[s] = make([][]float64, len(budgets))
+	}
+	maxBudget := budgets[len(budgets)-1]
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := stats.NewRand(cfg.Seed, 9000+trial)
+		shop, err := inst.Classification.Sample(cfg.ShopClass, rng)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.NewEngine(&core.Problem{
+			Graph:   inst.City.Graph,
+			Shop:    shop,
+			Flows:   inst.Flows,
+			Utility: u,
+			K:       maxBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Rent model costs.
+		maxVol := 0.0
+		for v := 0; v < inst.City.Graph.NumNodes(); v++ {
+			if vol := inst.Flows.NodeVolume(graph.NodeID(v)); vol > maxVol {
+				maxVol = vol
+			}
+		}
+		rent := make(map[graph.NodeID]float64, inst.City.Graph.NumNodes())
+		for v := 0; v < inst.City.Graph.NumNodes(); v++ {
+			rent[graph.NodeID(v)] = 1 + 3*inst.Flows.NodeVolume(graph.NodeID(v))/maxVol
+		}
+		uniform := core.UniformCosts(e, 1)
+		countPl, err := core.GreedyCombined(e)
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range budgets {
+			up, err := core.BudgetedGreedy(e, &core.BudgetedProblem{
+				Costs: uniform, Budget: float64(b),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rp, err := core.BudgetedGreedy(e, &core.BudgetedProblem{
+				Costs: rent, Budget: float64(b),
+			})
+			if err != nil {
+				return nil, err
+			}
+			n := b
+			if n > len(countPl.Nodes) {
+				n = len(countPl.Nodes)
+			}
+			values["uniform-cost"][bi] = append(values["uniform-cost"][bi], up.Attracted)
+			values["traffic-rent"][bi] = append(values["traffic-rent"][bi], rp.Attracted)
+			values["count-greedy"][bi] = append(values["count-greedy"][bi],
+				e.Evaluate(countPl.Nodes[:n]))
+		}
+	}
+	res, err := assemble("budgeted",
+		"Dublin, linear utility, shop in city — budgeted placement (x axis = budget)",
+		series, budgets, cfg.Trials, values)
+	if err != nil {
+		return nil, fmt.Errorf("budgeted: %w", err)
+	}
+	return res, nil
+}

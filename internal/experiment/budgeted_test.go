@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBudgetedStudy(t *testing.T) {
+	r, err := Budgeted(FigureOptions{Quick: true, Trials: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	uniform := r.SeriesByAlgo("uniform-cost")
+	rent := r.SeriesByAlgo("traffic-rent")
+	count := r.SeriesByAlgo("count-greedy")
+	if uniform == nil || rent == nil || count == nil {
+		t.Fatal("missing series")
+	}
+	for i := range uniform.Points {
+		b := uniform.Points[i].K
+		// Unit costs with budget B buy exactly B RAPs: the uniform
+		// budgeted greedy matches the count greedy's value.
+		if math.Abs(uniform.Points[i].Mean-count.Points[i].Mean) > 1e-6 {
+			t.Errorf("budget %d: uniform %v != count %v",
+				b, uniform.Points[i].Mean, count.Points[i].Mean)
+		}
+		// The rent model pays more per productive intersection, so it
+		// should not meaningfully beat the uniform model at the same
+		// budget (tiny slack: both solvers are greedy, not optimal).
+		if rent.Points[i].Mean > uniform.Points[i].Mean*1.02+1e-9 {
+			t.Errorf("budget %d: rent %v above uniform %v",
+				b, rent.Points[i].Mean, uniform.Points[i].Mean)
+		}
+		// Means grow with budget.
+		if i > 0 && uniform.Points[i].Mean < uniform.Points[i-1].Mean-1e-9 {
+			t.Errorf("uniform not monotone in budget")
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"roadside/internal/classify"
+	"roadside/internal/core"
+	"roadside/internal/stats"
+	"roadside/internal/utility"
+)
+
+func quickGeneral(city string, utilityName string, d float64) GeneralConfig {
+	return GeneralConfig{
+		City:        city,
+		UtilityName: utilityName,
+		D:           d,
+		ShopClass:   classify.City,
+		Ks:          []int{1, 3, 5},
+		Trials:      4,
+		Seed:        7,
+		Routes:      50,
+	}
+}
+
+func TestRunGeneralStructure(t *testing.T) {
+	cfg := quickGeneral("dublin", "linear", 20_000)
+	r, err := RunGeneral(cfg, "test", "structure test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 5 {
+		t.Fatalf("series = %d, want 5 (default algorithms)", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: %d points", s.Algo, len(s.Points))
+		}
+		prev := -1.0
+		for _, p := range s.Points {
+			if math.IsNaN(p.Mean) || p.Mean < 0 {
+				t.Fatalf("%s k=%d: mean %v", s.Algo, p.K, p.Mean)
+			}
+			// More RAPs cannot attract fewer customers on average for
+			// nested-placement algorithms.
+			if p.Mean < prev-1e-9 {
+				t.Fatalf("%s: mean decreases with k", s.Algo)
+			}
+			prev = p.Mean
+		}
+	}
+	// The greedy dominates every baseline at every k.
+	greedy := r.SeriesByAlgo(AlgoAlgorithm2)
+	if greedy == nil {
+		t.Fatal("algorithm2 series missing")
+	}
+	for _, s := range r.Series[1:] {
+		for pi := range greedy.Points {
+			if greedy.Points[pi].Mean < s.Points[pi].Mean-1e-9 {
+				t.Errorf("algorithm2 below %s at k=%d", s.Algo, s.Points[pi].K)
+			}
+		}
+	}
+}
+
+func TestRunGeneralDeterminism(t *testing.T) {
+	cfg := quickGeneral("seattle", "threshold", 2_500)
+	a, err := RunGeneral(cfg, "d1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGeneral(cfg, "d1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Points {
+			if a.Series[i].Points[j] != b.Series[i].Points[j] {
+				t.Fatalf("non-deterministic at series %d point %d", i, j)
+			}
+		}
+	}
+}
+
+// The nested-prefix optimization must agree with independent per-k runs.
+func TestPrefixEqualsIndependentRuns(t *testing.T) {
+	inst, err := BuildInstance(quickGeneral("dublin", "linear", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(7, 99)
+	shop, err := inst.Classification.Sample(classify.City, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := utility.Linear{D: 20_000}
+	build := func(k int) *core.Engine {
+		e, err := core.NewEngine(&core.Problem{
+			Graph: inst.City.Graph, Shop: shop, Flows: inst.Flows, Utility: u, K: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	big := build(6)
+	pl6, err := core.Algorithm2(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		small := build(k)
+		plK, err := core.Algorithm2(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(big.Evaluate(pl6.Nodes[:k])-plK.Attracted) > 1e-9 {
+			t.Fatalf("k=%d: prefix %v != independent %v",
+				k, big.Evaluate(pl6.Nodes[:k]), plK.Attracted)
+		}
+	}
+}
+
+func TestRunGeneralValidation(t *testing.T) {
+	bad := quickGeneral("dublin", "linear", 20_000)
+	bad.Ks = []int{3, 2}
+	if _, err := RunGeneral(bad, "x", ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("decreasing Ks: %v", err)
+	}
+	bad = quickGeneral("dublin", "linear", 20_000)
+	bad.Ks = []int{0, 2}
+	if _, err := RunGeneral(bad, "x", ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("k=0: %v", err)
+	}
+	bad = quickGeneral("atlantis", "linear", 20_000)
+	if _, err := RunGeneral(bad, "x", ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown city: %v", err)
+	}
+	bad = quickGeneral("dublin", "cubic", 20_000)
+	if _, err := RunGeneral(bad, "x", ""); err == nil {
+		t.Error("unknown utility accepted")
+	}
+	bad = quickGeneral("dublin", "linear", 20_000)
+	bad.Algorithms = []string{AlgoAlgorithm3}
+	if _, err := RunGeneral(bad, "x", ""); !errors.Is(err, ErrUnknown) {
+		t.Errorf("manhattan-only algorithm: %v", err)
+	}
+	bad = quickGeneral("dublin", "linear", 20_000)
+	bad.Algorithms = []string{"oracle"}
+	if _, err := RunGeneral(bad, "x", ""); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+}
+
+func TestRunManhattanStructure(t *testing.T) {
+	cfg := ManhattanConfig{
+		N:           11,
+		UtilityName: "threshold",
+		D:           2_500,
+		Ks:          []int{1, 5, 7},
+		Trials:      3,
+		Seed:        11,
+		Flows:       40,
+	}
+	r, err := RunManhattan(cfg, "m", "manhattan structure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 5 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	alg3 := r.SeriesByAlgo(AlgoAlgorithm3)
+	if alg3 == nil {
+		t.Fatal("algorithm3 missing")
+	}
+	for _, p := range alg3.Points {
+		if p.Mean <= 0 {
+			t.Errorf("k=%d: mean %v", p.K, p.Mean)
+		}
+	}
+	rnd := r.SeriesByAlgo(AlgoRandom)
+	// Algorithm 3 beats Random at the largest budget on average.
+	if alg3.Points[2].Mean < rnd.Points[2].Mean {
+		t.Errorf("algorithm3 %v below random %v at k=7",
+			alg3.Points[2].Mean, rnd.Points[2].Mean)
+	}
+}
+
+func TestRunManhattanValidation(t *testing.T) {
+	if _, err := RunManhattan(ManhattanConfig{N: 10, D: 100, UtilityName: "linear"}, "x", ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("even N: %v", err)
+	}
+	if _, err := RunManhattan(ManhattanConfig{N: 11, D: 0, UtilityName: "linear"}, "x", ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero D: %v", err)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := quickGeneral("dublin", "threshold", 20_000)
+	cfg.Trials = 2
+	cfg.Ks = []int{1, 2}
+	r, err := RunGeneral(cfg, "fig-render", "render test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := r.Table()
+	if !strings.Contains(table, "fig-render") || !strings.Contains(table, "algorithm1") {
+		t.Errorf("table missing pieces:\n%s", table)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "figure,algo,k,mean,std,ci95\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 1+5*2 {
+		t.Errorf("csv rows = %d", got)
+	}
+	if _, err := r.MeanAt(AlgoAlgorithm1, 2); err != nil {
+		t.Errorf("MeanAt: %v", err)
+	}
+	if _, err := r.MeanAt("oracle", 2); err == nil {
+		t.Error("MeanAt unknown algo accepted")
+	}
+	if _, err := r.MeanAt(AlgoAlgorithm1, 99); err == nil {
+		t.Error("MeanAt unknown k accepted")
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	if _, err := Figure(9, FigureOptions{Quick: true}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("figure 9: %v", err)
+	}
+}
+
+// The paper's headline orderings, checked on quick runs: the utility
+// functions order threshold >= linear >= sqrt for the greedy algorithm,
+// and a larger D attracts more customers.
+func TestPaperShapeOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape orderings need full trials")
+	}
+	inst, err := BuildInstance(quickGeneral("dublin", "linear", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(utilityName string, d float64) *Result {
+		cfg := quickGeneral("dublin", utilityName, d)
+		cfg.Trials = 8
+		cfg.Algorithms = []string{AlgoAlgorithm2, AlgoRandom}
+		r, err := RunGeneralOn(inst, cfg, "shape", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	at := func(r *Result, algo string) float64 {
+		m, err := r.MeanAt(algo, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	th := run("threshold", 20_000)
+	li := run("linear", 20_000)
+	sq := run("sqrt", 20_000)
+	if !(at(th, AlgoAlgorithm2) >= at(li, AlgoAlgorithm2) &&
+		at(li, AlgoAlgorithm2) >= at(sq, AlgoAlgorithm2)) {
+		t.Errorf("utility ordering violated: th=%v li=%v sq=%v",
+			at(th, AlgoAlgorithm2), at(li, AlgoAlgorithm2), at(sq, AlgoAlgorithm2))
+	}
+	liSmallD := run("linear", 10_000)
+	if at(li, AlgoAlgorithm2) < at(liSmallD, AlgoAlgorithm2)-1e-9 {
+		t.Errorf("larger D attracted fewer customers: %v vs %v",
+			at(li, AlgoAlgorithm2), at(liSmallD, AlgoAlgorithm2))
+	}
+}

@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/classify"
+)
+
+// FigureOptions tunes a whole-figure run.
+type FigureOptions struct {
+	// Seed drives every randomized component (default 2015, the paper's
+	// publication year, purely as a memorable constant).
+	Seed int64
+	// Trials per sub-figure (default: harness defaults).
+	Trials int
+	// Quick shrinks the sweep for smoke tests: k in {1, 3, 5}, few
+	// trials, smaller demand.
+	Quick bool
+}
+
+func (o FigureOptions) seed() int64 {
+	if o.Seed == 0 {
+		return 2015
+	}
+	return o.Seed
+}
+
+func (o FigureOptions) ks() []int {
+	if o.Quick {
+		return []int{1, 3, 5}
+	}
+	return DefaultKs()
+}
+
+func (o FigureOptions) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return 5
+	}
+	return def
+}
+
+func (o FigureOptions) routes() int {
+	if o.Quick {
+		return 60
+	}
+	return 0 // default demand
+}
+
+// Fig10 reproduces Fig. 10: Dublin, shop in the city, D = 20,000 ft, three
+// utility functions. Sub-figure (a) uses the threshold utility with
+// Algorithm 1; (b) and (c) use the linear and sqrt decreasing utilities
+// with Algorithm 2.
+func Fig10(opts FigureOptions) ([]*Result, error) {
+	base := GeneralConfig{
+		City:      "dublin",
+		D:         20_000,
+		ShopClass: classify.City,
+		Ks:        opts.ks(),
+		Trials:    opts.trials(50),
+		Seed:      opts.seed(),
+		Routes:    opts.routes(),
+	}
+	inst, err := BuildInstance(base)
+	if err != nil {
+		return nil, err
+	}
+	subs := []struct {
+		name, title, utility string
+	}{
+		{"fig10a", "Dublin, threshold utility, shop in city, D=20000ft", "threshold"},
+		{"fig10b", "Dublin, decreasing utility i (linear), shop in city, D=20000ft", "linear"},
+		{"fig10c", "Dublin, decreasing utility ii (sqrt), shop in city, D=20000ft", "sqrt"},
+	}
+	results := make([]*Result, 0, len(subs))
+	for _, s := range subs {
+		cfg := base
+		cfg.UtilityName = s.utility
+		r, err := RunGeneralOn(inst, cfg, s.name, s.title)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Fig11 reproduces Fig. 11: Dublin, linear utility, shop location in
+// {center, city, suburb} x D in {20,000, 10,000} ft.
+func Fig11(opts FigureOptions) ([]*Result, error) {
+	base := GeneralConfig{
+		City:        "dublin",
+		UtilityName: "linear",
+		Ks:          opts.ks(),
+		Trials:      opts.trials(50),
+		Seed:        opts.seed(),
+		Routes:      opts.routes(),
+	}
+	inst, err := BuildInstance(base)
+	if err != nil {
+		return nil, err
+	}
+	classes := []struct {
+		tag string
+		cls classify.Class
+	}{
+		{"a", classify.Center},
+		{"b", classify.City},
+		{"c", classify.Suburb},
+	}
+	results := make([]*Result, 0, 6)
+	for _, c := range classes {
+		for _, d := range []float64{20_000, 10_000} {
+			cfg := base
+			cfg.ShopClass = c.cls
+			cfg.D = d
+			name := fmt.Sprintf("fig11%s-D%d", c.tag, int(d))
+			title := fmt.Sprintf("Dublin, linear utility, shop in %s, D=%.0fft", c.cls, d)
+			r, err := RunGeneralOn(inst, cfg, name, title)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// Fig12 reproduces Fig. 12: Seattle under the general scenario, shop in the
+// city, threshold and linear utilities, D in {2,500, 1,000} ft.
+func Fig12(opts FigureOptions) ([]*Result, error) {
+	base := GeneralConfig{
+		City:      "seattle",
+		ShopClass: classify.City,
+		Ks:        opts.ks(),
+		Trials:    opts.trials(50),
+		Seed:      opts.seed(),
+		Routes:    opts.routes(),
+	}
+	inst, err := BuildInstance(base)
+	if err != nil {
+		return nil, err
+	}
+	subs := []struct {
+		tag, utility string
+	}{
+		{"a", "threshold"},
+		{"b", "linear"},
+	}
+	results := make([]*Result, 0, 4)
+	for _, s := range subs {
+		for _, d := range []float64{2_500, 1_000} {
+			cfg := base
+			cfg.UtilityName = s.utility
+			cfg.D = d
+			name := fmt.Sprintf("fig12%s-D%d", s.tag, int(d))
+			title := fmt.Sprintf("Seattle general scenario, %s utility, shop in city, D=%.0fft",
+				s.utility, d)
+			r, err := RunGeneralOn(inst, cfg, name, title)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// Fig13 reproduces Fig. 13: Seattle-scale demand under the Manhattan grid
+// scenario, threshold and linear utilities, D in {2,500, 1,000} ft.
+// Algorithm 3 handles the threshold sub-figure and Algorithm 4 the linear
+// one, each against the four baselines on the grid-semantics engine.
+func Fig13(opts FigureOptions) ([]*Result, error) {
+	subs := []struct {
+		tag, utility string
+	}{
+		{"a", "threshold"},
+		{"b", "linear"},
+	}
+	// The physical block length stays at Seattle's ~500 ft while D varies,
+	// so a larger D region spans more streets and intercepts more demand
+	// (the paper's "D=2,500 attracts ~30% more" effect).
+	flowsPerLine := 20.0
+	if opts.Quick {
+		flowsPerLine = 8
+	}
+	results := make([]*Result, 0, 4)
+	for _, s := range subs {
+		for _, d := range []float64{2_500, 1_000} {
+			cfg := ManhattanConfig{
+				UtilityName:  s.utility,
+				D:            d,
+				Ks:           opts.ks(),
+				Trials:       opts.trials(30),
+				Seed:         opts.seed(),
+				FlowsPerLine: flowsPerLine,
+				BlockFeet:    250,
+			}
+			name := fmt.Sprintf("fig13%s-D%d", s.tag, int(d))
+			title := fmt.Sprintf("Seattle Manhattan-grid scenario, %s utility, D=%.0fft",
+				s.utility, d)
+			r, err := RunManhattan(cfg, name, title)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// Figure runs one numbered figure of the paper.
+func Figure(number int, opts FigureOptions) ([]*Result, error) {
+	switch number {
+	case 10:
+		return Fig10(opts)
+	case 11:
+		return Fig11(opts)
+	case 12:
+		return Fig12(opts)
+	case 13:
+		return Fig13(opts)
+	default:
+		return nil, fmt.Errorf("%w: figure %d (paper evaluates figures 10-13)",
+			ErrBadConfig, number)
+	}
+}

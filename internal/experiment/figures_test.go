@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// Quick end-to-end smoke runs for every figure, asserting the structural
+// invariants the renderers and docs rely on.
+func TestAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke runs")
+	}
+	opts := FigureOptions{Quick: true, Trials: 2, Seed: 3}
+	wantSubs := map[int]int{10: 3, 11: 6, 12: 4, 13: 4}
+	for fig, want := range wantSubs {
+		results, err := Figure(fig, opts)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if len(results) != want {
+			t.Fatalf("figure %d: %d sub-figures, want %d", fig, len(results), want)
+		}
+		names := map[string]bool{}
+		for _, r := range results {
+			if names[r.Name] {
+				t.Errorf("figure %d: duplicate name %s", fig, r.Name)
+			}
+			names[r.Name] = true
+			if len(r.Series) == 0 {
+				t.Fatalf("%s: no series", r.Name)
+			}
+			nPoints := len(r.Series[0].Points)
+			for _, s := range r.Series {
+				if len(s.Points) != nPoints {
+					t.Errorf("%s/%s: ragged points", r.Name, s.Algo)
+				}
+				for _, p := range s.Points {
+					if p.Mean < 0 || p.Std < 0 || p.CI95 < 0 {
+						t.Errorf("%s/%s k=%d: negative stat", r.Name, s.Algo, p.K)
+					}
+				}
+			}
+			if r.Table() == "" || r.CSV() == "" {
+				t.Errorf("%s: empty rendering", r.Name)
+			}
+		}
+	}
+}
+
+// The proposed algorithm equals MaxCustomers at k = 1 in every figure
+// (the paper notes MaxCustomers is optimal there and greedy's first pick
+// is the best singleton).
+func TestProposedEqualsMaxCustomersAtK1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke runs")
+	}
+	opts := FigureOptions{Quick: true, Trials: 3, Seed: 5}
+	results, err := Fig10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		proposed := r.Series[0]
+		mc := r.SeriesByAlgo(AlgoMaxCustomers)
+		if mc == nil {
+			t.Fatalf("%s: no maxcustomers", r.Name)
+		}
+		if diff := proposed.Points[0].Mean - mc.Points[0].Mean; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: k=1 proposed %v != maxcustomers %v",
+				r.Name, proposed.Points[0].Mean, mc.Points[0].Mean)
+		}
+	}
+}

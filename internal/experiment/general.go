@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/citygen"
+	"roadside/internal/classify"
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/stats"
+	"roadside/internal/trace"
+	"roadside/internal/utility"
+)
+
+// Instance is a prepared general-scenario world: a city, its traffic flows,
+// and the intersection classification. Building it is the expensive part of
+// an experiment, so it is shared across trials and figure variants.
+type Instance struct {
+	City           *citygen.City
+	Flows          *flow.Set
+	Classification *classify.Classification
+}
+
+// BuildInstance assembles the world for a config (ignoring its
+// utility/shop/k settings, which vary per sub-figure).
+func BuildInstance(cfg GeneralConfig) (*Instance, error) {
+	var (
+		city *citygen.City
+		err  error
+	)
+	passengers := cfg.PassengersPerBus
+	switch cfg.City {
+	case "dublin":
+		city, err = citygen.Dublin(cfg.Seed)
+		if passengers == 0 {
+			passengers = 100 // the paper's Dublin assumption
+		}
+	case "seattle":
+		city, err = citygen.Seattle(cfg.Seed)
+		if passengers == 0 {
+			passengers = 200 // the paper's Seattle assumption
+		}
+	default:
+		return nil, fmt.Errorf("%w: city %q", ErrBadConfig, cfg.City)
+	}
+	if err != nil {
+		return nil, err
+	}
+	demand := citygen.DefaultDemand()
+	if cfg.Routes > 0 {
+		demand.Routes = cfg.Routes
+	}
+	routes, err := citygen.GenerateRoutes(city, demand, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.001 // the paper's base shopping probability
+	}
+	var flows []flow.Flow
+	if cfg.UseTracePipeline {
+		recs, err := trace.Generate(city.Graph, routes, trace.DefaultGenConfig(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		matcher, err := trace.NewMatcher(city.Graph, trace.DefaultMatchConfig())
+		if err != nil {
+			return nil, err
+		}
+		journeys, err := matcher.Match(recs)
+		if err != nil {
+			return nil, err
+		}
+		flows, err = trace.AggregateFlows(journeys, passengers, alpha)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		flows, err = citygen.RoutesToFlows(routes, passengers, alpha)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fs, err := flow.NewSet(flows)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := classify.Classify(fs, city.Graph.NumNodes(), classify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{City: city, Flows: fs, Classification: cls}, nil
+}
+
+// RunGeneral executes a general-scenario experiment: for each trial a shop
+// is drawn from the configured intersection class, every algorithm is run
+// once at the largest budget, and its nested placements are evaluated at
+// every k. Results are averaged across trials.
+func RunGeneral(cfg GeneralConfig, name, title string) (*Result, error) {
+	inst, err := BuildInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunGeneralOn(inst, cfg, name, title)
+}
+
+// RunGeneralOn is RunGeneral against a pre-built instance, letting figure
+// groups share one city across sub-figures.
+func RunGeneralOn(inst *Instance, cfg GeneralConfig, name, title string) (*Result, error) {
+	if err := normalizeGeneral(&cfg); err != nil {
+		return nil, err
+	}
+	u, err := utility.ByName(cfg.UtilityName, cfg.D)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	maxK := cfg.Ks[len(cfg.Ks)-1]
+	// values[algo][kIndex] accumulates per-trial objective values.
+	values := make(map[string][][]float64, len(cfg.Algorithms))
+	for _, a := range cfg.Algorithms {
+		values[a] = make([][]float64, len(cfg.Ks))
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := stats.NewRand(cfg.Seed, 1000+trial)
+		shop, err := inst.Classification.Sample(cfg.ShopClass, rng)
+		if err != nil {
+			return nil, err
+		}
+		p := &core.Problem{
+			Graph:   inst.City.Graph,
+			Shop:    shop,
+			Flows:   inst.Flows,
+			Utility: u,
+			K:       maxK,
+		}
+		e, err := core.NewEngine(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range cfg.Algorithms {
+			pl, err := solveGeneral(algo, e, rng)
+			if err != nil {
+				return nil, err
+			}
+			for ki, k := range cfg.Ks {
+				n := k
+				if n > len(pl.Nodes) {
+					n = len(pl.Nodes)
+				}
+				values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes[:n]))
+			}
+		}
+	}
+	return assemble(name, title, cfg.Algorithms, cfg.Ks, cfg.Trials, values)
+}
+
+func normalizeGeneral(cfg *GeneralConfig) error {
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = DefaultKs()
+	}
+	for i := 1; i < len(cfg.Ks); i++ {
+		if cfg.Ks[i] <= cfg.Ks[i-1] {
+			return fmt.Errorf("%w: Ks must be strictly increasing", ErrBadConfig)
+		}
+	}
+	if cfg.Ks[0] < 1 {
+		return fmt.Errorf("%w: k >= 1", ErrBadConfig)
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 50
+	}
+	if len(cfg.Algorithms) == 0 {
+		greedy := AlgoAlgorithm2
+		if cfg.UtilityName == "threshold" {
+			greedy = AlgoAlgorithm1
+		}
+		cfg.Algorithms = []string{
+			greedy, AlgoMaxCustomers, AlgoMaxCardinality, AlgoMaxVehicles, AlgoRandom,
+		}
+	}
+	for _, a := range cfg.Algorithms {
+		if !prefixNested(a) {
+			return fmt.Errorf("%w: %q is Manhattan-only", ErrUnknown, a)
+		}
+	}
+	return nil
+}
+
+// assemble converts raw per-trial values to a Result.
+func assemble(name, title string, algos []string, ks []int, trials int, values map[string][][]float64) (*Result, error) {
+	res := &Result{Name: name, Title: title, Trials: trials}
+	for _, algo := range algos {
+		s := Series{Algo: algo, Points: make([]Point, 0, len(ks))}
+		for ki, k := range ks {
+			sum, err := stats.Summarize(values[algo][ki])
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s k=%d: %w", algo, k, err)
+			}
+			s.Points = append(s.Points, Point{
+				K: k, Mean: sum.Mean, Std: sum.Std, CI95: sum.CI95(),
+			})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/citygen"
+	"roadside/internal/core"
+	"roadside/internal/manhattan"
+	"roadside/internal/stats"
+	"roadside/internal/utility"
+)
+
+// RunManhattan executes a Manhattan-grid experiment (the paper's Fig. 13
+// setting): per trial a fresh crossing demand is drawn, the two-stage
+// solvers run per budget k (their placements are not nested), and the
+// general-purpose algorithms and baselines run on the grid-semantics
+// engine with the nested-prefix optimization.
+func RunManhattan(cfg ManhattanConfig, name, title string) (*Result, error) {
+	if err := normalizeManhattan(&cfg); err != nil {
+		return nil, err
+	}
+	u, err := utility.ByName(cfg.UtilityName, cfg.D)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	sc, err := manhattan.NewScenario(cfg.N, cfg.D/float64(cfg.N-1))
+	if err != nil {
+		return nil, err
+	}
+	demand := citygen.DefaultGridDemand()
+	if cfg.Flows > 0 {
+		demand.Flows = cfg.Flows
+	}
+	if cfg.FlowsPerLine > 0 {
+		// Crossing demand scales with the number of street lines spanning
+		// the region: a larger D region intercepts more city traffic.
+		demand.Flows = int(cfg.FlowsPerLine * float64(cfg.N))
+		if demand.Flows < 1 {
+			demand.Flows = 1
+		}
+	}
+	if cfg.Alpha > 0 {
+		demand.Alpha = cfg.Alpha
+	}
+	maxK := cfg.Ks[len(cfg.Ks)-1]
+	values := make(map[string][][]float64, len(cfg.Algorithms))
+	for _, a := range cfg.Algorithms {
+		values[a] = make([][]float64, len(cfg.Ks))
+	}
+	twoCfg := manhattan.Config{OptBudget: cfg.OptBudget}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		flows, err := citygen.GenerateGridFlows(sc, demand, stats.DeriveSeed(cfg.Seed, trial))
+		if err != nil {
+			return nil, err
+		}
+		e, err := sc.Engine(flows, u, maxK)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRand(cfg.Seed, 5000+trial)
+		for _, algo := range cfg.Algorithms {
+			switch algo {
+			case AlgoAlgorithm3, AlgoAlgorithm4:
+				for ki, k := range cfg.Ks {
+					var pl *core.Placement
+					if algo == AlgoAlgorithm3 {
+						pl, err = manhattan.Algorithm3(sc, flows, u, k, twoCfg)
+					} else {
+						pl, err = manhattan.Algorithm4(sc, flows, u, k, twoCfg)
+					}
+					if err != nil {
+						return nil, err
+					}
+					values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes))
+				}
+			default:
+				pl, err := solveGeneral(algo, e, rng)
+				if err != nil {
+					return nil, err
+				}
+				for ki, k := range cfg.Ks {
+					n := k
+					if n > len(pl.Nodes) {
+						n = len(pl.Nodes)
+					}
+					values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes[:n]))
+				}
+			}
+		}
+	}
+	return assemble(name, title, cfg.Algorithms, cfg.Ks, cfg.Trials, values)
+}
+
+func normalizeManhattan(cfg *ManhattanConfig) error {
+	if cfg.D <= 0 {
+		return fmt.Errorf("%w: D=%v", ErrBadConfig, cfg.D)
+	}
+	if cfg.N == 0 {
+		block := cfg.BlockFeet
+		if block <= 0 {
+			block = 500 // Seattle downtown block scale
+		}
+		// Closest odd dimension so (N-1) blocks span D at ~block feet.
+		n := int(cfg.D/block) + 1
+		if n%2 == 0 {
+			n++
+		}
+		if n < 3 {
+			n = 3
+		}
+		cfg.N = n
+	}
+	if cfg.N < 3 || cfg.N%2 == 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadConfig, cfg.N)
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = DefaultKs()
+	}
+	for i := 1; i < len(cfg.Ks); i++ {
+		if cfg.Ks[i] <= cfg.Ks[i-1] {
+			return fmt.Errorf("%w: Ks must be strictly increasing", ErrBadConfig)
+		}
+	}
+	if cfg.Ks[0] < 1 {
+		return fmt.Errorf("%w: k >= 1", ErrBadConfig)
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 30
+	}
+	if len(cfg.Algorithms) == 0 {
+		twoStage := AlgoAlgorithm4
+		if cfg.UtilityName == "threshold" {
+			twoStage = AlgoAlgorithm3
+		}
+		cfg.Algorithms = []string{
+			twoStage, AlgoMaxCustomers, AlgoMaxCardinality, AlgoMaxVehicles, AlgoRandom,
+		}
+	}
+	return nil
+}

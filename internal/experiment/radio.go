@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+
+	"roadside/internal/classify"
+	"roadside/internal/core"
+	"roadside/internal/sim"
+	"roadside/internal/stats"
+	"roadside/internal/utility"
+)
+
+// Radio runs the radio-range extension study on the Seattle substrate: a
+// fixed Algorithm-2 placement is re-evaluated under the simulator's
+// geometric contact model for increasing broadcast radii. Range zero is
+// the paper's intersection-contact model; larger ranges let RAPs reach
+// vehicles on nearby streets, a physical-layer effect the analytical model
+// abstracts away.
+//
+// The result reuses the Result shape with the radius (in feet) on the k
+// axis and two series: the expected customers under the contact model and
+// the contact rate in percent.
+func Radio(opts FigureOptions) (*Result, error) {
+	cfg := GeneralConfig{
+		City:        "seattle",
+		UtilityName: "linear",
+		D:           2_500,
+		ShopClass:   classify.City,
+		Trials:      opts.trials(20),
+		Seed:        opts.seed(),
+		Routes:      opts.routes(),
+	}
+	inst, err := BuildInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	u := utility.Linear{D: cfg.D}
+	// Seattle blocks are ~500 ft; sweep through two block lengths.
+	radii := []int{0, 250, 500, 750, 1000}
+	if opts.Quick {
+		radii = []int{0, 500, 1000}
+	}
+	series := []string{"expected-customers", "contact-rate-pct"}
+	values := make(map[string][][]float64, len(series))
+	for _, s := range series {
+		values[s] = make([][]float64, len(radii))
+	}
+	const k = 10
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := stats.NewRand(cfg.Seed, 11000+trial)
+		shop, err := inst.Classification.Sample(cfg.ShopClass, rng)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.NewEngine(&core.Problem{
+			Graph:   inst.City.Graph,
+			Shop:    shop,
+			Flows:   inst.Flows,
+			Utility: u,
+			K:       k,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl, err := core.Algorithm2(e)
+		if err != nil {
+			return nil, err
+		}
+		for ri, r := range radii {
+			res, err := sim.Run(e, pl.Nodes, sim.Config{
+				Days:           1,
+				Seed:           cfg.Seed,
+				RadioRangeFeet: float64(r),
+			})
+			if err != nil {
+				return nil, err
+			}
+			values["expected-customers"][ri] = append(values["expected-customers"][ri], res.Expected)
+			values["contact-rate-pct"][ri] = append(values["contact-rate-pct"][ri], 100*res.ContactRate)
+		}
+	}
+	res, err := assemble("radio",
+		"Seattle, linear utility, k=10 Algorithm 2 placement — radio range sweep (x axis = range ft)",
+		series, radii, cfg.Trials, values)
+	if err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
+	return res, nil
+}

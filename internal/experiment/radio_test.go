@@ -1,0 +1,36 @@
+package experiment
+
+import "testing"
+
+func TestRadioStudy(t *testing.T) {
+	r, err := Radio(FigureOptions{Quick: true, Trials: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := r.SeriesByAlgo("expected-customers")
+	contact := r.SeriesByAlgo("contact-rate-pct")
+	if expected == nil || contact == nil {
+		t.Fatal("missing series")
+	}
+	for i := range expected.Points {
+		if i > 0 {
+			// Both metrics are monotone in the radio range.
+			if expected.Points[i].Mean < expected.Points[i-1].Mean-1e-9 {
+				t.Errorf("expected customers decreased at range %d", expected.Points[i].K)
+			}
+			if contact.Points[i].Mean < contact.Points[i-1].Mean-1e-9 {
+				t.Errorf("contact rate decreased at range %d", contact.Points[i].K)
+			}
+		}
+		if contact.Points[i].Mean < 0 || contact.Points[i].Mean > 100 {
+			t.Errorf("contact rate %v out of range", contact.Points[i].Mean)
+		}
+	}
+	// A two-block radius must reach strictly more vehicles than pure
+	// intersection contact.
+	last := len(contact.Points) - 1
+	if contact.Points[last].Mean <= contact.Points[0].Mean {
+		t.Errorf("range sweep flat: %v -> %v",
+			contact.Points[0].Mean, contact.Points[last].Mean)
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table renders the result as an aligned text table: one row per k, one
+// column per algorithm, cells showing mean +/- 95% CI of attracted
+// customers per day.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s (%d trials)\n", r.Name, r.Title, r.Trials)
+	headers := make([]string, 0, len(r.Series)+1)
+	headers = append(headers, "k")
+	for _, s := range r.Series {
+		headers = append(headers, s.Algo)
+	}
+	rows := [][]string{headers}
+	if len(r.Series) > 0 {
+		for pi, p := range r.Series[0].Points {
+			row := make([]string, 0, len(headers))
+			row = append(row, strconv.Itoa(p.K))
+			for _, s := range r.Series {
+				pt := s.Points[pi]
+				row = append(row, fmt.Sprintf("%.2f ±%.2f", pt.Mean, pt.CI95))
+			}
+			rows = append(rows, row)
+		}
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the result as comma-separated values with a header row:
+// figure,algo,k,mean,std,ci95.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("figure,algo,k,mean,std,ci95\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s,%s,%d,%.6f,%.6f,%.6f\n",
+				r.Name, s.Algo, p.K, p.Mean, p.Std, p.CI95)
+		}
+	}
+	return sb.String()
+}
+
+// SeriesByAlgo returns the series for the named algorithm, or nil.
+func (r *Result) SeriesByAlgo(algo string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Algo == algo {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanAt returns the mean attracted customers of the named algorithm at
+// budget k, or an error if absent.
+func (r *Result) MeanAt(algo string, k int) (float64, error) {
+	s := r.SeriesByAlgo(algo)
+	if s == nil {
+		return 0, fmt.Errorf("%w: %q in %s", ErrUnknown, algo, r.Name)
+	}
+	for _, p := range s.Points {
+		if p.K == k {
+			return p.Mean, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: k=%d in %s", ErrBadConfig, k, r.Name)
+}

@@ -1,0 +1,195 @@
+package flow
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// lineGraph builds 0-1-2-...-(n-1) with unit two-way streets.
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, 2*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	for i := 0; i < n-1; i++ {
+		if err := b.AddStreet(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func path(ids ...graph.NodeID) []graph.NodeID { return ids }
+
+func TestNewFlow(t *testing.T) {
+	f, err := New("t01", path(0, 1, 2), 100, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Origin != 0 || f.Dest != 2 || f.Volume != 100 || f.Alpha != 0.001 {
+		t.Errorf("flow = %+v", f)
+	}
+	// The path is copied.
+	src := path(0, 1, 2)
+	f2, err := New("t02", src, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if f2.Path[0] != 0 {
+		t.Error("New aliases caller path")
+	}
+}
+
+func TestNewFlowErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		path   []graph.NodeID
+		volume float64
+		alpha  float64
+		err    error
+	}{
+		{"shortpath", path(3), 1, 1, ErrBadPath},
+		{"nilpath", nil, 1, 1, ErrBadPath},
+		{"zerovol", path(0, 1), 0, 1, ErrBadVolume},
+		{"negvol", path(0, 1), -5, 1, ErrBadVolume},
+		{"nanvol", path(0, 1), math.NaN(), 1, ErrBadVolume},
+		{"negalpha", path(0, 1), 1, -0.1, ErrBadAlpha},
+		{"bigalpha", path(0, 1), 1, 1.5, ErrBadAlpha},
+		{"nanalpha", path(0, 1), 1, math.NaN(), ErrBadAlpha},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New("x", c.path, c.volume, c.alpha); !errors.Is(err, c.err) {
+				t.Errorf("err = %v, want %v", err, c.err)
+			}
+		})
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	g := lineGraph(t, 5)
+	ok, err := New("ok", path(1, 2, 3), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(g); err != nil {
+		t.Errorf("valid flow rejected: %v", err)
+	}
+	l, err := ok.Length(g)
+	if err != nil || l != 2 {
+		t.Errorf("Length = %v, %v", l, err)
+	}
+	bad, err := New("bad", path(0, 2), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(g); err == nil {
+		t.Error("non-edge path accepted")
+	}
+	// Tampered endpoints.
+	tampered := ok
+	tampered.Dest = 4
+	if err := tampered.Validate(g); !errors.Is(err, ErrBadPath) {
+		t.Errorf("tampered endpoints: %v", err)
+	}
+}
+
+func mustFlow(t *testing.T, id string, p []graph.NodeID, vol float64) Flow {
+	t.Helper()
+	f, err := New(id, p, vol, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSet(t *testing.T) {
+	g := lineGraph(t, 6)
+	flows := []Flow{
+		mustFlow(t, "a", path(0, 1, 2, 3), 10),
+		mustFlow(t, "b", path(2, 3, 4), 20),
+		mustFlow(t, "c", path(5, 4, 3), 5),
+	}
+	s, err := NewSet(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateAll(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.TotalVolume() != 35 {
+		t.Errorf("Len=%d Total=%v", s.Len(), s.TotalVolume())
+	}
+	// Node 3 is visited by all three flows.
+	if s.NodeCardinality(3) != 3 || s.NodeVolume(3) != 35 {
+		t.Errorf("node 3: card=%d vol=%v", s.NodeCardinality(3), s.NodeVolume(3))
+	}
+	// Node 0 only by flow a.
+	vis := s.VisitsAt(0)
+	if len(vis) != 1 || vis[0].Flow != 0 || vis[0].Pos != 0 {
+		t.Errorf("visits at 0: %v", vis)
+	}
+	// Positions are path indices.
+	for _, v := range s.VisitsAt(3) {
+		f := s.At(v.Flow)
+		if f.Path[v.Pos] != 3 {
+			t.Errorf("flow %q pos %d is %d, want 3", f.ID, v.Pos, f.Path[v.Pos])
+		}
+	}
+	// Unvisited node.
+	if s.NodeCardinality(99) != 0 || s.NodeVolume(99) != 0 {
+		t.Error("phantom visits")
+	}
+}
+
+func TestSetCopiesFlows(t *testing.T) {
+	flows := []Flow{mustFlow(t, "a", path(0, 1), 1)}
+	s, err := NewSet(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows[0].Volume = 999
+	if s.At(0).Volume != 1 {
+		t.Error("NewSet aliases caller slice")
+	}
+	got := s.Flows()
+	got[0].Volume = 777
+	if s.At(0).Volume != 1 {
+		t.Error("Flows() aliases internal slice")
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	if _, err := NewSet(nil); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := NewSet([]Flow{{ID: "raw"}}); !errors.Is(err, ErrBadPath) {
+		t.Errorf("raw struct: %v", err)
+	}
+}
+
+func TestSetLoopPathRecordsFirstVisit(t *testing.T) {
+	// A route that revisits node 1: 0 -> 1 -> 2 -> 1 -> 0 is legal on a
+	// two-way street and occurs with noisy map-matched routes.
+	s, err := NewSet([]Flow{mustFlow(t, "loop", path(0, 1, 2, 1, 0), 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vis := s.VisitsAt(1)
+	if len(vis) != 1 || vis[0].Pos != 1 {
+		t.Errorf("loop visits = %v, want single first visit at pos 1", vis)
+	}
+	if s.NodeVolume(1) != 7 {
+		t.Errorf("volume double-counted: %v", s.NodeVolume(1))
+	}
+}

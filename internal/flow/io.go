@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"roadside/internal/graph"
+)
+
+// jsonFlow is the serialized form of a flow. The format is stable and
+// consumed by the cmd tools so expensive map-matching runs can be cached.
+type jsonFlow struct {
+	ID     string         `json:"id"`
+	Path   []graph.NodeID `json:"path"`
+	Volume float64        `json:"volume"`
+	Alpha  float64        `json:"alpha"`
+}
+
+// WriteJSON serializes the set's flows.
+func (s *Set) WriteJSON(w io.Writer) error {
+	out := make([]jsonFlow, 0, s.Len())
+	for _, f := range s.flows {
+		out = append(out, jsonFlow{
+			ID:     f.ID,
+			Path:   f.Path,
+			Volume: f.Volume,
+			Alpha:  f.Alpha,
+		})
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("flow: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses flows written by WriteJSON and rebuilds the set,
+// re-validating every flow.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var in []jsonFlow
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("flow: decode: %w", err)
+	}
+	flows := make([]Flow, 0, len(in))
+	for i, jf := range in {
+		f, err := New(jf.ID, jf.Path, jf.Volume, jf.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("flow: entry %d: %w", i, err)
+		}
+		flows = append(flows, f)
+	}
+	return NewSet(flows)
+}

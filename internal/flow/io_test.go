@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+func TestFlowJSONRoundTrip(t *testing.T) {
+	s, err := NewSet([]Flow{
+		mustFlow(t, "a", path(0, 1, 2, 3), 10),
+		mustFlow(t, "b", path(2, 3, 4), 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.TotalVolume() != s.TotalVolume() {
+		t.Fatalf("shape mismatch: %d/%v vs %d/%v",
+			got.Len(), got.TotalVolume(), s.Len(), s.TotalVolume())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.At(i), got.At(i)
+		if a.ID != b.ID || a.Volume != b.Volume || a.Alpha != b.Alpha ||
+			len(a.Path) != len(b.Path) || a.Origin != b.Origin || a.Dest != b.Dest {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Incidence index rebuilt correctly.
+	if got.NodeVolume(graph.NodeID(3)) != s.NodeVolume(graph.NodeID(3)) {
+		t.Error("incidence differs after round trip")
+	}
+}
+
+func TestFlowReadJSONErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`[{"id":"x","path":[0],"volume":1,"alpha":1}]`,    // short path
+		`[{"id":"x","path":[0,1],"volume":-1,"alpha":1}]`, // bad volume
+		`[]`, // empty set
+	}
+	for i, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoNeighbor is returned by nearest-neighbor queries when the index is
+// empty or no candidate lies within the search radius.
+var ErrNoNeighbor = errors.New("geo: no neighbor found")
+
+// GridIndex is a uniform-grid spatial index over a static point set. It
+// supports nearest-neighbor and radius queries and is used by the trace
+// map-matcher to snap noisy GPS samples to street intersections.
+//
+// The index is immutable after construction and safe for concurrent reads.
+type GridIndex struct {
+	pts      []Point
+	bbox     BBox
+	cellSize float64
+	cols     int
+	rows     int
+	cells    map[int][]int32
+}
+
+// NewGridIndex builds an index over pts with the given cell size in feet.
+// A non-positive cellSize picks a size that targets a handful of points per
+// cell. The points slice is copied; callers may reuse it.
+func NewGridIndex(pts []Point, cellSize float64) *GridIndex {
+	idx := &GridIndex{
+		pts:   append([]Point(nil), pts...),
+		bbox:  EmptyBBox(),
+		cells: make(map[int][]int32, len(pts)),
+	}
+	for _, p := range idx.pts {
+		idx.bbox = idx.bbox.Extend(p)
+	}
+	if len(idx.pts) == 0 {
+		idx.cellSize = 1
+		idx.cols, idx.rows = 1, 1
+		return idx
+	}
+	if cellSize <= 0 {
+		// Aim for roughly 4 points per cell on average.
+		area := math.Max(idx.bbox.Width()*idx.bbox.Height(), 1)
+		cellSize = math.Sqrt(4 * area / float64(len(idx.pts)))
+	}
+	idx.cellSize = cellSize
+	idx.cols = int(idx.bbox.Width()/cellSize) + 1
+	idx.rows = int(idx.bbox.Height()/cellSize) + 1
+	for i, p := range idx.pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// Point returns the indexed point with index i.
+func (g *GridIndex) Point(i int) Point { return g.pts[i] }
+
+func (g *GridIndex) cellCoords(p Point) (int, int) {
+	cx := int((p.X - g.bbox.Min.X) / g.cellSize)
+	cy := int((p.Y - g.bbox.Min.Y) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *GridIndex) cellOf(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.cols + cx
+}
+
+// Nearest returns the index and distance of the point closest to q. It
+// returns ErrNoNeighbor only when the index is empty.
+func (g *GridIndex) Nearest(q Point) (int, float64, error) {
+	if len(g.pts) == 0 {
+		return 0, 0, ErrNoNeighbor
+	}
+	cx, cy := g.cellCoords(q)
+	best := -1
+	bestD := math.Inf(1)
+	// Expand rings of cells outward until the best candidate cannot be
+	// beaten by any unvisited ring.
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any point in a farther ring is at least (ring-1)*cellSize away.
+		if best >= 0 && float64(ring-1)*g.cellSize > bestD {
+			break
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if maxAbs(dx, dy) != ring {
+					continue // only the ring boundary
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= g.cols || y >= g.rows {
+					continue
+				}
+				for _, i := range g.cells[y*g.cols+x] {
+					if d := g.pts[i].Euclidean(q); d < bestD {
+						best, bestD = int(i), d
+					}
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, ErrNoNeighbor
+	}
+	return best, bestD, nil
+}
+
+// NearestWithin returns the closest point to q within radius feet, or
+// ErrNoNeighbor if none exists.
+func (g *GridIndex) NearestWithin(q Point, radius float64) (int, float64, error) {
+	i, d, err := g.Nearest(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d > radius {
+		return 0, 0, ErrNoNeighbor
+	}
+	return i, d, nil
+}
+
+// Within returns the indices of all points within radius feet of q, in
+// unspecified order.
+func (g *GridIndex) Within(q Point, radius float64) []int {
+	if len(g.pts) == 0 || radius < 0 {
+		return nil
+	}
+	minX, minY := g.cellCoords(Point{X: q.X - radius, Y: q.Y - radius})
+	maxX, maxY := g.cellCoords(Point{X: q.X + radius, Y: q.Y + radius})
+	var out []int
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			for _, i := range g.cells[y*g.cols+x] {
+				if g.pts[i].Euclidean(q) <= radius {
+					out = append(out, int(i))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

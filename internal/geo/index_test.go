@@ -1,0 +1,125 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGridIndexEmpty(t *testing.T) {
+	idx := NewGridIndex(nil, 0)
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if _, _, err := idx.Nearest(Pt(0, 0)); !errors.Is(err, ErrNoNeighbor) {
+		t.Errorf("Nearest on empty: %v", err)
+	}
+	if got := idx.Within(Pt(0, 0), 10); got != nil {
+		t.Errorf("Within on empty = %v", got)
+	}
+}
+
+func TestGridIndexSinglePoint(t *testing.T) {
+	idx := NewGridIndex([]Point{Pt(5, 5)}, 0)
+	i, d, err := idx.Nearest(Pt(8, 9))
+	if err != nil || i != 0 || d != 5 {
+		t.Fatalf("Nearest = %d, %v, %v", i, d, err)
+	}
+	if _, _, err := idx.NearestWithin(Pt(8, 9), 4); !errors.Is(err, ErrNoNeighbor) {
+		t.Errorf("NearestWithin too-small radius: %v", err)
+	}
+	if i, _, err := idx.NearestWithin(Pt(8, 9), 6); err != nil || i != 0 {
+		t.Errorf("NearestWithin: %d %v", i, err)
+	}
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	idx := NewGridIndex(pts, 0)
+	for trial := 0; trial < 200; trial++ {
+		q := Pt(rng.Float64()*12000-1000, rng.Float64()*12000-1000)
+		gi, gd, err := idx.Nearest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, bd := -1, 1e18
+		for i, p := range pts {
+			if d := p.Euclidean(q); d < bd {
+				bi, bd = i, d
+			}
+		}
+		if gd != bd || gi != bi {
+			t.Fatalf("query %v: grid (%d, %v) vs brute (%d, %v)", q, gi, gd, bi, bd)
+		}
+	}
+}
+
+func TestGridIndexWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	idx := NewGridIndex(pts, 0)
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		r := rng.Float64() * 200
+		got := idx.Within(q, r)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if p.Euclidean(q) <= r {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Within(%v, %v): got %d, want %d", q, r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Within mismatch at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridIndexExplicitCellSize(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(100, 0), Pt(0, 100), Pt(100, 100)}
+	idx := NewGridIndex(pts, 10)
+	i, d, err := idx.Nearest(Pt(99, 99))
+	if err != nil || i != 3 {
+		t.Fatalf("Nearest = %d, %v, %v", i, d, err)
+	}
+	if idx.Point(3) != Pt(100, 100) {
+		t.Errorf("Point(3) = %v", idx.Point(3))
+	}
+}
+
+func TestGridIndexNegativeRadius(t *testing.T) {
+	idx := NewGridIndex([]Point{Pt(0, 0)}, 0)
+	if got := idx.Within(Pt(0, 0), -1); got != nil {
+		t.Errorf("negative radius = %v", got)
+	}
+}
+
+func BenchmarkGridIndexNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 2000)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*80000, rng.Float64()*80000)
+	}
+	idx := NewGridIndex(pts, 0)
+	queries := make([]Point, 1024)
+	for i := range queries {
+		queries[i] = Pt(rng.Float64()*80000, rng.Float64()*80000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = idx.Nearest(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,121 @@
+// Package geo provides planar geometry primitives used by the road-network
+// model: points in a local Cartesian frame measured in feet, distance
+// metrics, bounding boxes, polylines, a lon/lat projection for trace data,
+// and a uniform-grid spatial index for nearest-neighbor snapping.
+//
+// All coordinates in this package are expressed in feet within a city-local
+// frame, matching the units used by the paper's Dublin (80,000 x 80,000 ft)
+// and Seattle (10,000 x 10,000 ft) evaluation areas.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the city-local planar frame, in feet.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{X: p.X * s, Y: p.Y * s} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Euclidean returns the Euclidean (L2) distance between p and q in feet.
+func (p Point) Euclidean(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Manhattan returns the rectilinear (L1) distance between p and q in feet.
+// This is the natural street metric of the paper's Manhattan grid scenario.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Chebyshev returns the L-infinity distance between p and q in feet.
+func (p Point) Chebyshev(q Point) float64 {
+	return math.Max(math.Abs(p.X-q.X), math.Abs(p.Y-q.Y))
+}
+
+// Lerp returns the linear interpolation between p and q at parameter
+// t in [0, 1]. Values outside [0, 1] extrapolate.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{
+		X: p.X + (q.X-p.X)*t,
+		Y: p.Y + (q.Y-p.Y)*t,
+	}
+}
+
+// String renders the point as "(x, y)" with foot precision.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y)
+}
+
+// Metric identifies a planar distance metric.
+type Metric int
+
+// Supported metrics. Enums start at 1 so the zero value is invalid and
+// cannot be passed silently.
+const (
+	MetricEuclidean Metric = iota + 1
+	MetricManhattan
+	MetricChebyshev
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricEuclidean:
+		return "euclidean"
+	case MetricManhattan:
+		return "manhattan"
+	case MetricChebyshev:
+		return "chebyshev"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Distance computes the distance between p and q under metric m.
+// Unknown metrics fall back to Euclidean.
+func (m Metric) Distance(p, q Point) float64 {
+	switch m {
+	case MetricManhattan:
+		return p.Manhattan(q)
+	case MetricChebyshev:
+		return p.Chebyshev(q)
+	default:
+		return p.Euclidean(q)
+	}
+}
+
+// SegmentDistance returns the shortest Euclidean distance from point p to
+// the segment [a, b], together with the parameter t in [0, 1] of the
+// closest point on the segment.
+func SegmentDistance(p, a, b Point) (dist, t float64) {
+	ab := b.Sub(a)
+	den := ab.Dot(ab)
+	if den == 0 {
+		return p.Euclidean(a), 0
+	}
+	t = p.Sub(a).Dot(ab) / den
+	t = math.Max(0, math.Min(1, t))
+	closest := a.Lerp(b, t)
+	return p.Euclidean(closest), t
+}

@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p, q := Pt(0, 0), Pt(3, 4)
+	if got := p.Euclidean(q); got != 5 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+	if got := p.Manhattan(q); got != 7 {
+		t.Errorf("Manhattan = %v, want 7", got)
+	}
+	if got := p.Chebyshev(q); got != 4 {
+		t.Errorf("Chebyshev = %v, want 4", got)
+	}
+}
+
+func TestMetricDistance(t *testing.T) {
+	p, q := Pt(1, 1), Pt(4, 5)
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{MetricEuclidean, 5},
+		{MetricManhattan, 7},
+		{MetricChebyshev, 4},
+		{Metric(0), 5}, // unknown falls back to Euclidean
+	}
+	for _, c := range cases {
+		if got := c.m.Distance(p, q); got != c.want {
+			t.Errorf("%v.Distance = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricEuclidean.String() != "euclidean" ||
+		MetricManhattan.String() != "manhattan" ||
+		MetricChebyshev.String() != "chebyshev" {
+		t.Error("unexpected metric names")
+	}
+	if Metric(42).String() != "metric(42)" {
+		t.Error("unexpected unknown-metric name")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestSegmentDistance(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 0)
+	if d, tt := SegmentDistance(Pt(5, 3), a, b); d != 3 || tt != 0.5 {
+		t.Errorf("mid: d=%v t=%v", d, tt)
+	}
+	if d, tt := SegmentDistance(Pt(-4, 3), a, b); d != 5 || tt != 0 {
+		t.Errorf("before: d=%v t=%v", d, tt)
+	}
+	if d, tt := SegmentDistance(Pt(14, 3), a, b); d != 5 || tt != 1 {
+		t.Errorf("after: d=%v t=%v", d, tt)
+	}
+	// Degenerate segment.
+	if d, tt := SegmentDistance(Pt(3, 4), a, a); d != 5 || tt != 0 {
+		t.Errorf("degenerate: d=%v t=%v", d, tt)
+	}
+}
+
+// Property: all metrics satisfy the triangle inequality and symmetry.
+func TestMetricProperties(t *testing.T) {
+	for _, m := range []Metric{MetricEuclidean, MetricManhattan, MetricChebyshev} {
+		m := m
+		prop := func(ax, ay, bx, by, cx, cy float64) bool {
+			a := Pt(clampCoord(ax), clampCoord(ay))
+			b := Pt(clampCoord(bx), clampCoord(by))
+			c := Pt(clampCoord(cx), clampCoord(cy))
+			ab, ba := m.Distance(a, b), m.Distance(b, a)
+			ac, cb := m.Distance(a, c), m.Distance(c, b)
+			return almostEqual(ab, ba, 1e-9) && ab <= ac+cb+1e-6 && ab >= 0
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("metric %v: %v", m, err)
+		}
+	}
+}
+
+// Property: Euclidean <= Manhattan <= sqrt(2) * Euclidean in the plane.
+func TestMetricOrdering(t *testing.T) {
+	prop := func(ax, ay, bx, by float64) bool {
+		a := Pt(clampCoord(ax), clampCoord(ay))
+		b := Pt(clampCoord(bx), clampCoord(by))
+		e, man := a.Euclidean(b), a.Manhattan(b)
+		return e <= man+1e-9 && man <= math.Sqrt2*e+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampCoord maps an arbitrary quick-generated float into a sane coordinate
+// range, discarding NaN/Inf noise.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}

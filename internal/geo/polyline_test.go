@@ -1,0 +1,121 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	l := Polyline{Pt(0, 0), Pt(3, 4), Pt(3, 10)}
+	if got := l.Length(); got != 11 {
+		t.Errorf("Length = %v, want 11", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty Length = %v", got)
+	}
+	if got := (Polyline{Pt(1, 1)}).Length(); got != 0 {
+		t.Errorf("single-vertex Length = %v", got)
+	}
+}
+
+func TestPolylineWalk(t *testing.T) {
+	l := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	cases := []struct {
+		d    float64
+		want Point
+	}{
+		{-5, Pt(0, 0)},
+		{0, Pt(0, 0)},
+		{5, Pt(5, 0)},
+		{10, Pt(10, 0)},
+		{15, Pt(10, 5)},
+		{20, Pt(10, 10)},
+		{99, Pt(10, 10)},
+	}
+	for _, c := range cases {
+		got, err := l.Walk(c.d)
+		if err != nil {
+			t.Fatalf("Walk(%v): %v", c.d, err)
+		}
+		if got.Euclidean(c.want) > 1e-9 {
+			t.Errorf("Walk(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	if _, err := (Polyline{}).Walk(1); !errors.Is(err, ErrEmptyPolyline) {
+		t.Errorf("empty Walk err = %v", err)
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	l := Polyline{Pt(0, 0), Pt(100, 0)}
+	pts, err := l.Resample(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("Resample count = %d, want 5 (%v)", len(pts), pts)
+	}
+	if pts[0] != Pt(0, 0) || pts[len(pts)-1] != Pt(100, 0) {
+		t.Errorf("endpoints not preserved: %v", pts)
+	}
+	// Degenerate cases.
+	if _, err := (Polyline{}).Resample(10); !errors.Is(err, ErrEmptyPolyline) {
+		t.Errorf("empty Resample err = %v", err)
+	}
+	one, err := Polyline{Pt(1, 2)}.Resample(10)
+	if err != nil || len(one) != 1 {
+		t.Errorf("single vertex: %v %v", one, err)
+	}
+	ends, err := l.Resample(0)
+	if err != nil || len(ends) != 2 {
+		t.Errorf("step<=0: %v %v", ends, err)
+	}
+}
+
+func TestPolylineNearestVertex(t *testing.T) {
+	l := Polyline{Pt(0, 0), Pt(10, 0), Pt(20, 0)}
+	i, d, err := l.NearestVertex(Pt(11, 1))
+	if err != nil || i != 1 || !almostEqual(d, 1.41421356, 1e-6) {
+		t.Errorf("NearestVertex = %d, %v, %v", i, d, err)
+	}
+	if _, _, err := (Polyline{}).NearestVertex(Pt(0, 0)); !errors.Is(err, ErrEmptyPolyline) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+// Property: resampled points all lie on the polyline (distance to the
+// nearest segment is ~0) and consecutive samples are at most step apart.
+func TestResampleOnCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		l := make(Polyline, 0, 8)
+		cur := Pt(0, 0)
+		for i := 0; i < 8; i++ {
+			cur = cur.Add(Pt(rng.Float64()*100, rng.Float64()*100-50))
+			l = append(l, cur)
+		}
+		step := 10 + rng.Float64()*40
+		pts, err := l.Resample(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range pts {
+			best := 1e18
+			for i := 1; i < len(l); i++ {
+				d, _ := SegmentDistance(p, l[i-1], l[i])
+				if d < best {
+					best = d
+				}
+			}
+			if best > 1e-6 {
+				t.Fatalf("trial %d: sample %d off curve by %v", trial, k, best)
+			}
+			if k > 0 && pts[k-1].Euclidean(p) > step+1e-6 {
+				// Euclidean gap can only be <= arc-length gap == step.
+				t.Fatalf("trial %d: gap %v > step %v", trial,
+					pts[k-1].Euclidean(p), step)
+			}
+		}
+	}
+}

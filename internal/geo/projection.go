@@ -1,0 +1,78 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// Geographic constants for the equirectangular projection.
+const (
+	// earthRadiusFeet is the mean Earth radius expressed in feet.
+	earthRadiusFeet = 20_902_231.0
+	degToRad        = math.Pi / 180
+)
+
+// ErrOutOfRange is returned when a longitude/latitude pair is outside the
+// valid geographic domain.
+var ErrOutOfRange = errors.New("geo: lon/lat out of range")
+
+// LonLat is a WGS84 geographic coordinate in decimal degrees, the format
+// carried by the Dublin bus trace records.
+type LonLat struct {
+	Lon float64 `json:"lon"`
+	Lat float64 `json:"lat"`
+}
+
+// Projection converts between geographic lon/lat coordinates and the
+// city-local planar frame in feet, using an equirectangular projection
+// centered at a reference point. Over a city-scale extent (tens of
+// kilometres) the distortion is far below street-snapping noise, which is
+// all the trace pipeline requires.
+type Projection struct {
+	origin  LonLat
+	cosLat0 float64
+}
+
+// NewProjection builds a projection centered at origin. It returns
+// ErrOutOfRange if origin is not a valid geographic coordinate.
+func NewProjection(origin LonLat) (*Projection, error) {
+	if err := validateLonLat(origin); err != nil {
+		return nil, err
+	}
+	return &Projection{
+		origin:  origin,
+		cosLat0: math.Cos(origin.Lat * degToRad),
+	}, nil
+}
+
+// Origin returns the projection's reference coordinate.
+func (p *Projection) Origin() LonLat { return p.origin }
+
+// Forward projects a geographic coordinate to the planar frame in feet.
+func (p *Projection) Forward(ll LonLat) (Point, error) {
+	if err := validateLonLat(ll); err != nil {
+		return Point{}, err
+	}
+	dLon := (ll.Lon - p.origin.Lon) * degToRad
+	dLat := (ll.Lat - p.origin.Lat) * degToRad
+	return Point{
+		X: earthRadiusFeet * dLon * p.cosLat0,
+		Y: earthRadiusFeet * dLat,
+	}, nil
+}
+
+// Inverse converts a planar point in feet back to geographic coordinates.
+func (p *Projection) Inverse(pt Point) LonLat {
+	return LonLat{
+		Lon: p.origin.Lon + pt.X/(earthRadiusFeet*p.cosLat0)/degToRad,
+		Lat: p.origin.Lat + pt.Y/earthRadiusFeet/degToRad,
+	}
+}
+
+func validateLonLat(ll LonLat) error {
+	if math.IsNaN(ll.Lon) || math.IsNaN(ll.Lat) ||
+		ll.Lon < -180 || ll.Lon > 180 || ll.Lat < -89 || ll.Lat > 89 {
+		return ErrOutOfRange
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Dublin city centre, the reference point used by the Dublin trace pipeline.
+var dublinOrigin = LonLat{Lon: -6.2603, Lat: 53.3498}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	p, err := NewProjection(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []LonLat{
+		dublinOrigin,
+		{Lon: -6.30, Lat: 53.36},
+		{Lon: -6.20, Lat: 53.33},
+	}
+	for _, ll := range cases {
+		pt, err := p.Forward(ll)
+		if err != nil {
+			t.Fatalf("Forward(%v): %v", ll, err)
+		}
+		back := p.Inverse(pt)
+		if !almostEqual(back.Lon, ll.Lon, 1e-9) || !almostEqual(back.Lat, ll.Lat, 1e-9) {
+			t.Errorf("round trip %v -> %v -> %v", ll, pt, back)
+		}
+	}
+}
+
+func TestProjectionOriginIsZero(t *testing.T) {
+	p, err := NewProjection(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := p.Forward(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Norm() > 1e-9 {
+		t.Errorf("origin projects to %v, want (0,0)", pt)
+	}
+	if p.Origin() != dublinOrigin {
+		t.Errorf("Origin() = %v", p.Origin())
+	}
+}
+
+func TestProjectionScaleIsPlausible(t *testing.T) {
+	// One degree of latitude is about 364,000 feet (69 miles).
+	p, err := NewProjection(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	north := LonLat{Lon: dublinOrigin.Lon, Lat: dublinOrigin.Lat + 1}
+	pt, err := p.Forward(north)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Y < 350_000 || pt.Y > 380_000 {
+		t.Errorf("1 degree latitude = %.0f feet, want ~364,000", pt.Y)
+	}
+	if math.Abs(pt.X) > 1e-6 {
+		t.Errorf("pure-north move has X = %v", pt.X)
+	}
+}
+
+func TestProjectionRejectsBadInput(t *testing.T) {
+	if _, err := NewProjection(LonLat{Lon: 500, Lat: 0}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("bad origin: err = %v", err)
+	}
+	if _, err := NewProjection(LonLat{Lon: 0, Lat: math.NaN()}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("NaN origin: err = %v", err)
+	}
+	p, err := NewProjection(dublinOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(LonLat{Lon: -200, Lat: 0}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("bad forward: err = %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package geo
+
+import (
+	"math"
+)
+
+// Segment is a directed line segment with an opaque identifier, used to
+// index street geometry.
+type Segment struct {
+	A, B Point
+	ID   int32
+}
+
+// SegmentIndex is a uniform-grid spatial index over line segments,
+// supporting nearest-segment queries. The trace map-matcher uses it to
+// snap mid-block GPS samples to streets whose endpoints are far away.
+//
+// The index is immutable after construction and safe for concurrent reads.
+type SegmentIndex struct {
+	segs     []Segment
+	bbox     BBox
+	cellSize float64
+	cols     int
+	rows     int
+	cells    map[int][]int32
+}
+
+// NewSegmentIndex builds an index with the given cell size in feet. A
+// non-positive cellSize derives one from the median segment length.
+func NewSegmentIndex(segs []Segment, cellSize float64) *SegmentIndex {
+	idx := &SegmentIndex{
+		segs:  append([]Segment(nil), segs...),
+		bbox:  EmptyBBox(),
+		cells: make(map[int][]int32),
+	}
+	var totalLen float64
+	for _, s := range idx.segs {
+		idx.bbox = idx.bbox.Extend(s.A).Extend(s.B)
+		totalLen += s.A.Euclidean(s.B)
+	}
+	if len(idx.segs) == 0 {
+		idx.cellSize = 1
+		idx.cols, idx.rows = 1, 1
+		return idx
+	}
+	if cellSize <= 0 {
+		cellSize = totalLen / float64(len(idx.segs))
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	idx.cellSize = cellSize
+	idx.cols = int(idx.bbox.Width()/cellSize) + 1
+	idx.rows = int(idx.bbox.Height()/cellSize) + 1
+	for i, s := range idx.segs {
+		idx.insert(int32(i), s)
+	}
+	return idx
+}
+
+// Len returns the number of indexed segments.
+func (s *SegmentIndex) Len() int { return len(s.segs) }
+
+// Segment returns the indexed segment i.
+func (s *SegmentIndex) Segment(i int) Segment { return s.segs[i] }
+
+func (s *SegmentIndex) cellCoords(p Point) (int, int) {
+	cx := int((p.X - s.bbox.Min.X) / s.cellSize)
+	cy := int((p.Y - s.bbox.Min.Y) / s.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= s.cols {
+		cx = s.cols - 1
+	}
+	if cy >= s.rows {
+		cy = s.rows - 1
+	}
+	return cx, cy
+}
+
+// insert registers the segment in every cell overlapped by its bounding
+// box. Street segments are short relative to typical cell sizes, so the
+// overestimate is negligible.
+func (s *SegmentIndex) insert(id int32, seg Segment) {
+	minX, minY := s.cellCoords(Point{
+		X: math.Min(seg.A.X, seg.B.X), Y: math.Min(seg.A.Y, seg.B.Y),
+	})
+	maxX, maxY := s.cellCoords(Point{
+		X: math.Max(seg.A.X, seg.B.X), Y: math.Max(seg.A.Y, seg.B.Y),
+	})
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			c := y*s.cols + x
+			s.cells[c] = append(s.cells[c], id)
+		}
+	}
+}
+
+// Nearest returns the segment closest to q along with the projection
+// parameter t in [0,1] and the distance. It returns ErrNoNeighbor only for
+// an empty index.
+func (s *SegmentIndex) Nearest(q Point) (seg Segment, t, dist float64, err error) {
+	if len(s.segs) == 0 {
+		return Segment{}, 0, 0, ErrNoNeighbor
+	}
+	cx, cy := s.cellCoords(q)
+	best := -1
+	bestT := 0.0
+	bestD := math.Inf(1)
+	maxRing := s.cols
+	if s.rows > maxRing {
+		maxRing = s.rows
+	}
+	seen := make(map[int32]bool)
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 && float64(ring-1)*s.cellSize > bestD {
+			break
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if maxAbs(dx, dy) != ring {
+					continue
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= s.cols || y >= s.rows {
+					continue
+				}
+				for _, i := range s.cells[y*s.cols+x] {
+					if seen[i] {
+						continue
+					}
+					seen[i] = true
+					d, tt := SegmentDistance(q, s.segs[i].A, s.segs[i].B)
+					if d < bestD {
+						best, bestD, bestT = int(i), d, tt
+					}
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return Segment{}, 0, 0, ErrNoNeighbor
+	}
+	return s.segs[best], bestT, bestD, nil
+}
+
+// NearestWithin is Nearest restricted to a maximum distance.
+func (s *SegmentIndex) NearestWithin(q Point, radius float64) (Segment, float64, float64, error) {
+	seg, t, d, err := s.Nearest(q)
+	if err != nil {
+		return Segment{}, 0, 0, err
+	}
+	if d > radius {
+		return Segment{}, 0, 0, ErrNoNeighbor
+	}
+	return seg, t, d, nil
+}

@@ -1,0 +1,83 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentIndexEmpty(t *testing.T) {
+	idx := NewSegmentIndex(nil, 0)
+	if idx.Len() != 0 {
+		t.Fatal("non-empty")
+	}
+	if _, _, _, err := idx.Nearest(Pt(0, 0)); !errors.Is(err, ErrNoNeighbor) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSegmentIndexBasic(t *testing.T) {
+	segs := []Segment{
+		{A: Pt(0, 0), B: Pt(100, 0), ID: 1},
+		{A: Pt(0, 50), B: Pt(100, 50), ID: 2},
+	}
+	idx := NewSegmentIndex(segs, 10)
+	seg, tt, d, err := idx.Nearest(Pt(50, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.ID != 1 || d != 10 || tt != 0.5 {
+		t.Errorf("seg %d, t %v, d %v", seg.ID, tt, d)
+	}
+	seg, _, d, err = idx.Nearest(Pt(50, 40))
+	if err != nil || seg.ID != 2 || d != 10 {
+		t.Errorf("seg %d, d %v, err %v", seg.ID, d, err)
+	}
+	if _, _, _, err := idx.NearestWithin(Pt(50, 40), 5); !errors.Is(err, ErrNoNeighbor) {
+		t.Errorf("NearestWithin: %v", err)
+	}
+	if idx.Segment(0).ID != 1 {
+		t.Error("Segment accessor wrong")
+	}
+}
+
+func TestSegmentIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	segs := make([]Segment, 300)
+	for i := range segs {
+		a := Pt(rng.Float64()*5000, rng.Float64()*5000)
+		segs[i] = Segment{
+			A:  a,
+			B:  a.Add(Pt(rng.Float64()*400-200, rng.Float64()*400-200)),
+			ID: int32(i),
+		}
+	}
+	idx := NewSegmentIndex(segs, 0)
+	for trial := 0; trial < 200; trial++ {
+		q := Pt(rng.Float64()*6000-500, rng.Float64()*6000-500)
+		_, _, gd, err := idx.Nearest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := math.Inf(1)
+		for _, s := range segs {
+			if d, _ := SegmentDistance(q, s.A, s.B); d < bd {
+				bd = d
+			}
+		}
+		if math.Abs(gd-bd) > 1e-9 {
+			t.Fatalf("query %v: index %v vs brute %v", q, gd, bd)
+		}
+	}
+}
+
+func TestSegmentIndexDegenerateSegments(t *testing.T) {
+	// Zero-length segments behave like points.
+	segs := []Segment{{A: Pt(5, 5), B: Pt(5, 5), ID: 7}}
+	idx := NewSegmentIndex(segs, 0)
+	seg, tt, d, err := idx.Nearest(Pt(8, 9))
+	if err != nil || seg.ID != 7 || d != 5 || tt != 0 {
+		t.Errorf("seg %d t %v d %v err %v", seg.ID, tt, d, err)
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// distEpsilon is the tolerance used when comparing sums of shortest-path
+// distances (e.g. the on-some-shortest-path predicate). Road lengths are
+// O(1e5) feet, so 1e-6 relative error is far below any street length.
+const distEpsilon = 1e-6
+
+// AllPairs stores the full shortest-path distance matrix of a graph. For
+// the city-scale graphs of the paper (hundreds to a few thousand
+// intersections) the dense matrix is small and O(1) lookups dominate the
+// cost profile of the placement algorithms, matching the paper's O(|V|^3)
+// preprocessing budget.
+type AllPairs struct {
+	n    int
+	dist []float64 // row-major n*n
+}
+
+// NewAllPairs computes shortest-path distances between every ordered pair
+// of nodes by running Dijkstra from each source in parallel.
+func NewAllPairs(g *Graph) *AllPairs {
+	n := g.NumNodes()
+	ap := &AllPairs{n: n, dist: make([]float64, n*n)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan NodeID, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for src := range next {
+				dist, _ := g.dijkstra(src, false)
+				copy(ap.dist[int(src)*n:int(src+1)*n], dist)
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		next <- NodeID(src)
+	}
+	close(next)
+	wg.Wait()
+	return ap
+}
+
+// NumNodes returns the matrix dimension.
+func (ap *AllPairs) NumNodes() int { return ap.n }
+
+// Dist returns the shortest-path distance from u to v, +Inf if v is
+// unreachable from u.
+func (ap *AllPairs) Dist(u, v NodeID) float64 {
+	return ap.dist[int(u)*ap.n+int(v)]
+}
+
+// Connected reports whether v is reachable from u.
+func (ap *AllPairs) Connected(u, v NodeID) bool {
+	return !math.IsInf(ap.Dist(u, v), 1)
+}
+
+// OnShortestPath reports whether node v lies on at least one shortest path
+// from i to j, i.e. dist(i,v) + dist(v,j) == dist(i,j) within tolerance.
+// This predicate realizes the Manhattan-scenario rule that drivers divert
+// to any RAP on one of their shortest paths.
+func (ap *AllPairs) OnShortestPath(i, v, j NodeID) bool {
+	dij := ap.Dist(i, j)
+	if math.IsInf(dij, 1) {
+		return false
+	}
+	div, dvj := ap.Dist(i, v), ap.Dist(v, j)
+	if math.IsInf(div, 1) || math.IsInf(dvj, 1) {
+		return false
+	}
+	return div+dvj <= dij+distEpsilon*(1+dij)
+}
+
+// Eccentricity returns the maximum finite distance from u to any reachable
+// node.
+func (ap *AllPairs) Eccentricity(u NodeID) float64 {
+	var maxD float64
+	for v := 0; v < ap.n; v++ {
+		if d := ap.Dist(u, NodeID(v)); !math.IsInf(d, 1) && d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Validate checks the matrix against the triangle inequality on a sample of
+// triples. It is used by tests and the figure harness's self-check mode.
+func (ap *AllPairs) Validate() error {
+	n := ap.n
+	step := 1
+	if n > 64 {
+		step = n / 64
+	}
+	for i := 0; i < n; i += step {
+		for j := 0; j < n; j += step {
+			for k := 0; k < n; k += step {
+				dij := ap.Dist(NodeID(i), NodeID(j))
+				dik := ap.Dist(NodeID(i), NodeID(k))
+				dkj := ap.Dist(NodeID(k), NodeID(j))
+				if dik+dkj < dij-distEpsilon*(1+dij) {
+					return fmt.Errorf(
+						"graph: triangle violation d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g",
+						i, j, dij, i, k, k, j, dik+dkj)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/geo"
+)
+
+// grid builds an n x n Manhattan grid with two-way unit streets of length
+// spacing. Node (r,c) has ID r*n+c.
+func gridGraph(tb testing.TB, n int, spacing float64) *Graph {
+	tb.Helper()
+	b := NewBuilder(n*n, 4*n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Pt(float64(c)*spacing, float64(r)*spacing))
+		}
+	}
+	id := func(r, c int) NodeID { return NodeID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				if err := b.AddStreet(id(r, c), id(r, c+1), spacing); err != nil {
+					tb.Fatal(err)
+				}
+			}
+			if r+1 < n {
+				if err := b.AddStreet(id(r, c), id(r+1, c), spacing); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestAllPairsMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomConnected(rng, 80, 200)
+	ap := NewAllPairs(g)
+	if ap.NumNodes() != 80 {
+		t.Fatalf("n = %d", ap.NumNodes())
+	}
+	for u := 0; u < 80; u += 7 {
+		tr, err := g.ShortestFrom(NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 80; v++ {
+			if math.Abs(ap.Dist(NodeID(u), NodeID(v))-tr.Dist(NodeID(v))) > 1e-9 {
+				t.Fatalf("dist(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+	if err := ap.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAllPairsGridIsManhattan(t *testing.T) {
+	const n = 7
+	g := gridGraph(t, n, 100)
+	ap := NewAllPairs(g)
+	for u := 0; u < n*n; u++ {
+		for v := 0; v < n*n; v++ {
+			want := g.Point(NodeID(u)).Manhattan(g.Point(NodeID(v)))
+			if math.Abs(ap.Dist(NodeID(u), NodeID(v))-want) > 1e-9 {
+				t.Fatalf("grid dist(%d,%d) = %v, want %v",
+					u, v, ap.Dist(NodeID(u), NodeID(v)), want)
+			}
+		}
+	}
+}
+
+func TestOnShortestPathGrid(t *testing.T) {
+	const n = 5
+	g := gridGraph(t, n, 1)
+	ap := NewAllPairs(g)
+	id := func(r, c int) NodeID { return NodeID(r*n + c) }
+	// From (0,0) to (2,2): exactly the nodes in the 3x3 monotone rectangle
+	// lie on some shortest path.
+	i, j := id(0, 0), id(2, 2)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			want := r <= 2 && c <= 2
+			if got := ap.OnShortestPath(i, id(r, c), j); got != want {
+				t.Errorf("(%d,%d): OnShortestPath = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+	// Endpoints are always on the path.
+	if !ap.OnShortestPath(i, i, j) || !ap.OnShortestPath(i, j, j) {
+		t.Error("endpoints must lie on shortest path")
+	}
+}
+
+func TestOnShortestPathUnreachable(t *testing.T) {
+	b := NewBuilder(3, 1)
+	a := b.AddNode(geo.Pt(0, 0))
+	c := b.AddNode(geo.Pt(1, 0))
+	d := b.AddNode(geo.Pt(2, 0))
+	if err := b.AddEdge(a, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := NewAllPairs(g)
+	if ap.OnShortestPath(a, c, d) {
+		t.Error("unreachable dst should never be on a shortest path")
+	}
+	if ap.Connected(a, d) || !ap.Connected(a, c) {
+		t.Error("Connected wrong")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := line(t, 5)
+	ap := NewAllPairs(g)
+	if e := ap.Eccentricity(0); e != 4 {
+		t.Errorf("ecc(0) = %v", e)
+	}
+	if e := ap.Eccentricity(2); e != 2 {
+		t.Errorf("ecc(2) = %v", e)
+	}
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	g := gridGraph(b, 20, 100) // 400 nodes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewAllPairs(g)
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInadmissible is returned by AStarEuclidean on graphs whose edge
+// weights do not dominate the Euclidean distance between their endpoints
+// (the heuristic would be inadmissible and results incorrect).
+var ErrInadmissible = errors.New("graph: euclidean heuristic inadmissible for this graph")
+
+// Heuristic estimates the remaining distance from a node to the target. It
+// must never overestimate (admissible) for AStar to return shortest paths.
+type Heuristic func(v NodeID) float64
+
+// AStar finds a shortest path from src to dst using the supplied admissible
+// heuristic; a nil heuristic degenerates to Dijkstra. For single
+// point-to-point queries on large road networks it settles a fraction of
+// the nodes Dijkstra would.
+func (g *Graph) AStar(src, dst NodeID, h Heuristic) ([]NodeID, float64, error) {
+	if !g.ValidNode(src) || !g.ValidNode(dst) {
+		return nil, 0, fmt.Errorf("%w: (%d,%d)", ErrNodeRange, src, dst)
+	}
+	if h == nil {
+		h = func(NodeID) float64 { return 0 }
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]NodeID, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = Invalid
+	}
+	dist[src] = 0
+	heap := newDistHeap(64)
+	heap.push(src, h(src))
+	for heap.len() > 0 {
+		u, _ := heap.pop()
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == dst {
+			break
+		}
+		du := dist[u]
+		g.ForEachOut(u, func(v NodeID, w float64) bool {
+			if nd := du + w; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				heap.push(v, nd+h(v))
+			}
+			return true
+		})
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0, fmt.Errorf("%w: %d to %d", ErrUnreachable, src, dst)
+	}
+	var rev []NodeID
+	for cur := dst; cur != Invalid; cur = parent[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst], nil
+}
+
+// EuclideanAdmissible reports whether every edge weight is at least the
+// Euclidean distance between its endpoints, the condition under which the
+// straight-line heuristic is admissible. The check is O(edges) and the
+// result can be cached by callers (graphs are immutable).
+func (g *Graph) EuclideanAdmissible() bool {
+	const slack = 1e-9
+	for u := 0; u < g.NumNodes(); u++ {
+		pu := g.Point(NodeID(u))
+		ok := true
+		g.ForEachOut(NodeID(u), func(v NodeID, w float64) bool {
+			if w+slack*(1+w) < pu.Euclidean(g.Point(v)) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AStarEuclidean runs AStar with the straight-line-distance heuristic,
+// first verifying admissibility. Road networks whose weights are street
+// lengths always qualify; abstract graphs with symbolic coordinates may
+// not, in which case ErrInadmissible is returned.
+func (g *Graph) AStarEuclidean(src, dst NodeID) ([]NodeID, float64, error) {
+	if !g.ValidNode(dst) {
+		return nil, 0, fmt.Errorf("%w: %d", ErrNodeRange, dst)
+	}
+	if !g.EuclideanAdmissible() {
+		return nil, 0, ErrInadmissible
+	}
+	target := g.Point(dst)
+	return g.AStar(src, dst, func(v NodeID) float64 {
+		return g.Point(v).Euclidean(target)
+	})
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/geo"
+)
+
+// euclideanGraph builds a random strongly connected graph whose edge
+// weights are exact Euclidean distances (admissible for A*).
+func euclideanGraph(tb testing.TB, rng *rand.Rand, n, extra int) *Graph {
+	tb.Helper()
+	b := NewBuilder(n, 2*n+extra)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEuclideanEdge(NodeID(i), NodeID((i+1)%n)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = b.AddEuclideanEdge(NodeID(u), NodeID(v))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 15; trial++ {
+		g := euclideanGraph(t, rng, 60, 150)
+		if !g.EuclideanAdmissible() {
+			t.Fatal("euclidean graph must be admissible")
+		}
+		for probe := 0; probe < 10; probe++ {
+			src := NodeID(rng.Intn(60))
+			dst := NodeID(rng.Intn(60))
+			path, d, err := g.AStarEuclidean(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want, err := g.ShortestPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d-want) > 1e-6 {
+				t.Fatalf("trial %d: A* %v != Dijkstra %v", trial, d, want)
+			}
+			l, err := g.PathLength(path)
+			if err != nil {
+				t.Fatalf("A* path invalid: %v", err)
+			}
+			if math.Abs(l-d) > 1e-6 {
+				t.Fatalf("A* path length %v != reported %v", l, d)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("endpoints wrong: %v", path)
+			}
+		}
+	}
+}
+
+func TestAStarNilHeuristicIsDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	g := randomConnected(rng, 40, 100)
+	for probe := 0; probe < 20; probe++ {
+		src := NodeID(rng.Intn(40))
+		dst := NodeID(rng.Intn(40))
+		_, d, err := g.AStar(src, dst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := g.ShortestPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("A*(nil) %v != Dijkstra %v", d, want)
+		}
+	}
+}
+
+func TestAStarInadmissible(t *testing.T) {
+	// Unit weights but far-apart coordinates: straight line overestimates.
+	b := NewBuilder(2, 1)
+	u := b.AddNode(geo.Pt(0, 0))
+	v := b.AddNode(geo.Pt(1000, 0))
+	if err := b.AddEdge(u, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EuclideanAdmissible() {
+		t.Fatal("graph should be inadmissible")
+	}
+	if _, _, err := g.AStarEuclidean(u, v); !errors.Is(err, ErrInadmissible) {
+		t.Errorf("err = %v, want ErrInadmissible", err)
+	}
+	// Plain AStar with a zero heuristic still works.
+	_, d, err := g.AStar(u, v, nil)
+	if err != nil || d != 1 {
+		t.Errorf("AStar = %v, %v", d, err)
+	}
+}
+
+func TestAStarErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	g := euclideanGraph(t, rng, 10, 10)
+	if _, _, err := g.AStar(-1, 0, nil); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("bad src: %v", err)
+	}
+	if _, _, err := g.AStarEuclidean(0, 99); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("bad dst: %v", err)
+	}
+	// Unreachable target on a one-way pair.
+	b := NewBuilder(2, 1)
+	u := b.AddNode(geo.Pt(0, 0))
+	v := b.AddNode(geo.Pt(1, 0))
+	if err := b.AddEuclideanEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g2.AStarEuclidean(v, u); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("unreachable: %v", err)
+	}
+}
+
+func BenchmarkAStarVsDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(507))
+	g := euclideanGraph(b, rng, 2000, 6000)
+	b.Run("astar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, _ = g.AStarEuclidean(NodeID(i%2000), NodeID((i*7+13)%2000))
+		}
+	})
+	b.Run("dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, _ = g.ShortestPath(NodeID(i%2000), NodeID((i*7+13)%2000))
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// BidirectionalShortestPath finds a shortest path from src to dst by
+// running Dijkstra simultaneously from src (forward) and dst (backward on
+// the reverse graph), stopping when the frontiers guarantee optimality
+// (topF + topB >= best meeting distance). On road networks it settles
+// roughly half the nodes a unidirectional query does and needs no
+// geometric heuristic, complementing AStarEuclidean for graphs whose
+// weights are not distance-dominated.
+func (g *Graph) BidirectionalShortestPath(src, dst NodeID) ([]NodeID, float64, error) {
+	if !g.ValidNode(src) || !g.ValidNode(dst) {
+		return nil, 0, fmt.Errorf("%w: (%d,%d)", ErrNodeRange, src, dst)
+	}
+	if src == dst {
+		return []NodeID{src}, 0, nil
+	}
+	n := g.NumNodes()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	parentF := make([]NodeID, n)
+	parentB := make([]NodeID, n)
+	settledF := make([]bool, n)
+	settledB := make([]bool, n)
+	for i := 0; i < n; i++ {
+		distF[i] = math.Inf(1)
+		distB[i] = math.Inf(1)
+		parentF[i] = Invalid
+		parentB[i] = Invalid
+	}
+	distF[src], distB[dst] = 0, 0
+	hF, hB := newDistHeap(64), newDistHeap(64)
+	hF.push(src, 0)
+	hB.push(dst, 0)
+	best := math.Inf(1)
+	meet := Invalid
+
+	relax := func(u NodeID, forward bool) {
+		du := distF[u]
+		dist, parent, other := distF, parentF, distB
+		if !forward {
+			du = distB[u]
+			dist, parent, other = distB, parentB, distF
+		}
+		visit := func(v NodeID, w float64) bool {
+			if nd := du + w; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				if forward {
+					hF.push(v, nd)
+				} else {
+					hB.push(v, nd)
+				}
+			}
+			// Track the best meeting point across the two searches.
+			if total := dist[v] + other[v]; total < best {
+				best = total
+				meet = v
+			}
+			return true
+		}
+		if forward {
+			g.ForEachOut(u, visit)
+		} else {
+			g.ForEachIn(u, visit)
+		}
+	}
+
+	for hF.len() > 0 || hB.len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if hF.len() > 0 {
+			topF = hF.dist[0]
+		}
+		if hB.len() > 0 {
+			topB = hB.dist[0]
+		}
+		// Termination: no undiscovered meeting can beat the incumbent.
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB && hF.len() > 0 {
+			u, d := hF.pop()
+			if d > distF[u] || settledF[u] {
+				continue
+			}
+			settledF[u] = true
+			relax(u, true)
+		} else if hB.len() > 0 {
+			u, d := hB.pop()
+			if d > distB[u] || settledB[u] {
+				continue
+			}
+			settledB[u] = true
+			relax(u, false)
+		}
+	}
+	if meet == Invalid || math.IsInf(best, 1) {
+		return nil, 0, fmt.Errorf("%w: %d to %d", ErrUnreachable, src, dst)
+	}
+	// Assemble src..meet..dst.
+	var head []NodeID
+	for cur := meet; cur != Invalid; cur = parentF[cur] {
+		head = append(head, cur)
+	}
+	for i, j := 0, len(head)-1; i < j; i, j = i+1, j-1 {
+		head[i], head[j] = head[j], head[i]
+	}
+	for cur := parentB[meet]; cur != Invalid; cur = parentB[cur] {
+		head = append(head, cur)
+	}
+	return head, best, nil
+}

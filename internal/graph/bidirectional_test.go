@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/geo"
+)
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1101))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnected(rng, 60, 180)
+		for probe := 0; probe < 15; probe++ {
+			src := NodeID(rng.Intn(60))
+			dst := NodeID(rng.Intn(60))
+			path, d, err := g.BidirectionalShortestPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want, err := g.ShortestPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d-want) > 1e-9 {
+				t.Fatalf("trial %d: bidir %v != dijkstra %v (src=%d dst=%d)",
+					trial, d, want, src, dst)
+			}
+			l, err := g.PathLength(path)
+			if err != nil {
+				t.Fatalf("invalid path: %v (%v)", err, path)
+			}
+			if math.Abs(l-d) > 1e-9 {
+				t.Fatalf("path length %v != reported %v", l, d)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("endpoints wrong: %v", path)
+			}
+		}
+	}
+}
+
+func TestBidirectionalTrivialAndErrors(t *testing.T) {
+	g := line(t, 4)
+	path, d, err := g.BidirectionalShortestPath(2, 2)
+	if err != nil || d != 0 || len(path) != 1 {
+		t.Errorf("self query: %v %v %v", path, d, err)
+	}
+	if _, _, err := g.BidirectionalShortestPath(-1, 2); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("bad src: %v", err)
+	}
+	// Unreachable on a one-way pair.
+	b := NewBuilder(2, 1)
+	u := b.AddNode(geo.Pt(0, 0))
+	v := b.AddNode(geo.Pt(1, 0))
+	if err := b.AddEdge(u, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g2.BidirectionalShortestPath(v, u); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("unreachable: %v", err)
+	}
+	// Reachable direction works.
+	path, d, err = g2.BidirectionalShortestPath(u, v)
+	if err != nil || d != 1 || len(path) != 2 {
+		t.Errorf("forward: %v %v %v", path, d, err)
+	}
+}
+
+func TestBidirectionalDirectedAsymmetry(t *testing.T) {
+	// A directed cycle where forward distance differs from backward.
+	b := NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID((i+1)%4), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d01, err := g.BidirectionalShortestPath(0, 1)
+	if err != nil || d01 != 1 {
+		t.Errorf("d(0,1) = %v, %v", d01, err)
+	}
+	_, d10, err := g.BidirectionalShortestPath(1, 0)
+	if err != nil || d10 != 9 { // 2+3+4 around the cycle
+		t.Errorf("d(1,0) = %v, %v", d10, err)
+	}
+}
+
+func BenchmarkBidirectionalVsDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(1103))
+	g := euclideanGraph(b, rng, 2000, 6000)
+	b.Run("bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, _ = g.BidirectionalShortestPath(NodeID(i%2000), NodeID((i*7+13)%2000))
+		}
+	})
+	b.Run("dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, _ = g.ShortestPath(NodeID(i%2000), NodeID((i*7+13)%2000))
+		}
+	})
+}

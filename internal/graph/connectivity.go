@@ -1,0 +1,155 @@
+package graph
+
+// StronglyConnected reports whether every node can reach every other node.
+// Road networks for the placement problem must be strongly connected so
+// that detour distances are finite; city generators call this after
+// pruning edges. Implemented as forward + reverse BFS from node 0, which is
+// equivalent to full SCC detection for the single-component question.
+func (g *Graph) StronglyConnected() bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return false
+	}
+	return g.reachCount(0, false) == n && g.reachCount(0, true) == n
+}
+
+// reachCount returns how many nodes are reachable from root following
+// forward (or reverse) edges.
+func (g *Graph) reachCount(root NodeID, reverse bool) int {
+	seen := make([]bool, g.NumNodes())
+	seen[root] = true
+	stack := make([]NodeID, 0, g.NumNodes())
+	stack = append(stack, root)
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(v NodeID, _ float64) bool {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+			return true
+		}
+		if reverse {
+			g.ForEachIn(u, visit)
+		} else {
+			g.ForEachOut(u, visit)
+		}
+	}
+	return count
+}
+
+// LargestSCC returns the node set of the largest strongly connected
+// component, using Kosaraju's two-pass algorithm. City generators keep only
+// this component so every origin-destination pair has finite distance.
+func (g *Graph) LargestSCC() []NodeID {
+	n := g.NumNodes()
+	// First pass: finish order on the forward graph (iterative DFS).
+	visited := make([]bool, n)
+	order := make([]NodeID, 0, n)
+	type frame struct {
+		node NodeID
+		edge int32
+	}
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack = append(stack[:0], frame{node: NodeID(s)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			lo, hi := g.outOff[f.node], g.outOff[f.node+1]
+			advanced := false
+			for i := lo + f.edge; i < hi; i++ {
+				f.edge++
+				v := g.outDst[i]
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, frame{node: v})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				order = append(order, f.node)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	// Second pass: reverse-graph DFS in reverse finish order.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var compID int32
+	var best []NodeID
+	var work []NodeID
+	for i := n - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] >= 0 {
+			continue
+		}
+		members := work[:0]
+		comp[root] = compID
+		members = append(members, root)
+		for head := 0; head < len(members); head++ {
+			u := members[head]
+			g.ForEachIn(u, func(v NodeID, _ float64) bool {
+				if comp[v] < 0 {
+					comp[v] = compID
+					members = append(members, v)
+				}
+				return true
+			})
+		}
+		if len(members) > len(best) {
+			best = append([]NodeID(nil), members...)
+		}
+		work = members // reuse backing array
+		compID++
+	}
+	return best
+}
+
+// InducedSubgraph builds a new graph over the given node subset, remapping
+// IDs to 0..len(keep)-1 in the order given, and returns the new graph plus
+// the old-to-new ID mapping (Invalid for dropped nodes).
+func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, []NodeID, error) {
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = Invalid
+	}
+	b := NewBuilder(len(keep), len(keep)*4)
+	for newID, old := range keep {
+		if !g.ValidNode(old) {
+			return nil, nil, ErrNodeRange
+		}
+		remap[old] = NodeID(newID)
+		b.AddNode(g.Point(old))
+	}
+	for _, old := range keep {
+		u := remap[old]
+		var err error
+		g.ForEachOut(old, func(v NodeID, w float64) bool {
+			if nv := remap[v]; nv != Invalid {
+				err = b.AddEdge(u, nv, w)
+				if err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, remap, nil
+}

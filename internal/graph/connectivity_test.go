@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadside/internal/geo"
+)
+
+func TestStronglyConnected(t *testing.T) {
+	if !line(t, 5).StronglyConnected() {
+		t.Error("bidirectional line should be strongly connected")
+	}
+	// One-way line is not.
+	b := NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.StronglyConnected() {
+		t.Error("one-way line should not be strongly connected")
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	// Two 3-cycles joined by a single one-way edge, plus an isolated node.
+	b := NewBuilder(7, 8)
+	for i := 0; i < 7; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 0}} {
+		_ = b.AddEdge(e[0], e[1], 1)
+	}
+	for _, e := range [][2]NodeID{{3, 4}, {4, 5}, {5, 3}} {
+		_ = b.AddEdge(e[0], e[1], 1)
+	}
+	_ = b.AddEdge(2, 3, 1)
+	// Enlarge one cycle so "largest" is unambiguous: add node 6 into the
+	// second cycle.
+	_ = b.AddEdge(5, 6, 1)
+	_ = b.AddEdge(6, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc := g.LargestSCC()
+	if len(scc) != 4 {
+		t.Fatalf("largest SCC size = %d, want 4 (%v)", len(scc), scc)
+	}
+	want := map[NodeID]bool{3: true, 4: true, 5: true, 6: true}
+	for _, v := range scc {
+		if !want[v] {
+			t.Errorf("unexpected member %d", v)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := line(t, 5)
+	sub, remap, err := g.InducedSubgraph([]NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 || sub.NumEdges() != 4 {
+		t.Fatalf("sub: n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if remap[0] != Invalid || remap[4] != Invalid {
+		t.Error("dropped nodes should map to Invalid")
+	}
+	if remap[1] != 0 || remap[2] != 1 || remap[3] != 2 {
+		t.Errorf("remap = %v", remap)
+	}
+	if !sub.StronglyConnected() {
+		t.Error("line segment should stay strongly connected")
+	}
+	if sub.Point(0) != g.Point(1) {
+		t.Error("coordinates not preserved")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{99}); err == nil {
+		t.Error("bad keep list accepted")
+	}
+}
+
+func TestLargestSCCThenSubgraphIsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		// Random sparse digraph, often not strongly connected.
+		n := 50
+		b := NewBuilder(n, 3*n)
+		for i := 0; i < n; i++ {
+			b.AddNode(geo.Pt(rng.Float64()*100, rng.Float64()*100))
+		}
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = b.AddEdge(NodeID(u), NodeID(v), 1+rng.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scc := g.LargestSCC()
+		if len(scc) == 0 {
+			t.Fatal("empty SCC")
+		}
+		sub, _, err := g.InducedSubgraph(scc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sub.StronglyConnected() {
+			t.Fatalf("trial %d: induced SCC not strongly connected", trial)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package graph
+
+// distHeap is a binary min-heap of (node, dist) entries specialized for
+// Dijkstra. It admits duplicate entries for the same node; stale entries are
+// skipped by the caller via the settled check (lazy deletion), which is
+// simpler and in practice faster than an indexed decrease-key heap for
+// road-network densities.
+type distHeap struct {
+	node []NodeID
+	dist []float64
+}
+
+func newDistHeap(capacity int) *distHeap {
+	return &distHeap{
+		node: make([]NodeID, 0, capacity),
+		dist: make([]float64, 0, capacity),
+	}
+}
+
+func (h *distHeap) len() int { return len(h.node) }
+
+func (h *distHeap) reset() {
+	h.node = h.node[:0]
+	h.dist = h.dist[:0]
+}
+
+func (h *distHeap) push(n NodeID, d float64) {
+	h.node = append(h.node, n)
+	h.dist = append(h.dist, d)
+	i := len(h.node) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.dist[parent] <= h.dist[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() (NodeID, float64) {
+	n, d := h.node[0], h.dist[0]
+	last := len(h.node) - 1
+	h.node[0], h.dist[0] = h.node[last], h.dist[last]
+	h.node = h.node[:last]
+	h.dist = h.dist[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.dist[l] < h.dist[smallest] {
+			smallest = l
+		}
+		if r < last && h.dist[r] < h.dist[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return n, d
+}
+
+func (h *distHeap) swap(i, j int) {
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"roadside/internal/geo"
+)
+
+// jsonGraph is the serialized form of a Graph: a node coordinate list and a
+// directed edge list. The format is stable and consumed by the cmd tools.
+type jsonGraph struct {
+	Nodes []geo.Point `json:"nodes"`
+	Edges []jsonEdge  `json:"edges"`
+}
+
+type jsonEdge struct {
+	From   NodeID  `json:"from"`
+	To     NodeID  `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteJSON serializes g to w in the stable JSON interchange format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{
+		Nodes: g.Points(),
+		Edges: make([]jsonEdge, 0, g.NumEdges()),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		g.ForEachOut(NodeID(u), func(v NodeID, wt float64) bool {
+			jg.Edges = append(jg.Edges, jsonEdge{From: NodeID(u), To: v, Weight: wt})
+			return true
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jg); err != nil {
+		return fmt.Errorf("graph: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a graph from the JSON interchange format.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	b := NewBuilder(len(jg.Nodes), len(jg.Edges))
+	for _, p := range jg.Nodes {
+		b.AddNode(p)
+	}
+	for i, e := range jg.Edges {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: build: %w", err)
+	}
+	return g, nil
+}

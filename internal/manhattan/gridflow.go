@@ -1,0 +1,246 @@
+package manhattan
+
+import (
+	"fmt"
+
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// GridFlow is a traffic flow crossing the square region: it enters through
+// one boundary side at a given street index and exits through a different
+// side. Its route inside the region is any rectilinear shortest path
+// between entry and exit nodes.
+type GridFlow struct {
+	// ID is a human-readable identifier.
+	ID string
+	// EntrySide / EntryIndex give the boundary street the flow enters on:
+	// for West/East the index is a row, for North/South a column.
+	EntrySide  BoundarySide
+	EntryIndex int
+	// ExitSide / ExitIndex give the boundary street the flow leaves on.
+	ExitSide  BoundarySide
+	ExitIndex int
+	// Volume is the number of drivers per day.
+	Volume float64
+	// Alpha is the advertisement attractiveness.
+	Alpha float64
+}
+
+// Kind classifies a grid flow per Definition 3 of the paper.
+type Kind int
+
+// Flow kinds. Straight flows run along one street; turned flows enter and
+// exit through different orientations; Other flows share an orientation but
+// jog between parallel streets (neither straight nor turned).
+const (
+	Straight Kind = iota + 1
+	Turned
+	Other
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Straight:
+		return "straight"
+	case Turned:
+		return "turned"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// boundaryNode maps (side, index) to the grid intersection on that
+// boundary.
+func (s *Scenario) boundaryNode(side BoundarySide, idx int) (graph.NodeID, error) {
+	if idx < 0 || idx >= s.n {
+		return graph.Invalid, fmt.Errorf("%w: %d on %s", ErrBadIdx, idx, side)
+	}
+	switch side {
+	case West:
+		return graph.NodeID(idx*s.n + 0), nil
+	case East:
+		return graph.NodeID(idx*s.n + s.n - 1), nil
+	case South:
+		return graph.NodeID(0*s.n + idx), nil
+	case North:
+		return graph.NodeID((s.n-1)*s.n + idx), nil
+	default:
+		return graph.Invalid, fmt.Errorf("%w: %v", ErrBadSide, side)
+	}
+}
+
+// Validate checks the flow's sides and indices against the scenario.
+func (s *Scenario) Validate(f GridFlow) error {
+	if f.EntrySide == f.ExitSide {
+		return fmt.Errorf("%w: flow %q enters and exits the %s side",
+			ErrBadSide, f.ID, f.EntrySide)
+	}
+	entry, err := s.boundaryNode(f.EntrySide, f.EntryIndex)
+	if err != nil {
+		return fmt.Errorf("flow %q entry: %w", f.ID, err)
+	}
+	exit, err := s.boundaryNode(f.ExitSide, f.ExitIndex)
+	if err != nil {
+		return fmt.Errorf("flow %q exit: %w", f.ID, err)
+	}
+	if entry == exit {
+		return fmt.Errorf("%w: flow %q entry equals exit", ErrBadSide, f.ID)
+	}
+	if f.Volume <= 0 || f.Alpha < 0 || f.Alpha > 1 {
+		return fmt.Errorf("manhattan: flow %q: bad volume/alpha (%v, %v)",
+			ErrBadSide, f.Volume, f.Alpha)
+	}
+	return nil
+}
+
+// Endpoints returns the entry and exit intersections of the flow.
+func (s *Scenario) Endpoints(f GridFlow) (entry, exit graph.NodeID, err error) {
+	if err := s.Validate(f); err != nil {
+		return graph.Invalid, graph.Invalid, err
+	}
+	entry, _ = s.boundaryNode(f.EntrySide, f.EntryIndex)
+	exit, _ = s.boundaryNode(f.ExitSide, f.ExitIndex)
+	return entry, exit, nil
+}
+
+// Classify labels the flow per Definition 3: straight (one street end to
+// end), turned (orientation change), or other.
+func (s *Scenario) Classify(f GridFlow) Kind {
+	if f.EntrySide.horizontal() != f.ExitSide.horizontal() {
+		return Turned
+	}
+	// Same orientation, opposite sides (Validate rejects the same side).
+	if f.EntryIndex == f.ExitIndex {
+		return Straight
+	}
+	return Other
+}
+
+// ShortestPathNodes returns every intersection lying on at least one
+// rectilinear shortest path between the flow's entry and exit: the monotone
+// rectangle spanned by the two endpoints, with the entry first and the exit
+// last. For a straight flow this degenerates to the single street line.
+func (s *Scenario) ShortestPathNodes(f GridFlow) ([]graph.NodeID, error) {
+	entry, exit, err := s.Endpoints(f)
+	if err != nil {
+		return nil, err
+	}
+	re, ce := s.RC(entry)
+	rx, cx := s.RC(exit)
+	r0, r1 := minMax(re, rx)
+	c0, c1 := minMax(ce, cx)
+	nodes := make([]graph.NodeID, 0, (r1-r0+1)*(c1-c0+1))
+	nodes = append(nodes, entry)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			id := graph.NodeID(r*s.n + c)
+			if id != entry && id != exit {
+				nodes = append(nodes, id)
+			}
+		}
+	}
+	nodes = append(nodes, exit)
+	return nodes, nil
+}
+
+// FixedPathNodes returns ONE concrete shortest path (entry to exit) for the
+// general-scenario comparison: the L-shaped path that first adjusts the
+// row, then the column. This is what Section III's fixed-route model would
+// use on the same demand.
+func (s *Scenario) FixedPathNodes(f GridFlow) ([]graph.NodeID, error) {
+	entry, exit, err := s.Endpoints(f)
+	if err != nil {
+		return nil, err
+	}
+	re, ce := s.RC(entry)
+	rx, cx := s.RC(exit)
+	nodes := make([]graph.NodeID, 0, abs(rx-re)+abs(cx-ce)+1)
+	r, c := re, ce
+	nodes = append(nodes, entry)
+	for r != rx {
+		r += sign(rx - r)
+		nodes = append(nodes, graph.NodeID(r*s.n+c))
+	}
+	for c != cx {
+		c += sign(cx - c)
+		nodes = append(nodes, graph.NodeID(r*s.n+c))
+	}
+	return nodes, nil
+}
+
+// Problem assembles a core placement problem under the Manhattan-scenario
+// semantics: each grid flow's "path" is its full shortest-path node set, so
+// the core engine's minimum-detour evaluation equals the grid objective.
+func (s *Scenario) Problem(flows []GridFlow, u utility.Function, k int) (*core.Problem, error) {
+	return s.problem(flows, u, k, s.ShortestPathNodes)
+}
+
+// FixedProblem assembles the general-scenario counterpart on the same
+// demand: every flow follows one fixed shortest path (row-first L-shape).
+// Comparing Problem vs FixedProblem isolates the benefit of path choice
+// that the paper observes between Figs. 12 and 13.
+func (s *Scenario) FixedProblem(flows []GridFlow, u utility.Function, k int) (*core.Problem, error) {
+	return s.problem(flows, u, k, s.FixedPathNodes)
+}
+
+func (s *Scenario) problem(
+	flows []GridFlow,
+	u utility.Function,
+	k int,
+	expand func(GridFlow) ([]graph.NodeID, error),
+) (*core.Problem, error) {
+	fl := make([]flow.Flow, 0, len(flows))
+	for i, gf := range flows {
+		nodes, err := expand(gf)
+		if err != nil {
+			return nil, fmt.Errorf("manhattan: flow %d: %w", i, err)
+		}
+		f, err := flow.New(gf.ID, nodes, gf.Volume, gf.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("manhattan: flow %d: %w", i, err)
+		}
+		fl = append(fl, f)
+	}
+	fs, err := flow.NewSet(fl)
+	if err != nil {
+		return nil, fmt.Errorf("manhattan: %w", err)
+	}
+	return &core.Problem{
+		Graph:   s.g,
+		Shop:    s.shop,
+		Flows:   fs,
+		Utility: u,
+		K:       k,
+	}, nil
+}
+
+func minMax(a, b int) (int, int) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func sign(a int) int {
+	switch {
+	case a > 0:
+		return 1
+	case a < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,116 @@
+package manhattan
+
+import (
+	"fmt"
+	"math"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// GridPlan materializes the route a driver of a crossing flow actually
+// takes under a placement, realizing Section IV's path-choice rule: if any
+// shortest path carries a RAP the driver takes (one of) the RAP-bearing
+// paths — preferring the RAP with the smallest detour — and then detours to
+// the shop with probability f(detour).
+type GridPlan struct {
+	// Covered reports whether some placed RAP lies on a shortest path.
+	Covered bool
+	// Detours reports whether the driver actually diverts to the shop.
+	Detours bool
+	// RAP is the chosen advertisement point, or Invalid.
+	RAP graph.NodeID
+	// Detour is the extra distance of the side trip (+Inf uncovered).
+	Detour float64
+	// Prob is the detour probability.
+	Prob float64
+	// Path is the driven node sequence: a shortest entry-to-exit path
+	// when not detouring (through the RAP if one is covered), or the
+	// RAP-bearing prefix plus the shop side trip when detouring.
+	Path []graph.NodeID
+}
+
+// Plan computes the grid drive plan for one crossing flow.
+func (s *Scenario) Plan(f GridFlow, nodes []graph.NodeID, u utility.Function) (*GridPlan, error) {
+	entry, exit, err := s.Endpoints(f)
+	if err != nil {
+		return nil, err
+	}
+	onPath, err := s.ShortestPathNodes(f)
+	if err != nil {
+		return nil, err
+	}
+	inRect := make(map[graph.NodeID]bool, len(onPath))
+	for _, v := range onPath {
+		inRect[v] = true
+	}
+	shopPt := s.g.Point(s.shop)
+	exitPt := s.g.Point(exit)
+	plan := &GridPlan{RAP: graph.Invalid, Detour: math.Inf(1)}
+	for _, v := range nodes {
+		if !s.g.ValidNode(v) {
+			return nil, fmt.Errorf("manhattan: %w: %d", graph.ErrNodeRange, v)
+		}
+		if !inRect[v] {
+			continue
+		}
+		vp := s.g.Point(v)
+		d := vp.Manhattan(shopPt) + shopPt.Manhattan(exitPt) - vp.Manhattan(exitPt)
+		if d < plan.Detour {
+			plan.Detour = d
+			plan.RAP = v
+		}
+	}
+	if plan.RAP == graph.Invalid {
+		// No RAP on any shortest path: drive one canonical shortest path.
+		plan.Path, err = s.FixedPathNodes(f)
+		return plan, err
+	}
+	plan.Covered = true
+	plan.Prob = u.Prob(plan.Detour, f.Alpha)
+	dag, err := graph.NewSPDAG(s.g, entry)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Prob <= 0 {
+		// Free advertisement but no detour: still divert the route
+		// through the RAP (it costs nothing).
+		plan.Path, err = dag.ViaPath(plan.RAP, exit)
+		return plan, err
+	}
+	plan.Detours = true
+	// Prefix: a shortest entry -> RAP path (tight in the DAG).
+	prefix, err := dag.ViaPath(plan.RAP, plan.RAP)
+	if err != nil {
+		return nil, err
+	}
+	toShop, _, err := s.g.ShortestPath(plan.RAP, s.shop)
+	if err != nil {
+		return nil, err
+	}
+	fromShop, _, err := s.g.ShortestPath(s.shop, exit)
+	if err != nil {
+		return nil, err
+	}
+	path := append([]graph.NodeID(nil), prefix...)
+	path = append(path, toShop[1:]...)
+	path = append(path, fromShop[1:]...)
+	plan.Path = path
+	return plan, nil
+}
+
+// PlanAll plans every flow and returns the expected number of detouring
+// drivers, which equals the grid engine's Evaluate for the same placement.
+func (s *Scenario) PlanAll(flows []GridFlow, nodes []graph.NodeID, u utility.Function) ([]*GridPlan, float64, error) {
+	plans := make([]*GridPlan, 0, len(flows))
+	var expected float64
+	for i, f := range flows {
+		plan, err := s.Plan(f, nodes, u)
+		if err != nil {
+			return nil, 0, fmt.Errorf("manhattan: flow %d: %w", i, err)
+		}
+		plans = append(plans, plan)
+		expected += plan.Prob * f.Volume
+	}
+	return plans, expected, nil
+}

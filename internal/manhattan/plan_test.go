@@ -1,0 +1,149 @@
+package manhattan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+func TestGridPlanUncovered(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	f := gf(West, 0, East, 0, 10) // straight along the south edge
+	plan, err := s.Plan(f, nil, utility.Threshold{D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Covered || plan.Detours || plan.RAP != graph.Invalid {
+		t.Errorf("plan = %+v", plan)
+	}
+	l, err := s.Graph().PathLength(plan.Path)
+	if err != nil || l != 4 {
+		t.Errorf("path length %v, %v", l, err)
+	}
+}
+
+func TestGridPlanFreeAdNoDetour(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	// Turned flow west row 3 -> south col 3; RAP at the SW corner lies on
+	// a shortest path. With a tiny threshold the detour probability is 0,
+	// but the driver still reroutes through the corner for the free ad.
+	f := gf(West, 3, South, 3, 10)
+	corner := s.Corners()[0] // SW
+	plan, err := s.Plan(f, []graph.NodeID{corner}, utility.Threshold{D: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Covered || plan.Detours || plan.Prob != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Path still has shortest length and passes the corner.
+	entry, exit, err := s.Endpoints(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Graph().Point(entry).Manhattan(s.Graph().Point(exit))
+	l, err := s.Graph().PathLength(plan.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-want) > 1e-9 {
+		t.Errorf("rerouted path length %v, want %v", l, want)
+	}
+	found := false
+	for _, v := range plan.Path {
+		if v == corner {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("path %v misses the RAP corner", plan.Path)
+	}
+}
+
+func TestGridPlanDetourPath(t *testing.T) {
+	s := mustScenario(t, 5, 100)
+	f := gf(West, 2, East, 2, 10) // straight through the shop's row
+	// RAP on the shop row, west of the shop: detour 0 (shop on the way).
+	rap, err := s.Node(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Plan(f, []graph.NodeID{rap}, utility.Linear{D: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Detours || plan.Detour != 0 || plan.RAP != rap {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Driven length equals the shortest crossing (detour 0).
+	l, err := s.Graph().PathLength(plan.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 400 {
+		t.Errorf("driven %v, want 400", l)
+	}
+	// Path passes the shop.
+	found := false
+	for _, v := range plan.Path {
+		if v == s.Shop() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("path misses the shop")
+	}
+}
+
+// PlanAll's expectation equals the grid engine's Evaluate.
+func TestGridPlanAllMatchesEvaluate(t *testing.T) {
+	s := mustScenario(t, 7, 100)
+	rng := rand.New(rand.NewSource(401))
+	flows := randomGridFlows(t, s, rng, 25)
+	u := utility.Linear{D: s.Side()}
+	e, err := s.Engine(flows, u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []graph.NodeID{3, 17, 24, 30, 44}
+	plans, expected, err := s.PlanAll(flows, nodes, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(expected-e.Evaluate(nodes)) > 1e-6 {
+		t.Fatalf("PlanAll %v != Evaluate %v", expected, e.Evaluate(nodes))
+	}
+	// Every detouring plan's driven length = shortest crossing + detour.
+	for i, plan := range plans {
+		l, err := s.Graph().PathLength(plan.Path)
+		if err != nil {
+			t.Fatalf("flow %d: invalid path: %v", i, err)
+		}
+		entry, exit, err := s.Endpoints(flows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := s.Graph().Point(entry).Manhattan(s.Graph().Point(exit))
+		if plan.Detours {
+			if math.Abs(l-(base+plan.Detour)) > 1e-6 {
+				t.Fatalf("flow %d: driven %v != base %v + detour %v",
+					i, l, base, plan.Detour)
+			}
+		} else if math.Abs(l-base) > 1e-9 {
+			t.Fatalf("flow %d: non-detour path %v != shortest %v", i, l, base)
+		}
+	}
+}
+
+func TestGridPlanBadInputs(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	if _, err := s.Plan(gf(West, 1, West, 2, 1), nil, utility.Linear{D: 4}); err == nil {
+		t.Error("invalid flow accepted")
+	}
+	if _, err := s.Plan(gf(West, 1, East, 2, 1), []graph.NodeID{999}, utility.Linear{D: 4}); err == nil {
+		t.Error("invalid RAP accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package manhattan
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadside/internal/opt"
+	"roadside/internal/utility"
+)
+
+// turnedStraightFlows samples flows restricted to the kinds Theorems 3 and
+// 4 cover.
+func turnedStraightFlows(t *testing.T, s *Scenario, rng *rand.Rand, count int) []GridFlow {
+	t.Helper()
+	sides := []BoundarySide{West, East, North, South}
+	flows := make([]GridFlow, 0, count)
+	for len(flows) < count {
+		f := gf(sides[rng.Intn(4)], rng.Intn(s.N()), sides[rng.Intn(4)], rng.Intn(s.N()),
+			1+rng.Float64()*19)
+		if s.Validate(f) != nil {
+			continue
+		}
+		if k := s.Classify(f); k != Straight && k != Turned {
+			continue
+		}
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+// Ensemble validation of Theorem 3 across many random demand draws.
+func TestTheorem3RatioEnsemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble")
+	}
+	s := mustScenario(t, 5, 1)
+	u := utility.Threshold{D: s.Side()}
+	const k = 5
+	ratio := 1 - 4.0/k
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		flows := turnedStraightFlows(t, s, rng, 10+rng.Intn(8))
+		got, err := Algorithm3(s, flows, u, k, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := s.Engine(flows, u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := opt.Exhaustive(e, opt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Attracted < ratio*best.Attracted-1e-9 {
+			t.Errorf("trial %d: Algorithm3 %v < (1-4/k) x OPT %v",
+				trial, got.Attracted, best.Attracted)
+		}
+	}
+}
+
+// Ensemble validation of Theorem 4.
+func TestTheorem4RatioEnsemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble")
+	}
+	s := mustScenario(t, 5, 1)
+	u := utility.Linear{D: s.Side()}
+	const k = 5
+	ratio := 0.5 - 2.0/k
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		flows := turnedStraightFlows(t, s, rng, 10+rng.Intn(8))
+		got, err := Algorithm4(s, flows, u, k, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := s.Engine(flows, u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := opt.Exhaustive(e, opt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Attracted < ratio*best.Attracted-1e-9 {
+			t.Errorf("trial %d: Algorithm4 %v < (1/2-2/k) x OPT %v",
+				trial, got.Attracted, best.Attracted)
+		}
+	}
+}
+
+// The exhaustive branch of the two-stage solvers must itself satisfy the
+// theorems trivially (it IS optimal); verify wiring at k = 4.
+func TestTwoStageOptimalBranchEnsemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble")
+	}
+	s := mustScenario(t, 5, 1)
+	u := utility.Threshold{D: s.Side()}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		flows := turnedStraightFlows(t, s, rng, 8)
+		got, err := Algorithm3(s, flows, u, 4, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := s.Engine(flows, u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := opt.Exhaustive(e, opt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Attracted < best.Attracted-1e-9 {
+			t.Errorf("trial %d: k<=4 branch suboptimal: %v < %v",
+				trial, got.Attracted, best.Attracted)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package manhattan implements Section IV of the paper: RAP placement on a
+// Manhattan grid street plan. The shop sits at the center of a D x D square
+// region; traffic flows cross the region along rectilinear shortest paths,
+// and — unlike the general scenario — a flow's path is not fixed a priori:
+// if any of its shortest paths passes a RAP, the drivers take that path to
+// collect the free advertisement.
+//
+// The package models this relaxed semantics by expanding each grid flow to
+// the set of nodes lying on at least one of its shortest paths (a monotone
+// rectangle between entry and exit). That node set is handed to the core
+// placement engine as a "virtual path", under which the engine's
+// minimum-detour rule computes exactly the grid-scenario objective. All
+// general-scenario solvers (Algorithms 1 and 2, the baselines, and the
+// exhaustive optimum) therefore apply unchanged, and this package adds the
+// paper's specialized two-stage solutions: Algorithm 3 (threshold utility,
+// ratio 1-4/k) and Algorithm 4 (decreasing utility, ratio 1/2-2/k).
+package manhattan
+
+import (
+	"errors"
+	"fmt"
+
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// Errors reported by scenario construction and flow validation.
+var (
+	ErrBadGrid = errors.New("manhattan: grid dimension must be odd and >= 3")
+	ErrBadSide = errors.New("manhattan: entry/exit sides invalid")
+	ErrBadIdx  = errors.New("manhattan: boundary index out of range")
+)
+
+// Scenario is an N x N Manhattan grid with uniform block length Spacing,
+// covering a square region of side (N-1)*Spacing with the shop at the
+// center intersection. N must be odd so the center exists.
+type Scenario struct {
+	n       int
+	spacing float64
+	g       *graph.Graph
+	shop    graph.NodeID
+}
+
+// NewScenario builds the grid graph. All streets are two-way with length
+// spacing.
+func NewScenario(n int, spacing float64) (*Scenario, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadGrid, n)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("%w: spacing=%v", ErrBadGrid, spacing)
+	}
+	b := graph.NewBuilder(n*n, 4*n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Pt(float64(c)*spacing, float64(r)*spacing))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				if err := b.AddStreet(graph.NodeID(r*n+c), graph.NodeID(r*n+c+1), spacing); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < n {
+				if err := b.AddStreet(graph.NodeID(r*n+c), graph.NodeID((r+1)*n+c), spacing); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m := (n - 1) / 2
+	return &Scenario{
+		n:       n,
+		spacing: spacing,
+		g:       g,
+		shop:    graph.NodeID(m*n + m),
+	}, nil
+}
+
+// N returns the grid dimension.
+func (s *Scenario) N() int { return s.n }
+
+// Spacing returns the block length in feet.
+func (s *Scenario) Spacing() float64 { return s.spacing }
+
+// Side returns the region's side length D = (N-1) * Spacing.
+func (s *Scenario) Side() float64 { return float64(s.n-1) * s.spacing }
+
+// Graph returns the underlying street graph.
+func (s *Scenario) Graph() *graph.Graph { return s.g }
+
+// Shop returns the center intersection hosting the shop.
+func (s *Scenario) Shop() graph.NodeID { return s.shop }
+
+// Node returns the intersection at grid row r (south = 0) and column c
+// (west = 0).
+func (s *Scenario) Node(r, c int) (graph.NodeID, error) {
+	if r < 0 || r >= s.n || c < 0 || c >= s.n {
+		return graph.Invalid, fmt.Errorf("%w: (%d,%d)", ErrBadIdx, r, c)
+	}
+	return graph.NodeID(r*s.n + c), nil
+}
+
+// RC returns the grid coordinates of a node.
+func (s *Scenario) RC(id graph.NodeID) (r, c int) {
+	return int(id) / s.n, int(id) % s.n
+}
+
+// Corners returns the four corner intersections (SW, SE, NE, NW), the
+// stage-one placement of Algorithm 3.
+func (s *Scenario) Corners() [4]graph.NodeID {
+	n := s.n
+	return [4]graph.NodeID{
+		graph.NodeID(0),           // SW
+		graph.NodeID(n - 1),       // SE
+		graph.NodeID(n*n - 1),     // NE
+		graph.NodeID((n - 1) * n), // NW
+	}
+}
+
+// CornerMidpoints returns the four intersections halfway between each
+// corner and the shop (rounded to the grid), the stage-one placement of
+// Algorithm 4.
+func (s *Scenario) CornerMidpoints() [4]graph.NodeID {
+	m := (s.n - 1) / 2 // shop row/col
+	mid := func(a int) int { return (a + m) / 2 }
+	var out [4]graph.NodeID
+	for i, corner := range [4][2]int{{0, 0}, {0, s.n - 1}, {s.n - 1, s.n - 1}, {s.n - 1, 0}} {
+		r, c := mid(corner[0]), mid(corner[1])
+		out[i] = graph.NodeID(r*s.n + c)
+	}
+	return out
+}
+
+// Side of the grid boundary through which a flow enters or exits.
+type BoundarySide int
+
+// Boundary sides. West/East boundaries are crossed by horizontal streets;
+// North/South by vertical streets.
+const (
+	West BoundarySide = iota + 1
+	East
+	North
+	South
+)
+
+// String returns the side name.
+func (b BoundarySide) String() string {
+	switch b {
+	case West:
+		return "west"
+	case East:
+		return "east"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	default:
+		return fmt.Sprintf("side(%d)", int(b))
+	}
+}
+
+// horizontal reports whether the side is crossed by horizontal streets.
+func (b BoundarySide) horizontal() bool { return b == West || b == East }

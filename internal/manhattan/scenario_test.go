@@ -1,0 +1,111 @@
+package manhattan
+
+import (
+	"errors"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+func mustScenario(t *testing.T, n int, spacing float64) *Scenario {
+	t.Helper()
+	s, err := NewScenario(n, spacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	cases := []struct {
+		n       int
+		spacing float64
+	}{
+		{2, 1}, {4, 1}, {1, 1}, {-3, 1}, {5, 0}, {5, -2},
+	}
+	for _, c := range cases {
+		if _, err := NewScenario(c.n, c.spacing); !errors.Is(err, ErrBadGrid) {
+			t.Errorf("NewScenario(%d,%v): err = %v, want ErrBadGrid", c.n, c.spacing, err)
+		}
+	}
+}
+
+func TestScenarioGeometry(t *testing.T) {
+	s := mustScenario(t, 5, 100)
+	if s.N() != 5 || s.Spacing() != 100 || s.Side() != 400 {
+		t.Fatalf("N=%d spacing=%v side=%v", s.N(), s.Spacing(), s.Side())
+	}
+	if s.Graph().NumNodes() != 25 {
+		t.Errorf("nodes = %d", s.Graph().NumNodes())
+	}
+	// 5x5 grid: 2 * (5*4*2) directed edges.
+	if s.Graph().NumEdges() != 80 {
+		t.Errorf("edges = %d", s.Graph().NumEdges())
+	}
+	// Shop at center (2,2) = id 12.
+	if s.Shop() != 12 {
+		t.Errorf("shop = %d", s.Shop())
+	}
+	r, c := s.RC(s.Shop())
+	if r != 2 || c != 2 {
+		t.Errorf("shop rc = (%d,%d)", r, c)
+	}
+	id, err := s.Node(3, 1)
+	if err != nil || id != 16 {
+		t.Errorf("Node(3,1) = %d, %v", id, err)
+	}
+	if _, err := s.Node(5, 0); !errors.Is(err, ErrBadIdx) {
+		t.Errorf("Node out of range: %v", err)
+	}
+	if !s.Graph().StronglyConnected() {
+		t.Error("grid should be strongly connected")
+	}
+}
+
+func TestCorners(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	got := s.Corners()
+	want := [4]graph.NodeID{0, 4, 24, 20} // SW SE NE NW
+	if got != want {
+		t.Errorf("corners = %v, want %v", got, want)
+	}
+}
+
+func TestCornerMidpoints(t *testing.T) {
+	s := mustScenario(t, 9, 1) // shop at (4,4)
+	got := s.CornerMidpoints()
+	// Midpoints: SW (2,2), SE (2,6), NE (6,6), NW (6,2).
+	want := [4]graph.NodeID{2*9 + 2, 2*9 + 6, 6*9 + 6, 6*9 + 2}
+	if got != want {
+		t.Errorf("midpoints = %v, want %v", got, want)
+	}
+	// Each midpoint halves the corner-to-shop distance (within a block).
+	shopPt := s.Graph().Point(s.Shop())
+	for i, corner := range s.Corners() {
+		mid := got[i]
+		dc := s.Graph().Point(corner).Manhattan(shopPt)
+		dm := s.Graph().Point(mid).Manhattan(shopPt)
+		if dm > dc/2+s.Spacing() {
+			t.Errorf("midpoint %d too far: %v vs corner %v", i, dm, dc)
+		}
+	}
+}
+
+func TestBoundarySideString(t *testing.T) {
+	if West.String() != "west" || East.String() != "east" ||
+		North.String() != "north" || South.String() != "south" {
+		t.Error("side names wrong")
+	}
+	if BoundarySide(9).String() != "side(9)" {
+		t.Error("unknown side name wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Straight.String() != "straight" || Turned.String() != "turned" || Other.String() != "other" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}

@@ -1,0 +1,288 @@
+package manhattan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/opt"
+	"roadside/internal/utility"
+)
+
+// randomGridFlows draws valid crossing flows with random sides.
+func randomGridFlows(t *testing.T, s *Scenario, rng *rand.Rand, count int) []GridFlow {
+	t.Helper()
+	sides := []BoundarySide{West, East, North, South}
+	flows := make([]GridFlow, 0, count)
+	for len(flows) < count {
+		f := gf(sides[rng.Intn(4)], rng.Intn(s.N()), sides[rng.Intn(4)], rng.Intn(s.N()),
+			1+rng.Float64()*49)
+		if s.Validate(f) != nil {
+			continue
+		}
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+func TestAlgorithm3SmallKIsOptimal(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	rng := rand.New(rand.NewSource(101))
+	flows := randomGridFlows(t, s, rng, 12)
+	u := utility.Threshold{D: s.Side()}
+	for _, k := range []int{1, 2, 3} {
+		got, err := Algorithm3(s, flows, u, k, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := s.Engine(flows, u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := opt.Exhaustive(e, opt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Attracted-best.Attracted) > 1e-9 {
+			t.Errorf("k=%d: Algorithm3 %v != OPT %v", k, got.Attracted, best.Attracted)
+		}
+	}
+}
+
+func TestAlgorithm3SmallKBudgetFallback(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	rng := rand.New(rand.NewSource(103))
+	flows := randomGridFlows(t, s, rng, 8)
+	u := utility.Threshold{D: s.Side()}
+	// A budget of 1 DFS node forces the greedy fallback.
+	got, err := Algorithm3(s, flows, u, 2, Config{OptBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 2 {
+		t.Errorf("fallback placed %d nodes", len(got.Nodes))
+	}
+}
+
+func TestAlgorithm3StructureLargeK(t *testing.T) {
+	s := mustScenario(t, 7, 1)
+	rng := rand.New(rand.NewSource(107))
+	flows := randomGridFlows(t, s, rng, 20)
+	u := utility.Threshold{D: s.Side()}
+	const k = 7
+	got, err := Algorithm3(s, flows, u, k, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != k {
+		t.Fatalf("placed %d nodes, want %d", len(got.Nodes), k)
+	}
+	// First four nodes are the corners.
+	corners := s.Corners()
+	for i := 0; i < 4; i++ {
+		if got.Nodes[i] != corners[i] {
+			t.Errorf("node %d = %d, want corner %d", i, got.Nodes[i], corners[i])
+		}
+	}
+	// No duplicates.
+	seen := map[graph.NodeID]bool{}
+	for _, v := range got.Nodes {
+		if seen[v] {
+			t.Fatalf("duplicate node %d in %v", v, got.Nodes)
+		}
+		seen[v] = true
+	}
+	// Reported value matches a fresh evaluation.
+	e, err := s.Engine(flows, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Attracted-e.Evaluate(got.Nodes)) > 1e-9 {
+		t.Error("reported attracted inconsistent")
+	}
+}
+
+func TestAlgorithm4UsesMidpoints(t *testing.T) {
+	s := mustScenario(t, 9, 1)
+	rng := rand.New(rand.NewSource(109))
+	flows := randomGridFlows(t, s, rng, 20)
+	u := utility.Linear{D: s.Side()}
+	got, err := Algorithm4(s, flows, u, 6, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mids := s.CornerMidpoints()
+	for i := 0; i < 4; i++ {
+		if got.Nodes[i] != mids[i] {
+			t.Errorf("node %d = %d, want midpoint %d", i, got.Nodes[i], mids[i])
+		}
+	}
+}
+
+// Theorem 3 on a tiny instance where the exhaustive optimum is computable
+// for k = 5: restricted to turned and straight flows, Algorithm 3 achieves
+// at least (1 - 4/k) x OPT under the threshold utility.
+func TestTheorem3Ratio(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	rng := rand.New(rand.NewSource(113))
+	sides := []BoundarySide{West, East, North, South}
+	flows := make([]GridFlow, 0, 14)
+	for len(flows) < 14 {
+		f := gf(sides[rng.Intn(4)], rng.Intn(5), sides[rng.Intn(4)], rng.Intn(5),
+			1+rng.Float64()*19)
+		if s.Validate(f) != nil {
+			continue
+		}
+		if kind := s.Classify(f); kind != Straight && kind != Turned {
+			continue // the theorem covers turned and straight flows only
+		}
+		flows = append(flows, f)
+	}
+	u := utility.Threshold{D: s.Side()}
+	const k = 5
+	got, err := Algorithm3(s, flows, u, k, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Engine(flows, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := opt.Exhaustive(e, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := 1 - 4.0/k
+	if got.Attracted < ratio*best.Attracted-1e-9 {
+		t.Errorf("Algorithm3 %v < (1-4/k) x OPT %v", got.Attracted, best.Attracted)
+	}
+}
+
+// Theorem 4's bound for Algorithm 4 under the linear utility on turned and
+// straight flows: at least (1/2 - 2/k) x OPT.
+func TestTheorem4Ratio(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	rng := rand.New(rand.NewSource(127))
+	sides := []BoundarySide{West, East, North, South}
+	flows := make([]GridFlow, 0, 14)
+	for len(flows) < 14 {
+		f := gf(sides[rng.Intn(4)], rng.Intn(5), sides[rng.Intn(4)], rng.Intn(5),
+			1+rng.Float64()*19)
+		if s.Validate(f) != nil {
+			continue
+		}
+		if kind := s.Classify(f); kind != Straight && kind != Turned {
+			continue
+		}
+		flows = append(flows, f)
+	}
+	u := utility.Linear{D: s.Side()}
+	const k = 5
+	got, err := Algorithm4(s, flows, u, k, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Engine(flows, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := opt.Exhaustive(e, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := 0.5 - 2.0/k
+	if got.Attracted < ratio*best.Attracted-1e-9 {
+		t.Errorf("Algorithm4 %v < (1/2-2/k) x OPT %v", got.Attracted, best.Attracted)
+	}
+}
+
+// Path choice can only help: on the same demand, the grid-scenario
+// objective of any placement dominates the fixed-route objective, and the
+// greedy solution under grid semantics attracts at least as many customers.
+func TestGridSemanticsDominateFixed(t *testing.T) {
+	s := mustScenario(t, 7, 1)
+	rng := rand.New(rand.NewSource(131))
+	flows := randomGridFlows(t, s, rng, 25)
+	u := utility.Linear{D: s.Side()}
+	const k = 5
+	ge, err := s.Engine(flows, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := s.FixedEngine(flows, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same placement, both semantics.
+	for trial := 0; trial < 20; trial++ {
+		nodes := make([]graph.NodeID, k)
+		for i := range nodes {
+			nodes[i] = graph.NodeID(rng.Intn(s.Graph().NumNodes()))
+		}
+		if ge.Evaluate(nodes) < fe.Evaluate(nodes)-1e-9 {
+			t.Fatalf("grid semantics %v < fixed %v for %v",
+				ge.Evaluate(nodes), fe.Evaluate(nodes), nodes)
+		}
+	}
+	gGrid, err := core.GreedyCombined(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFixed, err := core.GreedyCombined(fe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gGrid.Attracted < gFixed.Attracted-1e-9 {
+		t.Errorf("grid greedy %v < fixed greedy %v", gGrid.Attracted, gFixed.Attracted)
+	}
+}
+
+// DisableExhaustive runs the two-stage placement at every k, including
+// k <= 4 where it places a prefix of the stage-one RAPs.
+func TestTwoStageDisableExhaustive(t *testing.T) {
+	s := mustScenario(t, 7, 1)
+	rng := rand.New(rand.NewSource(137))
+	flows := randomGridFlows(t, s, rng, 15)
+	u := utility.Threshold{D: s.Side()}
+	cfg := Config{DisableExhaustive: true}
+	corners := s.Corners()
+	for k := 1; k <= 6; k++ {
+		got, err := Algorithm3(s, flows, u, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Nodes) != k {
+			t.Fatalf("k=%d: placed %d", k, len(got.Nodes))
+		}
+		// The first min(k,4) nodes are corners in order.
+		for i := 0; i < k && i < 4; i++ {
+			if got.Nodes[i] != corners[i] {
+				t.Errorf("k=%d node %d = %d, want corner", k, i, got.Nodes[i])
+			}
+		}
+	}
+	// Against the default config at k=2, the optimal branch can only be
+	// better or equal.
+	defGot, err := Algorithm3(s, flows, u, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOpt, err := Algorithm3(s, flows, u, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defGot.Attracted < noOpt.Attracted-1e-9 {
+		t.Errorf("exhaustive branch %v below two-stage %v",
+			defGot.Attracted, noOpt.Attracted)
+	}
+}
+
+func TestTwoStageBadK(t *testing.T) {
+	s := mustScenario(t, 5, 1)
+	flows := []GridFlow{gf(West, 2, East, 2, 1)}
+	if _, err := Algorithm3(s, flows, utility.Threshold{D: 4}, 0, Config{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package opt provides a budgeted exhaustive solver for the RAP placement
+// problem. It is used to (a) verify the greedy algorithms' approximation
+// ratios on small instances (Theorems 2-4) and (b) implement the k <= 4
+// optimal branch of the Manhattan two-stage algorithms (Algorithms 3/4).
+//
+// The search enumerates k-subsets of the candidate set in
+// best-first-sorted order with a subadditive upper bound: since the
+// objective is submodular, w(S) <= sum of standalone gains w({v}), so a
+// partial solution whose value plus the sum of the best remaining
+// standalone gains cannot beat the incumbent is pruned.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+)
+
+// ErrBudget is returned when the search would exceed the combination
+// budget; callers typically fall back to a greedy solver.
+var ErrBudget = errors.New("opt: combination budget exceeded")
+
+// DefaultBudget caps the number of DFS nodes explored.
+const DefaultBudget = 20_000_000
+
+// Options configures the exhaustive search.
+type Options struct {
+	// Budget caps the number of search-tree nodes. Zero means
+	// DefaultBudget.
+	Budget int64
+}
+
+// Exhaustive returns an optimal placement of the problem's k RAPs, or
+// ErrBudget if the instance is too large for the configured budget.
+func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	p := e.Problem()
+	cands := append([]graph.NodeID(nil), e.Candidates()...)
+	k := p.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	// Quick combinatorial feasibility check: C(n, k) against budget.
+	if c := combinations(len(cands), k); c < 0 || c > budget {
+		return nil, fmt.Errorf("%w: C(%d,%d) combinations", ErrBudget, len(cands), k)
+	}
+	// Sort candidates by standalone gain, descending, for tight bounds.
+	gains := make([]float64, len(cands))
+	for i, v := range cands {
+		gains[i] = e.StandaloneGain(v)
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if gains[order[a]] != gains[order[b]] {
+			return gains[order[a]] > gains[order[b]]
+		}
+		return cands[order[a]] < cands[order[b]]
+	})
+	sortedCands := make([]graph.NodeID, len(cands))
+	sortedGains := make([]float64, len(cands))
+	for i, o := range order {
+		sortedCands[i] = cands[o]
+		sortedGains[i] = gains[o]
+	}
+	// topSum[i][r] = sum of the r largest standalone gains in
+	// sortedCands[i:], which (sorted descending) is just the next r gains.
+	prefix := make([]float64, len(cands)+1)
+	for i := len(cands) - 1; i >= 0; i-- {
+		prefix[i] = prefix[i+1] + sortedGains[i]
+	}
+	boundFrom := func(i, r int) float64 {
+		if i+r > len(cands) {
+			r = len(cands) - i
+		}
+		return prefix[i] - prefix[i+r]
+	}
+
+	s := &search{
+		e:       e,
+		cands:   sortedCands,
+		k:       k,
+		budget:  budget,
+		chosen:  make([]graph.NodeID, 0, k),
+		bound:   boundFrom,
+		bestSet: nil,
+		bestVal: -1,
+	}
+	s.dfs(0, 0, e.NewState())
+	if s.exceeded {
+		return nil, fmt.Errorf("%w after %d nodes", ErrBudget, budget)
+	}
+	nodes := append([]graph.NodeID(nil), s.bestSet...)
+	// Re-evaluate from scratch: the DFS accumulates marginal gains whose
+	// floating-point rounding can differ from a direct evaluation.
+	return &core.Placement{
+		Nodes:     nodes,
+		Attracted: e.Evaluate(nodes),
+	}, nil
+}
+
+type search struct {
+	e        *core.Engine
+	cands    []graph.NodeID
+	k        int
+	budget   int64
+	visited  int64
+	exceeded bool
+	chosen   []graph.NodeID
+	bound    func(i, r int) float64
+	bestSet  []graph.NodeID
+	bestVal  float64
+}
+
+// dfs explores choices of cands[idx:] with the current partial value val.
+func (s *search) dfs(idx int, val float64, state *core.State) {
+	if s.exceeded {
+		return
+	}
+	s.visited++
+	if s.visited > s.budget {
+		s.exceeded = true
+		return
+	}
+	if len(s.chosen) == s.k {
+		if val > s.bestVal {
+			s.bestVal = val
+			s.bestSet = append(s.bestSet[:0], s.chosen...)
+		}
+		return
+	}
+	remaining := s.k - len(s.chosen)
+	if len(s.cands)-idx < remaining {
+		return // not enough candidates left
+	}
+	// Subadditive upper bound prune.
+	if val+s.bound(idx, remaining) <= s.bestVal {
+		return
+	}
+	// Branch 1: take cands[idx].
+	next := state.Clone()
+	gain := next.Place(s.cands[idx])
+	s.chosen = append(s.chosen, s.cands[idx])
+	s.dfs(idx+1, val+gain, next)
+	s.chosen = s.chosen[:len(s.chosen)-1]
+	// Branch 2: skip cands[idx].
+	s.dfs(idx+1, val, state)
+}
+
+// combinations returns C(n, k), or -1 on overflow past ~9e18.
+func combinations(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 1; i <= k; i++ {
+		// c = c * (n-k+i) / i, guarding overflow.
+		hi := int64(n - k + i)
+		if c > (1<<62)/hi {
+			return -1
+		}
+		c = c * hi / int64(i)
+	}
+	return c
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+func TestExhaustiveFig4Linear(t *testing.T) {
+	// The paper states {V2, V4} with value 8 is the best 2-RAP placement
+	// under the linear utility.
+	e, err := core.NewEngine(testutil.Fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Exhaustive(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Attracted-8) > 1e-9 {
+		t.Fatalf("OPT = %v, want 8 (placement %v)", got.Attracted, got.Nodes)
+	}
+	want := map[int]bool{1: true, 3: true} // V2, V4
+	if len(got.Nodes) != 2 || !want[int(got.Nodes[0])] || !want[int(got.Nodes[1])] {
+		t.Errorf("placement = %v, want {V2, V4}", got.Nodes)
+	}
+}
+
+func TestExhaustiveFig4Threshold(t *testing.T) {
+	e, err := core.NewEngine(testutil.Fig4Problem(t, utility.Threshold{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Exhaustive(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four flows (17 drivers) can be covered with 2 RAPs.
+	if math.Abs(got.Attracted-17) > 1e-9 {
+		t.Errorf("OPT = %v, want 17", got.Attracted)
+	}
+}
+
+// Brute-force cross-check on random instances: the pruned DFS must match a
+// naive enumeration.
+func TestExhaustiveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		p := testutil.RandomProblem(t, rng, 12, 8, 3, utility.Linear{D: 60})
+		e, err := core.NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exhaustive(e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := naiveBest(e, p.K)
+		if math.Abs(got.Attracted-best) > 1e-9 {
+			t.Fatalf("trial %d: pruned %v != naive %v", trial, got.Attracted, best)
+		}
+		if math.Abs(got.Attracted-e.Evaluate(got.Nodes)) > 1e-9 {
+			t.Fatalf("trial %d: reported value inconsistent with placement", trial)
+		}
+	}
+}
+
+func naiveBest(e *core.Engine, k int) float64 {
+	cands := e.Candidates()
+	best := 0.0
+	var rec func(start int, chosen []graph.NodeID)
+	rec = func(start int, chosen []graph.NodeID) {
+		if len(chosen) == k {
+			if val := e.Evaluate(chosen); val > best {
+				best = val
+			}
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			rec(i+1, append(chosen, cands[i]))
+		}
+	}
+	rec(0, make([]graph.NodeID, 0, k))
+	return best
+}
+
+// Greedy ratio validation: Algorithm 1 respects 1-1/e under threshold
+// utility and Algorithm 2 respects 1-1/sqrt(e) under decreasing utilities
+// on random instances (Theorem 2).
+func TestGreedyRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	ratio1 := 1 - 1/math.E
+	ratio2 := 1 - 1/math.Sqrt(math.E)
+	for trial := 0; trial < 15; trial++ {
+		pTh := testutil.RandomProblem(t, rng, 14, 10, 3, utility.Threshold{D: 60})
+		eTh, err := core.NewEngine(pTh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optTh, err := Exhaustive(eTh, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, err := core.Algorithm1(eTh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.Attracted < ratio1*optTh.Attracted-1e-9 {
+			t.Errorf("trial %d: Algorithm1 %v < (1-1/e) x OPT %v",
+				trial, g1.Attracted, optTh.Attracted)
+		}
+
+		pLin := testutil.RandomProblem(t, rng, 14, 10, 3, utility.Linear{D: 60})
+		eLin, err := core.NewEngine(pLin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optLin, err := Exhaustive(eLin, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := core.Algorithm2(eLin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.Attracted < ratio2*optLin.Attracted-1e-9 {
+			t.Errorf("trial %d: Algorithm2 %v < (1-1/sqrt(e)) x OPT %v",
+				trial, g2.Attracted, optLin.Attracted)
+		}
+		// The combined greedy should do at least as well as the classic
+		// submodular bound too.
+		gc, err := core.GreedyCombined(eLin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc.Attracted < ratio1*optLin.Attracted-1e-9 {
+			t.Errorf("trial %d: GreedyCombined %v < (1-1/e) x OPT %v",
+				trial, gc.Attracted, optLin.Attracted)
+		}
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	p := testutil.RandomProblem(t, rng, 30, 10, 5, utility.Linear{D: 60})
+	e, err := core.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exhaustive(e, Options{Budget: 10}); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10},
+		{10, 0, 1},
+		{10, 10, 1},
+		{10, 11, 0},
+		{52, 5, 2_598_960},
+		{5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := combinations(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	if got := combinations(1000, 500); got != -1 {
+		t.Errorf("overflow should return -1, got %d", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package report analyzes a solved RAP placement: which share of flows and
+// drivers the placement covers, how detour distances distribute, and how
+// much each individual RAP contributes. The placerap CLI renders the
+// report so an operator can judge a placement beyond the single
+// expected-customers number.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+)
+
+// ErrNoBuckets is returned when a non-positive histogram bucket count is
+// requested.
+var ErrNoBuckets = errors.New("report: bucket count must be positive")
+
+// RAPShare is one RAP's contribution to the placement.
+type RAPShare struct {
+	// Node is the RAP's intersection.
+	Node graph.NodeID
+	// Flows is the number of flows for which this RAP provides the best
+	// (minimum) detour under the full placement.
+	Flows int
+	// Customers is the expected customers attributed to this RAP (the
+	// drivers detouring at it).
+	Customers float64
+}
+
+// Report summarizes a placement.
+type Report struct {
+	// Placement is the analyzed RAP set.
+	Placement []graph.NodeID
+	// Expected is the objective w(S).
+	Expected float64
+	// FlowsCovered / FlowsTotal count flows with at least one RAP on
+	// their route.
+	FlowsCovered, FlowsTotal int
+	// VolumeCovered / VolumeTotal count daily drivers on covered flows.
+	VolumeCovered, VolumeTotal float64
+	// DetourHist is a histogram of effective detour distances of covered
+	// flows, over [0, D] in equal buckets; the last bucket also holds
+	// detours beyond D (zero-probability coverage).
+	DetourHist []int
+	// BucketWidth is the detour width of one histogram bucket in feet.
+	BucketWidth float64
+	// Shares attributes customers to individual RAPs, ordered as placed.
+	Shares []RAPShare
+}
+
+// Build analyzes the placement with the given detour-histogram resolution.
+func Build(e *core.Engine, placement []graph.NodeID, buckets int) (*Report, error) {
+	if buckets <= 0 {
+		return nil, ErrNoBuckets
+	}
+	p := e.Problem()
+	for _, v := range placement {
+		if !p.Graph.ValidNode(v) {
+			return nil, fmt.Errorf("report: %w: %d", graph.ErrNodeRange, v)
+		}
+	}
+	d := p.Utility.Threshold()
+	r := &Report{
+		Placement:   append([]graph.NodeID(nil), placement...),
+		Expected:    e.Evaluate(placement),
+		FlowsTotal:  p.Flows.Len(),
+		DetourHist:  make([]int, buckets),
+		BucketWidth: d / float64(buckets),
+		Shares:      make([]RAPShare, len(placement)),
+	}
+	for i, v := range placement {
+		r.Shares[i] = RAPShare{Node: v}
+	}
+	for f := 0; f < p.Flows.Len(); f++ {
+		fl := p.Flows.At(f)
+		r.VolumeTotal += fl.Volume
+		best := math.Inf(1)
+		bestRAP := -1
+		for i, v := range placement {
+			if dd := e.Detour(f, v); dd < best {
+				best = dd
+				bestRAP = i
+			}
+		}
+		if bestRAP < 0 {
+			continue
+		}
+		r.FlowsCovered++
+		r.VolumeCovered += fl.Volume
+		bucket := buckets - 1
+		if best <= d && r.BucketWidth > 0 {
+			bucket = int(best / r.BucketWidth)
+			if bucket >= buckets {
+				bucket = buckets - 1
+			}
+		}
+		r.DetourHist[bucket]++
+		r.Shares[bestRAP].Flows++
+		r.Shares[bestRAP].Customers += p.Utility.Prob(best, fl.Alpha) * fl.Volume
+	}
+	return r, nil
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "placement report (%d RAPs)\n", len(r.Placement))
+	fmt.Fprintf(&sb, "  expected customers/day: %.2f\n", r.Expected)
+	fmt.Fprintf(&sb, "  flows covered:  %d / %d (%.0f%%)\n",
+		r.FlowsCovered, r.FlowsTotal, pct(r.FlowsCovered, r.FlowsTotal))
+	fmt.Fprintf(&sb, "  drivers on covered flows: %.0f / %.0f (%.0f%%)\n",
+		r.VolumeCovered, r.VolumeTotal,
+		100*safeDiv(r.VolumeCovered, r.VolumeTotal))
+	sb.WriteString("  detour distribution (covered flows):\n")
+	maxCount := 0
+	for _, c := range r.DetourHist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range r.DetourHist {
+		lo := float64(i) * r.BucketWidth
+		hi := lo + r.BucketWidth
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*32/maxCount)
+		}
+		fmt.Fprintf(&sb, "    %7.0f-%-7.0f %4d %s\n", lo, hi, c, bar)
+	}
+	sb.WriteString("  per-RAP attribution:\n")
+	for i, s := range r.Shares {
+		fmt.Fprintf(&sb, "    RAP %d at %-5d best for %3d flows, %8.2f customers/day\n",
+			i+1, s.Node, s.Flows, s.Customers)
+	}
+	return sb.String()
+}
+
+func pct(a, b int) float64 { return 100 * safeDiv(float64(a), float64(b)) }
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+func fig4Engine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(testutil.Fig4Problem(t, utility.Linear{D: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildFig4(t *testing.T) {
+	e := fig4Engine(t)
+	r, err := Build(e, []graph.NodeID{1, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Expected-8) > 1e-9 {
+		t.Errorf("expected = %v", r.Expected)
+	}
+	// {V2, V4} covers T2,5 and T4,3 only.
+	if r.FlowsCovered != 2 || r.FlowsTotal != 4 {
+		t.Errorf("flows %d/%d", r.FlowsCovered, r.FlowsTotal)
+	}
+	if r.VolumeCovered != 12 || r.VolumeTotal != 17 {
+		t.Errorf("volume %v/%v", r.VolumeCovered, r.VolumeTotal)
+	}
+	// Both covered flows detour 2 blocks: bucket [2,4) of 3 buckets over
+	// [0,6] is index 1.
+	if r.DetourHist[1] != 2 || r.DetourHist[0] != 0 || r.DetourHist[2] != 0 {
+		t.Errorf("hist = %v", r.DetourHist)
+	}
+	// Attribution: V2 serves T2,5 (4 customers), V4 serves T4,3 (4).
+	if r.Shares[0].Flows != 1 || math.Abs(r.Shares[0].Customers-4) > 1e-9 {
+		t.Errorf("share 0 = %+v", r.Shares[0])
+	}
+	if r.Shares[1].Flows != 1 || math.Abs(r.Shares[1].Customers-4) > 1e-9 {
+		t.Errorf("share 1 = %+v", r.Shares[1])
+	}
+	// Attribution sums to the objective.
+	var sum float64
+	for _, s := range r.Shares {
+		sum += s.Customers
+	}
+	if math.Abs(sum-r.Expected) > 1e-9 {
+		t.Errorf("attribution sum %v != expected %v", sum, r.Expected)
+	}
+}
+
+func TestBuildOverThresholdCoverage(t *testing.T) {
+	e := fig4Engine(t)
+	// {V5}: covers T2,5 / T3,5 / T5,6 at detour 6 (probability 0).
+	r, err := Build(e, []graph.NodeID{4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowsCovered != 3 {
+		t.Errorf("covered = %d", r.FlowsCovered)
+	}
+	if r.Expected != 0 {
+		t.Errorf("expected = %v", r.Expected)
+	}
+	// Detour exactly 6 lands in the last bucket.
+	if r.DetourHist[2] != 3 {
+		t.Errorf("hist = %v", r.DetourHist)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	e := fig4Engine(t)
+	if _, err := Build(e, nil, 0); !errors.Is(err, ErrNoBuckets) {
+		t.Errorf("zero buckets: %v", err)
+	}
+	if _, err := Build(e, []graph.NodeID{42}, 3); err == nil {
+		t.Error("bad node accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := fig4Engine(t)
+	r, err := Build(e, []graph.NodeID{1, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{
+		"expected customers/day: 8.00",
+		"flows covered:  2 / 4",
+		"per-RAP attribution",
+		"#",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty placement renders without dividing by zero.
+	empty, err := Build(e, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "0 / 4") {
+		t.Errorf("empty report wrong:\n%s", empty.String())
+	}
+}

@@ -1,0 +1,174 @@
+// Package sched implements the paper's stated future work (Section VI): a
+// "further scheduling with respect to multiple shops and multiple kinds of
+// advertisements". A fixed set of RAPs — shared roadside infrastructure —
+// can each broadcast a limited number of advertisement campaigns. Multiple
+// shops compete for those broadcast slots, and the operator assigns
+// campaigns to RAPs to maximize the total number of attracted customers
+// across all shops.
+//
+// Formally this is submodular welfare maximization under a partition
+// matroid (each RAP holds at most Capacity campaigns): each campaign's
+// value function is the paper's coverage objective, which is monotone
+// submodular, so the greedy assignment achieves at least 1/2 of the optimal
+// welfare (Fisher, Nemhauser and Wolsey).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+)
+
+// Errors reported by the scheduler.
+var (
+	ErrNoRAPs     = errors.New("sched: no RAPs")
+	ErrNoCampaign = errors.New("sched: no campaigns")
+	ErrBadCap     = errors.New("sched: capacity must be at least 1")
+	ErrDupName    = errors.New("sched: duplicate campaign name")
+)
+
+// Campaign is one shop's advertisement campaign: a fully specified
+// placement problem whose flows, utility, and shop describe how that shop
+// attracts customers. The problem's K and Candidates fields are ignored —
+// the scheduler controls which RAPs broadcast the campaign.
+type Campaign struct {
+	// Name identifies the campaign in the assignment.
+	Name string
+	// Problem carries the graph, shop, flows, and utility.
+	Problem *core.Problem
+}
+
+// Assignment is a solved schedule.
+type Assignment struct {
+	// RAPs maps each campaign name to the RAPs broadcasting it.
+	RAPs map[string][]graph.NodeID
+	// Values maps each campaign to its expected attracted customers.
+	Values map[string]float64
+	// Welfare is the total across campaigns.
+	Welfare float64
+}
+
+// Greedy assigns campaigns to the given RAPs, each of which can broadcast
+// at most capacity campaigns. It repeatedly grants the (RAP, campaign) pair
+// with the largest marginal welfare gain until no positive gain remains or
+// all slots are full. The result is within 1/2 of the optimal welfare.
+func Greedy(raps []graph.NodeID, campaigns []Campaign, capacity int) (*Assignment, error) {
+	if len(raps) == 0 {
+		return nil, ErrNoRAPs
+	}
+	if len(campaigns) == 0 {
+		return nil, ErrNoCampaign
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCap, capacity)
+	}
+	engines := make([]*core.Engine, len(campaigns))
+	states := make([]*core.State, len(campaigns))
+	seen := make(map[string]bool, len(campaigns))
+	for i, c := range campaigns {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("%w: %q", ErrDupName, c.Name)
+		}
+		seen[c.Name] = true
+		// The campaign problem is evaluated over the shared RAP set.
+		p := *c.Problem
+		p.Candidates = raps
+		p.K = len(raps)
+		e, err := core.NewEngine(&p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: campaign %q: %w", c.Name, err)
+		}
+		engines[i] = e
+		states[i] = e.NewState()
+	}
+	slots := make(map[graph.NodeID]int, len(raps))
+	for _, r := range raps {
+		if !campaigns[0].Problem.Graph.ValidNode(r) {
+			return nil, fmt.Errorf("sched: %w: %d", graph.ErrNodeRange, r)
+		}
+		slots[r] += capacity
+	}
+	assigned := make(map[graph.NodeID]map[int]bool, len(raps))
+	out := &Assignment{
+		RAPs:   make(map[string][]graph.NodeID, len(campaigns)),
+		Values: make(map[string]float64, len(campaigns)),
+	}
+	for {
+		bestRAP := graph.Invalid
+		bestCampaign := -1
+		bestGain := 0.0
+		for _, r := range raps {
+			if slots[r] <= 0 {
+				continue
+			}
+			for ci := range campaigns {
+				if assigned[r][ci] {
+					continue
+				}
+				u, c := states[ci].Gain(r)
+				if g := u + c; g > bestGain {
+					bestRAP, bestCampaign, bestGain = r, ci, g
+				}
+			}
+		}
+		if bestCampaign < 0 || bestGain <= 0 {
+			break
+		}
+		states[bestCampaign].Place(bestRAP)
+		slots[bestRAP]--
+		if assigned[bestRAP] == nil {
+			assigned[bestRAP] = make(map[int]bool)
+		}
+		assigned[bestRAP][bestCampaign] = true
+		name := campaigns[bestCampaign].Name
+		out.RAPs[name] = append(out.RAPs[name], bestRAP)
+	}
+	for ci, c := range campaigns {
+		v := engines[ci].Evaluate(out.RAPs[c.Name])
+		out.Values[c.Name] = v
+		out.Welfare += v
+	}
+	return out, nil
+}
+
+// Welfare evaluates an arbitrary assignment (campaign name to RAP subset)
+// against the campaigns, validating the capacity constraint.
+func Welfare(raps []graph.NodeID, campaigns []Campaign, capacity int, assignment map[string][]graph.NodeID) (float64, error) {
+	if capacity < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrBadCap, capacity)
+	}
+	load := make(map[graph.NodeID]int)
+	allowed := make(map[graph.NodeID]bool, len(raps))
+	for _, r := range raps {
+		allowed[r] = true
+	}
+	for name, rs := range assignment {
+		for _, r := range rs {
+			if !allowed[r] {
+				return 0, fmt.Errorf("sched: %q uses non-infrastructure RAP %d", name, r)
+			}
+			load[r]++
+			if load[r] > capacity {
+				return 0, fmt.Errorf("sched: RAP %d over capacity", r)
+			}
+		}
+	}
+	var total float64
+	for _, c := range campaigns {
+		p := *c.Problem
+		p.Candidates = raps
+		p.K = len(raps)
+		e, err := core.NewEngine(&p)
+		if err != nil {
+			return 0, fmt.Errorf("sched: campaign %q: %w", c.Name, err)
+		}
+		total += e.Evaluate(assignment[c.Name])
+	}
+	if math.IsNaN(total) {
+		return 0, errors.New("sched: NaN welfare")
+	}
+	return total, nil
+}

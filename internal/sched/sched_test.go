@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+// twoShopCampaigns builds two campaigns over the Fig. 4 world: one shop at
+// V1 (the original) and one at V5.
+func twoShopCampaigns(t *testing.T) []Campaign {
+	t.Helper()
+	g, fs := testutil.Fig4(t)
+	mk := func(name string, shop graph.NodeID) Campaign {
+		return Campaign{
+			Name: name,
+			Problem: &core.Problem{
+				Graph:   g,
+				Shop:    shop,
+				Flows:   fs,
+				Utility: utility.Linear{D: 6},
+				K:       1,
+			},
+		}
+	}
+	return []Campaign{mk("v1-shop", 0), mk("v5-shop", 4)}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	campaigns := twoShopCampaigns(t)
+	if _, err := Greedy(nil, campaigns, 1); !errors.Is(err, ErrNoRAPs) {
+		t.Errorf("no raps: %v", err)
+	}
+	if _, err := Greedy([]graph.NodeID{1}, nil, 1); !errors.Is(err, ErrNoCampaign) {
+		t.Errorf("no campaigns: %v", err)
+	}
+	if _, err := Greedy([]graph.NodeID{1}, campaigns, 0); !errors.Is(err, ErrBadCap) {
+		t.Errorf("zero capacity: %v", err)
+	}
+	dup := []Campaign{campaigns[0], campaigns[0]}
+	if _, err := Greedy([]graph.NodeID{1}, dup, 1); !errors.Is(err, ErrDupName) {
+		t.Errorf("dup names: %v", err)
+	}
+	if _, err := Greedy([]graph.NodeID{99}, campaigns, 1); err == nil {
+		t.Error("bad RAP accepted")
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	campaigns := twoShopCampaigns(t)
+	raps := []graph.NodeID{1, 2, 3, 4}
+	got, err := Greedy(raps, campaigns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[graph.NodeID]int{}
+	for _, rs := range got.RAPs {
+		for _, r := range rs {
+			load[r]++
+			if load[r] > 1 {
+				t.Fatalf("RAP %d over capacity: %v", r, got.RAPs)
+			}
+		}
+	}
+	// Welfare consistency.
+	w, err := Welfare(raps, campaigns, 1, got.RAPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-got.Welfare) > 1e-9 {
+		t.Errorf("welfare %v != re-evaluated %v", got.Welfare, w)
+	}
+	var sum float64
+	for _, v := range got.Values {
+		sum += v
+	}
+	if math.Abs(sum-got.Welfare) > 1e-9 {
+		t.Errorf("values sum %v != welfare %v", sum, got.Welfare)
+	}
+}
+
+// With ample capacity both campaigns get every useful RAP, so each
+// campaign's value equals its standalone full-placement value.
+func TestGreedyAmpleCapacity(t *testing.T) {
+	campaigns := twoShopCampaigns(t)
+	raps := []graph.NodeID{0, 1, 2, 3, 4, 5}
+	got, err := Greedy(raps, campaigns, len(campaigns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range campaigns {
+		p := *c.Problem
+		p.Candidates = raps
+		p.K = len(raps)
+		e, err := core.NewEngine(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.Evaluate(raps)
+		if got.Values[c.Name] < want-1e-9 {
+			t.Errorf("%s: %v < standalone %v", c.Name, got.Values[c.Name], want)
+		}
+	}
+}
+
+// Greedy achieves at least half the optimal welfare (brute-forced on a
+// tiny instance).
+func TestGreedyHalfOptimal(t *testing.T) {
+	campaigns := twoShopCampaigns(t)
+	raps := []graph.NodeID{1, 2, 3, 4}
+	const capacity = 1
+	got, err := Greedy(raps, campaigns, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bruteForceWelfare(t, raps, campaigns, capacity)
+	if got.Welfare < best/2-1e-9 {
+		t.Errorf("greedy %v < OPT/2 (OPT=%v)", got.Welfare, best)
+	}
+	if got.Welfare > best+1e-9 {
+		t.Errorf("greedy %v exceeds OPT %v (brute force wrong?)", got.Welfare, best)
+	}
+}
+
+// bruteForceWelfare enumerates all capacity-1 assignments: each RAP serves
+// one campaign or none.
+func bruteForceWelfare(t *testing.T, raps []graph.NodeID, campaigns []Campaign, capacity int) float64 {
+	t.Helper()
+	if capacity != 1 {
+		t.Fatal("brute force supports capacity 1 only")
+	}
+	options := len(campaigns) + 1 // campaign index or unassigned
+	total := 1
+	for range raps {
+		total *= options
+	}
+	best := 0.0
+	for mask := 0; mask < total; mask++ {
+		assignment := make(map[string][]graph.NodeID)
+		m := mask
+		for _, r := range raps {
+			choice := m % options
+			m /= options
+			if choice > 0 {
+				name := campaigns[choice-1].Name
+				assignment[name] = append(assignment[name], r)
+			}
+		}
+		w, err := Welfare(raps, campaigns, capacity, assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestWelfareValidation(t *testing.T) {
+	campaigns := twoShopCampaigns(t)
+	raps := []graph.NodeID{1, 2}
+	if _, err := Welfare(raps, campaigns, 1, map[string][]graph.NodeID{
+		"v1-shop": {5},
+	}); err == nil {
+		t.Error("foreign RAP accepted")
+	}
+	if _, err := Welfare(raps, campaigns, 1, map[string][]graph.NodeID{
+		"v1-shop": {1},
+		"v5-shop": {1},
+	}); err == nil {
+		t.Error("over-capacity accepted")
+	}
+	if _, err := Welfare(raps, campaigns, 0, nil); !errors.Is(err, ErrBadCap) {
+		t.Error("zero capacity accepted")
+	}
+}
+
+// Randomized: welfare of the greedy never drops when capacity grows.
+func TestGreedyMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 5; trial++ {
+		p1 := testutil.RandomProblem(t, rng, 20, 10, 1, utility.Linear{D: 80})
+		p2 := *p1
+		p2.Shop = graph.NodeID(rng.Intn(20))
+		campaigns := []Campaign{
+			{Name: "a", Problem: p1},
+			{Name: "b", Problem: &p2},
+		}
+		raps := []graph.NodeID{
+			graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20)),
+			graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20)),
+		}
+		// Dedupe raps (Greedy expects a set-like list for slot math).
+		seen := map[graph.NodeID]bool{}
+		uniq := raps[:0]
+		for _, r := range raps {
+			if !seen[r] {
+				seen[r] = true
+				uniq = append(uniq, r)
+			}
+		}
+		prev := -1.0
+		for cap := 1; cap <= 2; cap++ {
+			got, err := Greedy(uniq, campaigns, cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Welfare < prev-1e-9 {
+				t.Fatalf("trial %d: welfare decreased with capacity", trial)
+			}
+			prev = got.Welfare
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package testutil provides shared test fixtures: the paper's Fig. 4
+// worked example and random strongly-connected problem instances whose
+// flows follow shortest paths.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// Fig4 reconstructs the paper's Fig. 4 example graph and flows.
+// Node IDs are zero-based: V1 = 0, ..., V6 = 5. The shop is at V1 (node 0).
+// Flows (alpha = 1): T[2,5] = 6, T[4,3] = 6, T[3,5] = 3, T[5,6] = 2.
+func Fig4(tb testing.TB) (*graph.Graph, *flow.Set) {
+	tb.Helper()
+	b := graph.NewBuilder(6, 12)
+	// Planar layout resembling the paper's figure (street lengths are the
+	// explicit unit weights, not these coordinates; no three connected
+	// nodes are collinear, so geometric contact models see only real
+	// route-through-node passes).
+	for _, p := range []geo.Point{
+		geo.Pt(0, 0),  // V1 (shop)
+		geo.Pt(1, 1),  // V2
+		geo.Pt(2, 0),  // V3
+		geo.Pt(1, -1), // V4
+		geo.Pt(3, 0),  // V5
+		geo.Pt(4, 1),  // V6
+	} {
+		b.AddNode(p)
+	}
+	for _, s := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {4, 5}} {
+		if err := b.AddStreet(s[0], s[1], 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mk := func(id string, vol float64, path ...graph.NodeID) flow.Flow {
+		f, err := flow.New(id, path, vol, 1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return f
+	}
+	fs, err := flow.NewSet([]flow.Flow{
+		mk("T2,5", 6, 1, 2, 4),
+		mk("T4,3", 6, 3, 2),
+		mk("T3,5", 3, 2, 4),
+		mk("T5,6", 2, 4, 5),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, fs
+}
+
+// Fig4Problem wraps Fig4 into a Problem with the given utility and k = 2.
+func Fig4Problem(tb testing.TB, u utility.Function) *core.Problem {
+	tb.Helper()
+	g, fs := Fig4(tb)
+	return &core.Problem{Graph: g, Shop: 0, Flows: fs, Utility: u, K: 2}
+}
+
+// RandomProblem builds a random strongly connected instance with the given
+// size whose flows travel along shortest paths.
+func RandomProblem(tb testing.TB, rng *rand.Rand, nodes, flows, k int, u utility.Function) *core.Problem {
+	tb.Helper()
+	b := graph.NewBuilder(nodes, 4*nodes)
+	for i := 0; i < nodes; i++ {
+		b.AddNode(geo.Pt(rng.Float64()*100, rng.Float64()*100))
+	}
+	for i := 0; i < nodes; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%nodes), 1+rng.Float64()*9); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for e := 0; e < 2*nodes; e++ {
+		u1, v1 := rng.Intn(nodes), rng.Intn(nodes)
+		if u1 != v1 {
+			_ = b.AddEdge(graph.NodeID(u1), graph.NodeID(v1), 1+rng.Float64()*9)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fl := make([]flow.Flow, 0, flows)
+	for len(fl) < flows {
+		src := graph.NodeID(rng.Intn(nodes))
+		dst := graph.NodeID(rng.Intn(nodes))
+		if src == dst {
+			continue
+		}
+		path, _, err := g.ShortestPath(src, dst)
+		if err != nil {
+			continue
+		}
+		f, err := flow.New("", path, 1+rng.Float64()*99, rng.Float64())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fl = append(fl, f)
+	}
+	fs, err := flow.NewSet(fl)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &core.Problem{
+		Graph:   g,
+		Shop:    graph.NodeID(rng.Intn(nodes)),
+		Flows:   fs,
+		Utility: u,
+		K:       k,
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"testing"
+
+	"roadside/internal/citygen"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// longBlockGraph has one very long street where mid-block samples are far
+// from both endpoints.
+func longBlockGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3, 4)
+	b.AddNode(geo.Pt(0, 0))
+	b.AddNode(geo.Pt(2000, 0)) // 2,000 ft block
+	b.AddNode(geo.Pt(2000, 500))
+	if err := b.AddStreet(0, 1, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStreet(1, 2, 500); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEdgeSnappingRecoversMidBlock(t *testing.T) {
+	g := longBlockGraph(t)
+	pts := []geo.Point{
+		geo.Pt(10, 20),    // near node 0
+		geo.Pt(1000, -30), // mid-block: 1,000 ft from both endpoints
+		geo.Pt(1990, 25),  // near node 1
+		geo.Pt(2010, 480), // near node 2
+	}
+	// Node snapping with a 300 ft radius drops the mid-block point but
+	// still recovers the path; with edge snapping the mid-block sample
+	// resolves to an endpoint instead of being discarded.
+	nodeM, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeM, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 300, SnapToEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePath, err := nodeM.MatchPath(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath, err := edgeM.MatchPath(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]graph.NodeID{nodePath, edgePath} {
+		if p[0] != 0 || p[len(p)-1] != 2 {
+			t.Errorf("endpoints: %v", p)
+		}
+	}
+	// The lone mid-block sample: node snapping cannot place it at all
+	// when it is the only sample.
+	solo := []geo.Point{geo.Pt(900, -30), geo.Pt(1300, 30)}
+	if _, err := nodeM.MatchPath(solo); err == nil {
+		t.Error("node snapping unexpectedly matched isolated mid-block samples")
+	}
+	soloPath, err := edgeM.MatchPath(solo)
+	if err != nil {
+		t.Fatalf("edge snapping failed on mid-block samples: %v", err)
+	}
+	if len(soloPath) < 2 {
+		t.Errorf("solo path = %v", soloPath)
+	}
+}
+
+// Edge snapping resolves to the closer endpoint of the street.
+func TestEdgeSnapEndpointChoice(t *testing.T) {
+	g := longBlockGraph(t)
+	m, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 600, SnapToEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.snap(geo.Pt(400, 10)); got != 0 {
+		t.Errorf("snap(400,10) = %d, want 0", got)
+	}
+	if got := m.snap(geo.Pt(1600, 10)); got != 1 {
+		t.Errorf("snap(1600,10) = %d, want 1", got)
+	}
+	if got := m.snap(geo.Pt(1000, 5000)); got != graph.Invalid {
+		t.Errorf("snap far = %d, want Invalid", got)
+	}
+}
+
+// The full pipeline also works with edge snapping and a tighter radius.
+func TestPipelineWithEdgeSnapping(t *testing.T) {
+	city, err := citygen.Seattle(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := citygen.DefaultDemand()
+	demand.Routes = 15
+	routes, err := citygen.GenerateRoutes(city, demand, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := DefaultGenConfig()
+	gen.NoiseSigmaFeet = 40
+	recs, err := Generate(city.Graph, routes, gen, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatcher(city.Graph, MatchConfig{
+		SnapRadiusFeet: 250, MaxStitchHops: 12, SnapToEdges: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journeys, err := m.Match(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journeys) < len(routes)*8/10 {
+		t.Fatalf("matched %d of %d journeys", len(journeys), len(routes))
+	}
+	for _, j := range journeys {
+		if _, err := city.Graph.PathLength(j.Path); err != nil {
+			t.Fatalf("journey %s invalid: %v", j.ID, err)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// Errors reported by the map-matcher.
+var (
+	ErrNoMatch = errors.New("trace: no records could be matched")
+)
+
+// MatchConfig tunes the map-matcher.
+type MatchConfig struct {
+	// SnapRadiusFeet is the maximum distance from a GPS sample to its
+	// snapped intersection (or street when SnapToEdges is set); farther
+	// samples are discarded as outliers.
+	SnapRadiusFeet float64
+	// MaxStitchHops limits the shortest-path stitching between
+	// consecutive snapped intersections; longer gaps split the match
+	// (default 12).
+	MaxStitchHops int
+	// SnapToEdges snaps samples to the nearest street segment instead of
+	// the nearest intersection, then resolves to the closer endpoint.
+	// This recovers mid-block samples on long streets whose endpoints
+	// both lie outside the snap radius.
+	SnapToEdges bool
+}
+
+// DefaultMatchConfig matches the DefaultGenConfig noise profile.
+func DefaultMatchConfig() MatchConfig {
+	return MatchConfig{SnapRadiusFeet: 600, MaxStitchHops: 12}
+}
+
+// edgeEndpoints records the node pair behind an indexed street segment.
+type edgeEndpoints struct {
+	u, v graph.NodeID
+}
+
+// Matcher snaps GPS samples to intersections and reconstructs valid paths.
+// It is immutable after construction and safe for concurrent use.
+type Matcher struct {
+	g     *graph.Graph
+	idx   *geo.GridIndex
+	segs  *geo.SegmentIndex
+	edges []edgeEndpoints
+	cfg   MatchConfig
+}
+
+// NewMatcher indexes the graph's intersections (and streets when
+// SnapToEdges is requested).
+func NewMatcher(g *graph.Graph, cfg MatchConfig) (*Matcher, error) {
+	if cfg.SnapRadiusFeet <= 0 {
+		return nil, fmt.Errorf("trace: %w: SnapRadiusFeet=%v", ErrBadFormat, cfg.SnapRadiusFeet)
+	}
+	if cfg.MaxStitchHops <= 0 {
+		cfg.MaxStitchHops = 12
+	}
+	m := &Matcher{
+		g:   g,
+		idx: geo.NewGridIndex(g.Points(), 0),
+		cfg: cfg,
+	}
+	if cfg.SnapToEdges {
+		// Index each unordered street once.
+		var segs []geo.Segment
+		for u := 0; u < g.NumNodes(); u++ {
+			g.ForEachOut(graph.NodeID(u), func(v graph.NodeID, _ float64) bool {
+				if graph.NodeID(u) < v {
+					segs = append(segs, geo.Segment{
+						A:  g.Point(graph.NodeID(u)),
+						B:  g.Point(v),
+						ID: int32(len(m.edges)),
+					})
+					m.edges = append(m.edges, edgeEndpoints{u: graph.NodeID(u), v: v})
+				}
+				return true
+			})
+		}
+		m.segs = geo.NewSegmentIndex(segs, 0)
+	}
+	return m, nil
+}
+
+// snap resolves one GPS sample to an intersection, or Invalid if it is an
+// outlier.
+func (m *Matcher) snap(p geo.Point) graph.NodeID {
+	if m.cfg.SnapToEdges {
+		seg, t, _, err := m.segs.NearestWithin(p, m.cfg.SnapRadiusFeet)
+		if err != nil {
+			return graph.Invalid
+		}
+		ends := m.edges[seg.ID]
+		if t < 0.5 {
+			return ends.u
+		}
+		return ends.v
+	}
+	i, _, err := m.idx.NearestWithin(p, m.cfg.SnapRadiusFeet)
+	if err != nil {
+		return graph.Invalid
+	}
+	return graph.NodeID(i)
+}
+
+// MatchPath converts an ordered GPS point sequence to a valid node path:
+// each point snaps to its nearest intersection within the radius,
+// consecutive duplicates collapse, and non-adjacent consecutive
+// intersections are stitched with shortest paths. It returns ErrNoMatch if
+// fewer than two distinct intersections survive.
+func (m *Matcher) MatchPath(points []geo.Point) ([]graph.NodeID, error) {
+	snapped := make([]graph.NodeID, 0, len(points))
+	for _, p := range points {
+		id := m.snap(p)
+		if id == graph.Invalid {
+			continue // outlier
+		}
+		if n := len(snapped); n > 0 && snapped[n-1] == id {
+			continue
+		}
+		snapped = append(snapped, id)
+	}
+	// Remove immediate backtracks (a-b-a jitter patterns).
+	snapped = removeBacktracks(snapped)
+	if len(snapped) < 2 {
+		return nil, ErrNoMatch
+	}
+	// Stitch with shortest paths so the result is a valid walk.
+	path := []graph.NodeID{snapped[0]}
+	for i := 1; i < len(snapped); i++ {
+		prev, next := path[len(path)-1], snapped[i]
+		if prev == next {
+			continue
+		}
+		if _, err := m.g.EdgeWeight(prev, next); err == nil {
+			path = append(path, next)
+			continue
+		}
+		seg, _, err := m.g.ShortestPath(prev, next)
+		if err != nil || len(seg) > m.cfg.MaxStitchHops+1 {
+			// Unbridgeable gap: skip this sample.
+			continue
+		}
+		path = append(path, seg[1:]...)
+	}
+	if len(path) < 2 {
+		return nil, ErrNoMatch
+	}
+	return path, nil
+}
+
+// removeBacktracks drops the middle of a-b-a patterns produced by snapping
+// jitter near an intersection.
+func removeBacktracks(nodes []graph.NodeID) []graph.NodeID {
+	out := nodes[:0]
+	for _, v := range nodes {
+		n := len(out)
+		if n >= 2 && out[n-2] == v {
+			out = out[:n-1]
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Journey is a map-matched traffic flow candidate: the modal path of all
+// buses sharing a journey ID, with the distinct bus count.
+type Journey struct {
+	// ID is the journey/route identifier.
+	ID string
+	// Path is the representative (modal) matched path.
+	Path []graph.NodeID
+	// Buses is the number of distinct vehicles observed.
+	Buses int
+}
+
+// Match groups records by journey ID and bus ID, matches each bus's sample
+// sequence, and elects the modal path per journey. Journeys whose every bus
+// fails to match are dropped. The result is sorted by journey ID.
+func (m *Matcher) Match(recs []Record) ([]Journey, error) {
+	if len(recs) == 0 {
+		return nil, ErrNoMatch
+	}
+	// Group by journey, then bus.
+	type busKey struct{ journey, bus string }
+	byBus := make(map[busKey][]Record)
+	for _, r := range recs {
+		k := busKey{journey: r.JourneyID, bus: r.BusID}
+		byBus[k] = append(byBus[k], r)
+	}
+	type pathVote struct {
+		path  []graph.NodeID
+		votes int
+	}
+	votes := make(map[string]map[string]*pathVote) // journey -> path key -> vote
+	buses := make(map[string]int)                  // journey -> matched bus count
+	for k, rs := range byBus {
+		SortByTime(rs)
+		pts := make([]geo.Point, len(rs))
+		for i, r := range rs {
+			pts[i] = r.Pos
+		}
+		path, err := m.MatchPath(pts)
+		if err != nil {
+			continue
+		}
+		buses[k.journey]++
+		if votes[k.journey] == nil {
+			votes[k.journey] = make(map[string]*pathVote)
+		}
+		key := pathKey(path)
+		if v, ok := votes[k.journey][key]; ok {
+			v.votes++
+		} else {
+			votes[k.journey][key] = &pathVote{path: path, votes: 1}
+		}
+	}
+	if len(votes) == 0 {
+		return nil, ErrNoMatch
+	}
+	journeys := make([]Journey, 0, len(votes))
+	for id, vs := range votes {
+		var best *pathVote
+		for _, v := range vs {
+			if best == nil || v.votes > best.votes ||
+				(v.votes == best.votes && len(v.path) > len(best.path)) {
+				best = v
+			}
+		}
+		journeys = append(journeys, Journey{ID: id, Path: best.path, Buses: buses[id]})
+	}
+	sort.Slice(journeys, func(i, j int) bool { return journeys[i].ID < journeys[j].ID })
+	return journeys, nil
+}
+
+// pathKey renders a node path as a compact string for modal voting.
+func pathKey(path []graph.NodeID) string {
+	var sb strings.Builder
+	sb.Grow(len(path) * 4)
+	for i, v := range path {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(v)))
+	}
+	return sb.String()
+}
+
+// AggregateFlows converts matched journeys to traffic flows with volume =
+// buses x passengersPerBus, as the paper assumes (100 passengers/bus in
+// Dublin, 200 in Seattle).
+func AggregateFlows(journeys []Journey, passengersPerBus, alpha float64) ([]flow.Flow, error) {
+	flows := make([]flow.Flow, 0, len(journeys))
+	for _, j := range journeys {
+		f, err := flow.New(j.ID, j.Path, float64(j.Buses)*passengersPerBus, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("trace: journey %s: %w", j.ID, err)
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"roadside/internal/citygen"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// gridCity builds a small exact grid for matcher unit tests.
+func gridCity(t *testing.T, n int, spacing float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n*n, 4*n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Pt(float64(c)*spacing, float64(r)*spacing))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				if err := b.AddStreet(graph.NodeID(r*n+c), graph.NodeID(r*n+c+1), spacing); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < n {
+				if err := b.AddStreet(graph.NodeID(r*n+c), graph.NodeID((r+1)*n+c), spacing); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchPathExact(t *testing.T) {
+	g := gridCity(t, 4, 100)
+	m, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples exactly at nodes 0 -> 1 -> 2 (row 0).
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0)}
+	path, err := m.MatchPath(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.NodeID{0, 1, 2}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Errorf("path = %v, want %v", path, want)
+	}
+}
+
+func TestMatchPathStitchesGaps(t *testing.T) {
+	g := gridCity(t, 5, 100)
+	m, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at node 0 and node 3 only (gap of two intersections).
+	path, err := m.MatchPath([]geo.Point{geo.Pt(0, 0), geo.Pt(300, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path = %v, want 4 stitched nodes", path)
+	}
+	if _, err := g.PathLength(path); err != nil {
+		t.Errorf("stitched path invalid: %v", err)
+	}
+}
+
+func TestMatchPathDropsOutliersAndBacktracks(t *testing.T) {
+	g := gridCity(t, 4, 100)
+	m, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geo.Point{
+		geo.Pt(0, 0),
+		geo.Pt(5000, 5000), // outlier, beyond snap radius
+		geo.Pt(98, 4),      // node 1
+		geo.Pt(7, -3),      // jitter back to node 0
+		geo.Pt(104, 2),     // node 1 again
+		geo.Pt(201, 0),     // node 2
+	}
+	path, err := m.MatchPath(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PathLength(path); err != nil {
+		t.Fatalf("path invalid: %v (%v)", err, path)
+	}
+	if path[0] != 0 || path[len(path)-1] != 2 {
+		t.Errorf("endpoints = %v", path)
+	}
+	// The a-b-a backtrack must collapse: 0,1,0,1,2 -> 0,1,2.
+	if len(path) != 3 {
+		t.Errorf("path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestMatchPathNoMatch(t *testing.T) {
+	g := gridCity(t, 3, 100)
+	m, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MatchPath([]geo.Point{geo.Pt(5000, 5000)}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := m.MatchPath(nil); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("nil points: %v", err)
+	}
+}
+
+func TestNewMatcherValidation(t *testing.T) {
+	g := gridCity(t, 3, 100)
+	if _, err := NewMatcher(g, MatchConfig{SnapRadiusFeet: 0}); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := gridCity(t, 3, 100)
+	routes := []citygen.Route{{ID: "r", Path: []graph.NodeID{0, 1}, Buses: 1}}
+	if _, err := Generate(g, routes, GenConfig{SampleEveryFeet: 0}, 1); err == nil {
+		t.Error("zero sampling accepted")
+	}
+	if _, err := Generate(g, routes, GenConfig{SampleEveryFeet: 10, DropProb: 1}, 1); err == nil {
+		t.Error("DropProb=1 accepted")
+	}
+}
+
+// End-to-end: generate a synthetic Seattle trace, map-match it, and verify
+// the recovered flows agree with the ground-truth routes.
+func TestPipelineRecoversGroundTruth(t *testing.T) {
+	city, err := citygen.Seattle(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := citygen.DefaultDemand()
+	demand.Routes = 30
+	routes, err := citygen.GenerateRoutes(city, demand, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := DefaultGenConfig()
+	gen.SampleEveryFeet = 200
+	gen.NoiseSigmaFeet = 30
+	gen.DropProb = 0.02
+	recs, err := Generate(city.Graph, routes, gen, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records generated")
+	}
+	m, err := NewMatcher(city.Graph, DefaultMatchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	journeys, err := m.Match(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journeys) < len(routes)*9/10 {
+		t.Fatalf("matched %d of %d journeys", len(journeys), len(routes))
+	}
+	truth := make(map[string]citygen.Route, len(routes))
+	for _, r := range routes {
+		truth[r.ID] = r
+	}
+	var lengthErr float64
+	for _, j := range journeys {
+		r, ok := truth[j.ID]
+		if !ok {
+			t.Fatalf("phantom journey %s", j.ID)
+		}
+		if j.Buses != r.Buses {
+			t.Errorf("journey %s: %d buses, want %d", j.ID, j.Buses, r.Buses)
+		}
+		// Matched path must be a valid walk with length close to truth.
+		got, err := city.Graph.PathLength(j.Path)
+		if err != nil {
+			t.Fatalf("journey %s: invalid path: %v", j.ID, err)
+		}
+		want, err := city.Graph.PathLength(r.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (got - want) / want
+		if rel < 0 {
+			rel = -rel
+		}
+		lengthErr += rel
+		// Endpoints within one snap radius of the truth.
+		const slack = 800.0
+		if city.Graph.Point(j.Path[0]).Euclidean(city.Graph.Point(r.Path[0])) > slack {
+			t.Errorf("journey %s start drifted", j.ID)
+		}
+	}
+	if avg := lengthErr / float64(len(journeys)); avg > 0.15 {
+		t.Errorf("avg relative length error %.3f > 0.15", avg)
+	}
+	// Aggregation applies the paper's 200 passengers/bus.
+	flows, err := AggregateFlows(journeys, 200, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows {
+		if f.Volume != float64(journeys[i].Buses)*200 {
+			t.Errorf("flow %d volume %v", i, f.Volume)
+		}
+	}
+}
+
+func TestMatchEmpty(t *testing.T) {
+	g := gridCity(t, 3, 100)
+	m, err := NewMatcher(g, DefaultMatchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(nil); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"roadside/internal/geo"
+)
+
+// StreamCSV parses records one row at a time, invoking fn for each. It
+// handles arbitrarily large trace files in constant memory; fn returning an
+// error aborts the stream and propagates the error. The header row is
+// validated against the expected format.
+func StreamCSV(r io.Reader, format Format, proj *geo.Projection, fn func(Record) error) error {
+	if format == FormatLonLat && proj == nil {
+		return ErrNilProj
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	want := format.header()
+	for i := range want {
+		if header[i] != want[i] {
+			return fmt.Errorf("%w: header column %d is %q, want %q",
+				ErrBadFormat, i, header[i], want[i])
+		}
+	}
+	for line := 1; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: row %d: %v", ErrBadFormat, line, err)
+		}
+		rec, err := parseRow(row, format, proj, line)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// parseRow converts one CSV row into a Record.
+func parseRow(row []string, format Format, proj *geo.Projection, line int) (Record, error) {
+	at, err := time.Parse(time.RFC3339, row[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: row %d timestamp: %v", ErrBadFormat, line, err)
+	}
+	a, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: row %d coordinate: %v", ErrBadFormat, line, err)
+	}
+	b, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: row %d coordinate: %v", ErrBadFormat, line, err)
+	}
+	var pos geo.Point
+	if format == FormatLonLat {
+		pos, err = proj.Forward(geo.LonLat{Lon: a, Lat: b})
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: row %d: %v", ErrBadFormat, line, err)
+		}
+	} else {
+		pos = geo.Pt(a, b)
+	}
+	return Record{At: at, BusID: row[1], JourneyID: row[2], Pos: pos}, nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStreamCSVMatchesReadCSV(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs, FormatXY, nil); err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Record
+	err := StreamCSV(bytes.NewReader(buf.Bytes()), FormatXY, nil, func(r Record) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ReadCSV(bytes.NewReader(buf.Bytes()), FormatXY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if !streamed[i].At.Equal(batch[i].At) || streamed[i].BusID != batch[i].BusID ||
+			streamed[i].Pos != batch[i].Pos {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestStreamCSVCallbackError(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs, FormatXY, nil); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	count := 0
+	err := StreamCSV(&buf, FormatXY, nil, func(Record) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if count != 2 {
+		t.Errorf("processed %d rows before abort", count)
+	}
+}
+
+func TestStreamCSVErrors(t *testing.T) {
+	noop := func(Record) error { return nil }
+	if err := StreamCSV(strings.NewReader(""), FormatLonLat, nil, noop); !errors.Is(err, ErrNilProj) {
+		t.Errorf("nil proj: %v", err)
+	}
+	cases := []string{
+		"",
+		"wrong,header,entirely,x,y\n",
+		"timestamp,bus_id,route_id,x,y\nbad-time,b,r,1,2\n",
+		"timestamp,bus_id,route_id,x,y\n2015-03-02T08:00:00Z,b,r,zap,2\n",
+		"timestamp,bus_id,route_id,x,y\n2015-03-02T08:00:00Z,b,r,1\n",
+	}
+	for i, in := range cases {
+		if err := StreamCSV(strings.NewReader(in), FormatXY, nil, noop); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package utility models the driver's detour probability as a function of
+// detour distance, following Section III-A of the paper. Three concrete
+// functions are provided:
+//
+//   - Threshold (Eq. 1): probability alpha while the detour is at most D,
+//     zero beyond.
+//   - Linear (Eq. 2, "decreasing utility function i"): decays linearly from
+//     alpha to zero at D.
+//   - Sqrt (Eq. 11, "decreasing utility function ii"): decays as
+//     1 - sqrt(d/D), faster than linear everywhere in (0, D).
+//
+// All functions are non-increasing in the detour distance, equal alpha at
+// zero detour, and vanish beyond the threshold D. The package also exposes
+// a Validate helper that checks these axioms for custom implementations.
+package utility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid reports a malformed utility function or parameterization.
+var ErrInvalid = errors.New("utility: invalid")
+
+// Function maps a detour distance (feet) to a detour probability in [0,1],
+// scaled by a flow's attractiveness alpha. Implementations must be
+// non-increasing, with Prob(0) == alpha and Prob(d) == 0 for d > Threshold.
+type Function interface {
+	// Prob returns the detour probability for detour distance d given the
+	// flow attractiveness alpha.
+	Prob(d, alpha float64) float64
+	// Threshold returns the distance D beyond which the probability is 0.
+	Threshold() float64
+	// Name returns a short identifier used in experiment output.
+	Name() string
+}
+
+// Threshold is the paper's Eq. 1: constant probability alpha for detours up
+// to D, zero beyond.
+type Threshold struct {
+	D float64
+}
+
+var _ Function = Threshold{}
+
+// Prob implements Function.
+func (t Threshold) Prob(d, alpha float64) float64 {
+	if d < 0 || d > t.D {
+		return 0
+	}
+	return alpha
+}
+
+// Threshold implements Function.
+func (t Threshold) Threshold() float64 { return t.D }
+
+// Name implements Function.
+func (t Threshold) Name() string { return "threshold" }
+
+// Linear is the paper's Eq. 2 ("decreasing utility function i"):
+// alpha * (1 - d/D) for d <= D, zero beyond.
+type Linear struct {
+	D float64
+}
+
+var _ Function = Linear{}
+
+// Prob implements Function.
+func (l Linear) Prob(d, alpha float64) float64 {
+	if d < 0 || d > l.D {
+		return 0
+	}
+	return alpha * (1 - d/l.D)
+}
+
+// Threshold implements Function.
+func (l Linear) Threshold() float64 { return l.D }
+
+// Name implements Function.
+func (l Linear) Name() string { return "linear" }
+
+// Sqrt is the paper's Eq. 11 ("decreasing utility function ii"):
+// alpha * (1 - sqrt(d/D)) for d <= D, zero beyond. It decays faster than
+// Linear for every d in (0, D).
+type Sqrt struct {
+	D float64
+}
+
+var _ Function = Sqrt{}
+
+// Prob implements Function.
+func (s Sqrt) Prob(d, alpha float64) float64 {
+	if d < 0 || d > s.D {
+		return 0
+	}
+	return alpha * (1 - math.Sqrt(d/s.D))
+}
+
+// Threshold implements Function.
+func (s Sqrt) Threshold() float64 { return s.D }
+
+// Name implements Function.
+func (s Sqrt) Name() string { return "sqrt" }
+
+// ByName constructs one of the built-in utility functions with threshold d.
+// Recognized names: "threshold", "linear", "sqrt".
+func ByName(name string, d float64) (Function, error) {
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil, fmt.Errorf("%w: threshold %v", ErrInvalid, d)
+	}
+	switch name {
+	case "threshold":
+		return Threshold{D: d}, nil
+	case "linear":
+		return Linear{D: d}, nil
+	case "sqrt":
+		return Sqrt{D: d}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown function %q", ErrInvalid, name)
+	}
+}
+
+// Validate checks the utility-function axioms on a sample of detour
+// distances: probabilities lie in [0, alpha], f(0) = alpha, f is
+// non-increasing, and f vanishes beyond the threshold. It is used by tests
+// and by the experiment harness when a custom Function is supplied.
+func Validate(f Function, alpha float64) error {
+	if f == nil {
+		return fmt.Errorf("%w: nil function", ErrInvalid)
+	}
+	d := f.Threshold()
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return fmt.Errorf("%w: threshold %v", ErrInvalid, d)
+	}
+	if got := f.Prob(0, alpha); math.Abs(got-alpha) > 1e-12 {
+		return fmt.Errorf("%w: f(0) = %v, want alpha = %v", ErrInvalid, got, alpha)
+	}
+	const samples = 256
+	prev := math.Inf(1)
+	for i := 0; i <= samples; i++ {
+		x := d * float64(i) / samples
+		p := f.Prob(x, alpha)
+		if p < 0 || p > alpha+1e-12 {
+			return fmt.Errorf("%w: f(%v) = %v outside [0, %v]", ErrInvalid, x, p, alpha)
+		}
+		if p > prev+1e-12 {
+			return fmt.Errorf("%w: f increases at %v", ErrInvalid, x)
+		}
+		prev = p
+	}
+	for _, x := range []float64{d * 1.0001, d * 2, d * 100} {
+		if p := f.Prob(x, alpha); p != 0 {
+			return fmt.Errorf("%w: f(%v) = %v beyond threshold", ErrInvalid, x, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package utility
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreshold(t *testing.T) {
+	f := Threshold{D: 10}
+	cases := []struct {
+		d, alpha, want float64
+	}{
+		{0, 0.5, 0.5},
+		{10, 0.5, 0.5},
+		{10.0001, 0.5, 0},
+		{5, 1, 1},
+		{-1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := f.Prob(c.d, c.alpha); got != c.want {
+			t.Errorf("Prob(%v,%v) = %v, want %v", c.d, c.alpha, got, c.want)
+		}
+	}
+	if f.Threshold() != 10 || f.Name() != "threshold" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	f := Linear{D: 6}
+	// The paper's Fig. 4 worked example: d=4, D=6 -> 1/3; d=2 -> 2/3.
+	if got := f.Prob(4, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Prob(4,1) = %v, want 1/3", got)
+	}
+	if got := f.Prob(2, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Prob(2,1) = %v, want 2/3", got)
+	}
+	if got := f.Prob(6, 1); got != 0 {
+		t.Errorf("Prob(6,1) = %v, want 0", got)
+	}
+	if got := f.Prob(7, 1); got != 0 {
+		t.Errorf("Prob(7,1) = %v, want 0", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	f := Sqrt{D: 4}
+	if got := f.Prob(1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Prob(1,1) = %v, want 0.5", got)
+	}
+	if got := f.Prob(4, 2); got != 0 {
+		t.Errorf("Prob(4,2) = %v, want 0", got)
+	}
+}
+
+// The paper orders the three functions: threshold >= linear >= sqrt for the
+// same d and D.
+func TestPaperOrdering(t *testing.T) {
+	const d0 = 5000.0
+	th, li, sq := Threshold{D: d0}, Linear{D: d0}, Sqrt{D: d0}
+	prop := func(dRaw, aRaw float64) bool {
+		d := math.Mod(math.Abs(dRaw), d0)
+		alpha := math.Mod(math.Abs(aRaw), 1)
+		if math.IsNaN(d) || math.IsNaN(alpha) {
+			return true
+		}
+		a, b, c := th.Prob(d, alpha), li.Prob(d, alpha), sq.Prob(d, alpha)
+		return a >= b-1e-12 && b >= c-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateBuiltins(t *testing.T) {
+	for _, f := range []Function{Threshold{D: 100}, Linear{D: 100}, Sqrt{D: 100}} {
+		if err := Validate(f, 0.001); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+}
+
+// badUtility violates monotonicity.
+type badUtility struct{}
+
+func (badUtility) Prob(d, alpha float64) float64 {
+	if d > 50 && d <= 100 {
+		return alpha
+	}
+	if d <= 50 {
+		return alpha / 2
+	}
+	return 0
+}
+func (badUtility) Threshold() float64 { return 100 }
+func (badUtility) Name() string       { return "bad" }
+
+func TestValidateRejects(t *testing.T) {
+	if err := Validate(badUtility{}, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("increasing function accepted: %v", err)
+	}
+	if err := Validate(nil, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil accepted: %v", err)
+	}
+	if err := Validate(Threshold{D: -5}, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad threshold accepted: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"threshold", "linear", "sqrt"} {
+		f, err := ByName(name, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Name() != name || f.Threshold() != 42 {
+			t.Errorf("%s: got %s/%v", name, f.Name(), f.Threshold())
+		}
+	}
+	if _, err := ByName("cubic", 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown name: %v", err)
+	}
+	if _, err := ByName("linear", 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero threshold: %v", err)
+	}
+	if _, err := ByName("linear", math.NaN()); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN threshold: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package viz renders street networks and RAP placements as ASCII maps for
+// terminal inspection: streets as light dots, traffic intensity as shading,
+// the shop and placed RAPs as markers. It gives the cmd tools a quick
+// visual sanity check without any graphics dependency.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+// ErrBadSize is returned for non-positive canvas dimensions.
+var ErrBadSize = errors.New("viz: width and height must be positive")
+
+// Symbols used in the rendered map, in increasing priority: traffic
+// shading is painted first, then intersections, then RAPs, then the shop.
+const (
+	symEmpty        = ' '
+	symIntersection = '.'
+	symShop         = 'S'
+	symRAP          = 'R'
+)
+
+// trafficRamp shades node traffic volume from light to heavy.
+var trafficRamp = []byte{'.', ':', '+', '*', '#'}
+
+// Map configures a rendering.
+type Map struct {
+	// Graph is the street network to draw.
+	Graph *graph.Graph
+	// Flows optionally shades intersections by passing volume.
+	Flows *flow.Set
+	// Shop optionally marks the shop intersection.
+	Shop graph.NodeID
+	// RAPs marks placed RAPs.
+	RAPs []graph.NodeID
+	// Width and Height are the canvas size in characters.
+	Width, Height int
+}
+
+// Render draws the map. Each intersection maps to one character cell;
+// several intersections can share a cell on coarse canvases, in which case
+// markers win over shading and the shop wins over everything.
+func (m *Map) Render() (string, error) {
+	if m.Width <= 0 || m.Height <= 0 {
+		return "", ErrBadSize
+	}
+	if m.Graph == nil || m.Graph.NumNodes() == 0 {
+		return "", fmt.Errorf("viz: %w", graph.ErrNoNodes)
+	}
+	bb := m.Graph.BBox()
+	cell := func(p geo.Point) (int, int) {
+		x, y := 0, 0
+		if bb.Width() > 0 {
+			x = int((p.X - bb.Min.X) / bb.Width() * float64(m.Width-1))
+		}
+		if bb.Height() > 0 {
+			// Flip Y so north is up.
+			y = int((bb.Max.Y - p.Y) / bb.Height() * float64(m.Height-1))
+		}
+		return x, y
+	}
+	canvas := make([][]byte, m.Height)
+	for i := range canvas {
+		canvas[i] = make([]byte, m.Width)
+		for j := range canvas[i] {
+			canvas[i][j] = symEmpty
+		}
+	}
+	// Pass 1: intersections, shaded by traffic volume when flows given.
+	maxVol := 0.0
+	if m.Flows != nil {
+		for v := 0; v < m.Graph.NumNodes(); v++ {
+			if vol := m.Flows.NodeVolume(graph.NodeID(v)); vol > maxVol {
+				maxVol = vol
+			}
+		}
+	}
+	for v := 0; v < m.Graph.NumNodes(); v++ {
+		x, y := cell(m.Graph.Point(graph.NodeID(v)))
+		ch := byte(symIntersection)
+		if m.Flows != nil && maxVol > 0 {
+			vol := m.Flows.NodeVolume(graph.NodeID(v))
+			idx := int(vol / maxVol * float64(len(trafficRamp)-1))
+			ch = trafficRamp[idx]
+		}
+		// Heavier shading wins within a shared cell.
+		if rampRank(ch) >= rampRank(canvas[y][x]) {
+			canvas[y][x] = ch
+		}
+	}
+	// Pass 2: RAP markers.
+	for _, r := range m.RAPs {
+		if !m.Graph.ValidNode(r) {
+			return "", fmt.Errorf("viz: %w: RAP %d", graph.ErrNodeRange, r)
+		}
+		x, y := cell(m.Graph.Point(r))
+		canvas[y][x] = symRAP
+	}
+	// Pass 3: the shop, always on top.
+	if m.Graph.ValidNode(m.Shop) {
+		x, y := cell(m.Graph.Point(m.Shop))
+		canvas[y][x] = symShop
+	}
+	var sb strings.Builder
+	sb.Grow((m.Width + 1) * m.Height)
+	for _, row := range canvas {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// rampRank orders characters by painting priority within pass 1.
+func rampRank(ch byte) int {
+	for i, r := range trafficRamp {
+		if ch == r {
+			return i + 1
+		}
+	}
+	return 0 // empty
+}
+
+// Legend returns a human-readable key for the map symbols.
+func Legend() string {
+	return "S shop   R RAP   . : + * # traffic (light to heavy)"
+}

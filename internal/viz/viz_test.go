@@ -1,0 +1,119 @@
+package viz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+)
+
+func vizGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4, 8)
+	b.AddNode(geo.Pt(0, 0))
+	b.AddNode(geo.Pt(100, 0))
+	b.AddNode(geo.Pt(0, 100))
+	b.AddNode(geo.Pt(100, 100))
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 3}, {3, 2}, {2, 0}} {
+		if err := b.AddStreet(e[0], e[1], 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRenderBasics(t *testing.T) {
+	g := vizGraph(t)
+	m := &Map{Graph: g, Shop: 0, RAPs: []graph.NodeID{3}, Width: 21, Height: 11}
+	out, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("height = %d", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 21 {
+			t.Fatalf("line %d width = %d", i, len(l))
+		}
+	}
+	if strings.Count(out, "S") != 1 {
+		t.Errorf("shop count = %d", strings.Count(out, "S"))
+	}
+	if strings.Count(out, "R") != 1 {
+		t.Errorf("RAP count = %d", strings.Count(out, "R"))
+	}
+	// North is up: node 3 at (100,100) is the RAP and must appear on the
+	// first line; node 0 (shop, at y=0) on the last.
+	if !strings.Contains(lines[0], "R") {
+		t.Errorf("RAP not on top line:\n%s", out)
+	}
+	if !strings.Contains(lines[10], "S") {
+		t.Errorf("shop not on bottom line:\n%s", out)
+	}
+}
+
+func TestRenderTrafficShading(t *testing.T) {
+	g := vizGraph(t)
+	f1, err := flow.New("heavy", []graph.NodeID{0, 1}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := flow.New("light", []graph.NodeID{2, 3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.NewSet([]flow.Flow{f1, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Map{Graph: g, Flows: fs, Shop: graph.Invalid, Width: 21, Height: 11}
+	out, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy nodes use the top ramp symbol, the light ones a low one.
+	if !strings.Contains(out, "#") {
+		t.Errorf("no heavy shading:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	g := vizGraph(t)
+	if _, err := (&Map{Graph: g, Width: 0, Height: 5}).Render(); !errors.Is(err, ErrBadSize) {
+		t.Errorf("zero width: %v", err)
+	}
+	if _, err := (&Map{Graph: g, Width: 5, Height: 5, RAPs: []graph.NodeID{99}}).Render(); err == nil {
+		t.Error("bad RAP accepted")
+	}
+	if _, err := (&Map{Graph: nil, Width: 5, Height: 5}).Render(); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestRenderSharedCellPriority(t *testing.T) {
+	// 1x1 canvas: everything lands in one cell; the shop must win.
+	g := vizGraph(t)
+	m := &Map{Graph: g, Shop: 0, RAPs: []graph.NodeID{1}, Width: 1, Height: 1}
+	out, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "S\n" {
+		t.Errorf("out = %q, want shop on top", out)
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend(), "shop") || !strings.Contains(Legend(), "RAP") {
+		t.Error("legend incomplete")
+	}
+}
