@@ -71,6 +71,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore errdrop read-only file, close error is immaterial
 	defer gFile.Close()
 	g, err := graph.ReadJSON(gFile)
 	if err != nil {
@@ -85,6 +86,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore errdrop read-only file, close error is immaterial
 		defer fFile.Close()
 		fset, err = flow.ReadJSON(fFile)
 		if err != nil {
@@ -95,6 +97,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore errdrop read-only file, close error is immaterial
 		defer tFile.Close()
 		var (
 			tf   = trace.FormatXY
@@ -134,8 +137,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer sf.Close()
-		if err := fset.WriteJSON(sf); err != nil {
+		err = fset.WriteJSON(sf)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
 	}

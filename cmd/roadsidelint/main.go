@@ -1,0 +1,88 @@
+// Command roadsidelint runs the project's static-analysis suite over the
+// module and reports findings as "file:line: [check] message". It exits 0
+// when the tree is clean, 1 when any finding survives suppression, and 2
+// on load or usage errors.
+//
+// Usage:
+//
+//	roadsidelint [-json] [-checks a,b,c] [-list] [packages]
+//
+// The package arguments are accepted for familiarity ("./...") but the
+// tool always analyzes the whole module containing the working directory:
+// the layering check is only meaningful over the full package DAG.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"roadside/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("roadsidelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	dir := fs.String("C", ".", "directory whose module is analyzed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "roadsidelint: unknown check %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, module, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+		return 2
+	}
+	loader := lint.NewLoader(root, module)
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(loader.Fset(), pkgs, analyzers)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+			return 2
+		}
+	} else if err := lint.WriteText(stdout, findings); err != nil {
+		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "roadsidelint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -56,8 +56,10 @@ func run(args []string) error {
 	switch *city {
 	case "dublin":
 		c, err = citygen.Dublin(*seed)
-		format = trace.FormatLonLat
-		proj, _ = geo.NewProjection(dublinOrigin)
+		if err == nil {
+			format = trace.FormatLonLat
+			proj, err = geo.NewProjection(dublinOrigin)
+		}
 	case "seattle":
 		c, err = citygen.Seattle(*seed)
 	default:
@@ -87,8 +89,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer tf.Close()
-	if err := trace.WriteCSV(tf, recs, format, proj); err != nil {
+	err = trace.WriteCSV(tf, recs, format, proj)
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return err
 	}
 	if *graphOut != "" {
@@ -96,8 +101,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer gf.Close()
-		if err := c.Graph.WriteJSON(gf); err != nil {
+		err = c.Graph.WriteJSON(gf)
+		if cerr := gf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -51,6 +51,7 @@ func topK(e *core.Engine, score func(graph.NodeID) float64) (*core.Placement, er
 	cands := append([]graph.NodeID(nil), e.Candidates()...)
 	sort.Slice(cands, func(a, b int) bool {
 		sa, sb := score(cands[a]), score(cands[b])
+		//lint:ignore floatcmp sort comparator needs exact compare; epsilon would break transitivity
 		if sa != sb {
 			return sa > sb
 		}

@@ -115,6 +115,7 @@ func Generate(cfg Config, seed int64) (*City, error) {
 		return nil, fmt.Errorf("%w: probabilities out of range", ErrBadConfig)
 	}
 	minFrac := cfg.MinSCCFrac
+	//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 	if minFrac == 0 {
 		minFrac = 0.75
 	}

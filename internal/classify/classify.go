@@ -84,10 +84,12 @@ func Classify(fs *flow.Set, numNodes int, opts Options) (*Classification, error)
 		return nil, ErrNoNodes
 	}
 	centerFrac := opts.CenterFrac
+	//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 	if centerFrac == 0 {
 		centerFrac = 0.10
 	}
 	cityFrac := opts.CityFrac
+	//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 	if cityFrac == 0 {
 		cityFrac = 0.30
 	}
@@ -100,6 +102,7 @@ func Classify(fs *flow.Set, numNodes int, opts Options) (*Classification, error)
 	}
 	sort.Slice(order, func(a, b int) bool {
 		va, vb := fs.NodeVolume(order[a]), fs.NodeVolume(order[b])
+		//lint:ignore floatcmp sort comparator needs exact compare; epsilon would break transitivity
 		if va != vb {
 			return va > vb
 		}

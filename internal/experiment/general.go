@@ -32,11 +32,13 @@ func BuildInstance(cfg GeneralConfig) (*Instance, error) {
 	switch cfg.City {
 	case "dublin":
 		city, err = citygen.Dublin(cfg.Seed)
+		//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 		if passengers == 0 {
 			passengers = 100 // the paper's Dublin assumption
 		}
 	case "seattle":
 		city, err = citygen.Seattle(cfg.Seed)
+		//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 		if passengers == 0 {
 			passengers = 200 // the paper's Seattle assumption
 		}
@@ -55,6 +57,7 @@ func BuildInstance(cfg GeneralConfig) (*Instance, error) {
 		return nil, err
 	}
 	alpha := cfg.Alpha
+	//lint:ignore floatcmp exact zero is the documented "unset" sentinel
 	if alpha == 0 {
 		alpha = 0.001 // the paper's base shopping probability
 	}

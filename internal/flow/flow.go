@@ -8,6 +8,7 @@ package flow
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"roadside/internal/graph"
 )
@@ -45,10 +46,10 @@ func New(id string, path []graph.NodeID, volume, alpha float64) (Flow, error) {
 	if len(path) < 2 {
 		return Flow{}, fmt.Errorf("%w: need at least 2 nodes, got %d", ErrBadPath, len(path))
 	}
-	if volume <= 0 || volume != volume || volume > 1e18 {
+	if volume <= 0 || math.IsNaN(volume) || volume > 1e18 {
 		return Flow{}, fmt.Errorf("%w: %v", ErrBadVolume, volume)
 	}
-	if alpha < 0 || alpha > 1 || alpha != alpha {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
 		return Flow{}, fmt.Errorf("%w: %v", ErrBadAlpha, alpha)
 	}
 	p := append([]graph.NodeID(nil), path...)

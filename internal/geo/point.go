@@ -111,6 +111,7 @@ func (m Metric) Distance(p, q Point) float64 {
 func SegmentDistance(p, a, b Point) (dist, t float64) {
 	ab := b.Sub(a)
 	den := ab.Dot(ab)
+	//lint:ignore floatcmp degenerate-segment guard; any nonzero denominator is divisible
 	if den == 0 {
 		return p.Euclidean(a), 0
 	}

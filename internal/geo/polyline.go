@@ -48,6 +48,7 @@ func (l Polyline) Resample(step float64) ([]Point, error) {
 		return []Point{l[0]}, nil
 	}
 	total := l.Length()
+	//lint:ignore floatcmp zero-length polyline guard; any nonzero length is divisible
 	if step <= 0 || total == 0 {
 		return []Point{l[0], l[len(l)-1]}, nil
 	}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestAllPairsParallelConsistency is the race-regression test for the
+// parallel Dijkstra fan-out in NewAllPairs: with GOMAXPROCS forced above
+// one, repeated parallel builds must agree with a serial reference
+// row-by-row, and concurrent readers must see a fully published matrix.
+// Run with -race to surface unsynchronized writes.
+func TestAllPairsParallelConsistency(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU machine cannot exercise the parallel path")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(97))
+	g := randomConnected(rng, 120, 420)
+
+	// Serial reference: one Dijkstra per source on this goroutine.
+	ref := make([][]float64, g.NumNodes())
+	for src := 0; src < g.NumNodes(); src++ {
+		dist, _ := g.dijkstra(NodeID(src), false)
+		ref[src] = dist
+	}
+
+	for round := 0; round < 3; round++ {
+		ap := NewAllPairs(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				got := ap.Dist(NodeID(u), NodeID(v))
+				want := ref[u][v]
+				if math.IsInf(got, 1) != math.IsInf(want, 1) || (!math.IsInf(want, 1) && math.Abs(got-want) > 1e-9*(1+want)) {
+					t.Fatalf("round %d: dist(%d,%d) = %v, want %v", round, u, v, got, want)
+				}
+			}
+		}
+		// Concurrent readers over the freshly built matrix: the race
+		// detector flags any write that was not happens-before the Wait.
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for u := start; u < g.NumNodes(); u += 4 {
+					var sum float64
+					for v := 0; v < g.NumNodes(); v++ {
+						if d := ap.Dist(NodeID(u), NodeID(v)); !math.IsInf(d, 1) {
+							sum += d
+						}
+					}
+					if math.IsNaN(sum) {
+						t.Errorf("NaN row sum at source %d", u)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

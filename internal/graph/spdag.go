@@ -55,6 +55,7 @@ func (d *SPDAG) CountPaths(dst NodeID) (float64, error) {
 	count := make([]float64, d.g.NumNodes())
 	count[d.src] = 1
 	for _, u := range order {
+		//lint:ignore floatcmp path counts are sums of exact small integers in float storage
 		if count[u] == 0 {
 			continue
 		}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "errdrop",
+		Doc:  "flags discarded error returns: `_ = f()`, `x, _ := f()`, and bare calls whose results include an error",
+		Run:  runErrdrop,
+	})
+}
+
+// errdropExemptFuncs are package-level functions whose error is
+// conventionally unchecked: terminal output failing is unrecoverable and
+// the universal Go idiom is to not check it.
+var errdropExemptFuncs = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// errdropExemptRecvs are receiver types whose Write* methods are
+// documented to always return a nil error.
+var errdropExemptRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrdrop(p *Pass) {
+	// Bare calls as statements (including deferred and go'd calls whose
+	// error result vanishes).
+	for _, n := range p.Inspector.Nodes((*ast.ExprStmt)(nil)) {
+		call, ok := n.(*ast.ExprStmt).X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if returnsError(p, call) && !errdropExempt(p, call) {
+			p.Reportf(call.Pos(), "result of %s includes an error that is discarded", callName(call))
+		}
+	}
+	for _, n := range p.Inspector.Nodes((*ast.DeferStmt)(nil)) {
+		call := n.(*ast.DeferStmt).Call
+		if returnsError(p, call) && !errdropExempt(p, call) {
+			p.Reportf(call.Pos(), "deferred call to %s discards its error", callName(call))
+		}
+	}
+	// Blank-assigned errors: `_ = f()` and `x, _ := f()`.
+	for _, n := range p.Inspector.Nodes((*ast.AssignStmt)(nil)) {
+		as := n.(*ast.AssignStmt)
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			// Multi-value call: match each blank LHS against the
+			// corresponding result type.
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			tuple, ok := p.TypeOf(call).(*types.Tuple)
+			if !ok || tuple.Len() != len(as.Lhs) {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+					p.Reportf(lhs.Pos(), "error result of %s assigned to blank identifier", callName(call))
+				}
+			}
+			continue
+		}
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) || i >= len(as.Rhs) {
+				continue
+			}
+			if isErrorType(p.TypeOf(as.Rhs[i])) {
+				p.Reportf(lhs.Pos(), "error value assigned to blank identifier")
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	switch t := p.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errdropExempt reports whether the call is on the conventional
+// don't-check list: the fmt print family and writers documented to never
+// fail (strings.Builder, bytes.Buffer).
+func errdropExempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return errdropExemptFuncs[fn.Pkg().Path()+"."+fn.Name()]
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	tobj := named.Obj()
+	if tobj.Pkg() == nil {
+		return false
+	}
+	return errdropExemptRecvs[tobj.Pkg().Path()+"."+tobj.Name()]
+}
+
+// callName renders a short name for the called function, for messages.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

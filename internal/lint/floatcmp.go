@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpAllow lists the approved epsilon helpers (keyed by
+// module-relative package path plus function name, methods as
+// "path.Recv.Name") inside which exact float equality is the point: the
+// helper's exact fast path is what makes equal infinities comparable.
+// Everywhere else the detour and utility math must compare through a
+// tolerance.
+var floatcmpAllow = map[string]bool{
+	"internal/stats.ApproxEqual": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags == and != between floating-point expressions outside approved epsilon helpers",
+		Run:  runFloatcmp,
+	})
+}
+
+func runFloatcmp(p *Pass) {
+	allowed := map[ast.Node]bool{}
+	for _, fi := range p.Inspector.Funcs() {
+		if fi.Decl != nil && floatcmpAllow[funcKey(p, fi.Decl)] {
+			allowed[fi.Decl] = true
+		}
+	}
+	for _, n := range p.Inspector.Nodes((*ast.BinaryExpr)(nil)) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			continue
+		}
+		if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+			continue
+		}
+		// Comparing two untyped constants folds at compile time; the
+		// check targets runtime comparisons of computed values.
+		if isConstExpr(p, be.X) && isConstExpr(p, be.Y) {
+			continue
+		}
+		if insideAllowed(p, allowed, be.Pos()) {
+			continue
+		}
+		p.Reportf(be.Pos(), "floating-point %s comparison; use an epsilon tolerance (see graph.distEpsilon)", be.Op)
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// funcKey renders a declaration as "relpath.Name" or "relpath.Recv.Name",
+// with the package path relative to the module so fixture trees match.
+func funcKey(p *Pass, fd *ast.FuncDecl) string {
+	_, rel := splitModulePath(p.Pkg.Path)
+	key := rel + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			key += id.Name + "."
+		}
+	}
+	return key + fd.Name.Name
+}
+
+// insideAllowed reports whether pos falls within any allowed declaration.
+func insideAllowed(p *Pass, allowed map[ast.Node]bool, pos token.Pos) bool {
+	for n := range allowed {
+		if n.Pos() <= pos && pos <= n.End() {
+			return true
+		}
+	}
+	return false
+}

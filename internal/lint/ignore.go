@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//lint:ignore <check> <reason>
+//
+// It suppresses findings of <check> on the same line or the line directly
+// below the comment. A directive without a reason is reported by the
+// engine itself under the "lintdirective" pseudo-check.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+	pos    token.Position
+}
+
+// ignoreIndex maps file -> line -> directives active for that line.
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+// buildIgnoreIndex scans all comments in the files for ignore directives.
+// Malformed directives (missing check or reason) are returned so the
+// runner can surface them as findings instead of silently ignoring them.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
+	idx := ignoreIndex{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				check, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if check == "" || reason == "" {
+					bad = append(bad, Finding{
+						Pos:     pos,
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Column:  pos.Column,
+						Check:   "lintdirective",
+						Message: "malformed ignore directive: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				d := ignoreDirective{check: check, reason: reason, pos: pos}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]ignoreDirective{}
+					idx[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the offending statement).
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether a directive for check covers the position.
+func (idx ignoreIndex) suppressed(check string, pos token.Position) bool {
+	for _, d := range idx[pos.Filename][pos.Line] {
+		if d.check == check || d.check == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is a prebuilt index over a package's ASTs. The engine walks
+// each file exactly once and buckets every node by concrete type, so the
+// analyzers iterate slices instead of re-walking the tree N times.
+type Inspector struct {
+	byType map[reflect.Type][]ast.Node
+	funcs  []FuncInfo
+}
+
+// FuncInfo pairs a function declaration or literal with the file it lives
+// in, for analyzers that reason about whole function bodies.
+type FuncInfo struct {
+	// Decl is non-nil for top-level func declarations.
+	Decl *ast.FuncDecl
+	// Lit is non-nil for function literals.
+	Lit *ast.FuncLit
+	// File is the syntax tree containing the function.
+	File *ast.File
+}
+
+// Body returns the function body, which may be nil for declarations
+// without bodies (e.g. assembly stubs).
+func (fi FuncInfo) Body() *ast.BlockStmt {
+	if fi.Decl != nil {
+		return fi.Decl.Body
+	}
+	return fi.Lit.Body
+}
+
+// newInspector walks every file once, indexing nodes by type.
+func newInspector(files []*ast.File) *Inspector {
+	in := &Inspector{byType: map[reflect.Type][]ast.Node{}}
+	for _, f := range files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			t := reflect.TypeOf(n)
+			in.byType[t] = append(in.byType[t], n)
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				in.funcs = append(in.funcs, FuncInfo{Decl: fn, File: file})
+			case *ast.FuncLit:
+				in.funcs = append(in.funcs, FuncInfo{Lit: fn, File: file})
+			}
+			return true
+		})
+	}
+	return in
+}
+
+// Nodes returns all nodes whose concrete type matches the example, in
+// source order within each file. Usage: in.Nodes((*ast.BinaryExpr)(nil)).
+func (in *Inspector) Nodes(example ast.Node) []ast.Node {
+	return in.byType[reflect.TypeOf(example)]
+}
+
+// Funcs returns every function declaration and literal in the package.
+func (in *Inspector) Funcs() []FuncInfo { return in.funcs }

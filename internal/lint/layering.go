@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// layerRules enforces the package DAG. Keys are import-path suffixes
+// relative to the module (so fixture trees with a different module prefix
+// exercise the same rules); values are the suffixes that package must not
+// import. The root package is the only public surface, so examples must
+// depend on it alone.
+var layerRules = map[string][]string{
+	"internal/graph":   {"internal/core", "internal/experiment", "internal/baseline"},
+	"internal/geo":     {"internal/core", "internal/experiment", "internal/baseline"},
+	"internal/utility": {"internal/core", "internal/experiment", "internal/baseline"},
+	"internal/core":    {"internal/experiment", "internal/baseline"},
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "layering",
+		Doc:  "enforces the package DAG: graph/geo/utility below core, core below experiment/baseline, examples on the root only",
+		Run:  runLayering,
+	})
+}
+
+func runLayering(p *Pass) {
+	module, rel := splitModulePath(p.Pkg.Path)
+	if forbidden, ok := layerRules[rel]; ok {
+		for _, imp := range p.Pkg.Imports {
+			_, impRel := splitModulePath(imp)
+			for _, f := range forbidden {
+				if impRel == f {
+					p.Reportf(importPos(p, imp),
+						"layer violation: %s must not import %s", rel, f)
+				}
+			}
+		}
+	}
+	// Examples demonstrate the public API: the bare module root is the
+	// only module-internal import they may use.
+	if strings.HasPrefix(rel, "examples/") {
+		for _, imp := range p.Pkg.Imports {
+			if imp != module && strings.HasPrefix(imp, module+"/") {
+				p.Reportf(importPos(p, imp),
+					"layer violation: examples must import only the public %q package, not %s", module, imp)
+			}
+		}
+	}
+}
+
+// splitModulePath splits "mod/internal/x" into the module prefix and the
+// path relative to it. Paths without a slash (the root package or stdlib
+// single-segment imports) have an empty relative part.
+func splitModulePath(path string) (module, rel string) {
+	// The module path is the first segment for this repo ("roadside") and
+	// for fixture trees; multi-segment module paths are not used here.
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i], path[i+1:]
+	}
+	return path, ""
+}
+
+// importPos locates the import spec for path so the finding points at the
+// offending line rather than the package clause.
+func importPos(p *Pass, path string) token.Pos {
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			if strings.Trim(spec.Path.Value, `"`) == path {
+				return spec.Pos()
+			}
+		}
+	}
+	if len(p.Pkg.Files) > 0 {
+		return p.Pkg.Files[0].Pos()
+	}
+	return token.NoPos
+}

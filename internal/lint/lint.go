@@ -1,0 +1,133 @@
+// Package lint is a self-contained static-analysis engine for the roadside
+// module, built only on the standard library's go/parser, go/ast, and
+// go/types. It loads every package in the module, type-checks it, and runs
+// a pluggable set of project-specific analyzers over a shared AST index.
+//
+// Findings are reported as "file:line: [check] message" (or JSON via the
+// -json flag of cmd/roadsidelint) and any finding makes the run fail.
+// Individual findings can be suppressed with a comment on the offending
+// line or the line above it:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself a
+// finding. New analyzers register themselves in an init function via
+// Register and receive a fully type-checked *Pass per package.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Column  int            `json:"column"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical "file:line: [check] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path, e.g. "roadside/internal/graph".
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files holds the parsed non-test syntax trees.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info records type and object resolution for every expression.
+	Info *types.Info
+	// Imports lists the import paths of the package's direct imports.
+	Imports []string
+}
+
+// Pass is the per-package view handed to each analyzer: the shared file
+// set, the package under analysis, the prebuilt AST index, and a Report
+// sink that applies //lint:ignore suppression before recording a finding.
+type Pass struct {
+	Fset      *token.FileSet
+	Pkg       *Package
+	Inspector *Inspector
+
+	check    string
+	ignores  ignoreIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an ignore directive for this
+// check covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.check, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Analyzer is one named check. Run is invoked once per loaded package.
+type Analyzer struct {
+	// Name is the check identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description shown by roadsidelint -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the global registry. It panics on a
+// duplicate or empty name so misconfiguration fails loudly at init time.
+func Register(a *Analyzer) {
+	if a == nil || a.Name == "" || a.Run == nil {
+		panic("lint: Register: analyzer must have a name and a Run function")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("lint: Register: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns all registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the analyzer registered under name, or nil.
+func Lookup(name string) *Analyzer { return registry[name] }

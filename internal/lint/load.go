@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader discovers, parses, and type-checks every package under a module
+// root. Module-internal imports resolve against the tree being loaded;
+// standard-library imports resolve from GOROOT source via go/importer, so
+// no export data or external tooling is needed.
+type Loader struct {
+	// Root is the module root directory (the one holding go.mod, or a
+	// fixture tree laid out the same way).
+	Root string
+	// Module is the module path that maps Root to import paths.
+	Module string
+
+	fset    *token.FileSet
+	stdlib  types.Importer
+	pkgs    map[string]*Package // by import path
+	dirs    map[string]string   // import path -> dir
+	loading map[string]bool     // import cycle guard
+}
+
+// NewLoader returns a loader for the module rooted at root with the given
+// module path.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		fset:    fset,
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		dirs:    map[string]string{},
+		loading: map[string]bool{},
+	}
+}
+
+// Fset returns the shared file set positions are resolved against.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load walks the module tree, loads every Go package found (skipping
+// testdata and hidden directories), and returns them sorted by import
+// path. Test files (_test.go) are excluded: the checks target production
+// code, and test packages would drag test-only dependencies into the
+// type-check.
+func (l *Loader) Load() ([]*Package, error) {
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// discover maps every package directory under Root to its import path.
+func (l *Loader) discover() error {
+	return filepath.Walk(l.Root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, path)
+		if err != nil {
+			return err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = path
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// load parses and type-checks the package at import path ip, loading its
+// module-internal dependencies first.
+func (l *Loader) load(ip string) (*Package, error) {
+	if pkg, done := l.pkgs[ip]; done {
+		return pkg, nil
+	}
+	if l.loading[ip] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ip)
+	}
+	l.loading[ip] = true
+	defer delete(l.loading, ip)
+
+	dir := l.dirs[ip]
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		l.pkgs[ip] = nil
+		return nil, nil
+	}
+
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			imports = append(imports, strings.Trim(spec.Path.Value, `"`))
+		}
+	}
+	sort.Strings(imports)
+	imports = dedup(imports)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if _, local := l.dirs[path]; local {
+				pkg, err := l.load(path)
+				if err != nil {
+					return nil, err
+				}
+				if pkg == nil {
+					return nil, fmt.Errorf("lint: no Go files in %s", path)
+				}
+				return pkg.Types, nil
+			}
+			return l.stdlib.Import(path)
+		}),
+	}
+	tpkg, err := conf.Check(ip, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", ip, err)
+	}
+	pkg := &Package{
+		Path:    ip,
+		Dir:     dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: imports,
+	}
+	l.pkgs[ip] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test Go file in dir with comments attached.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod and returns it along with the module path declared inside.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mutateargPackages are the import-path suffixes whose exported functions
+// are checked for writes through slice or map parameters. These are the
+// numeric kernels where callers pass candidate sets and distance slices
+// and expect them back untouched.
+var mutateargPackages = map[string]bool{
+	"internal/core":  true,
+	"internal/graph": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "mutatearg",
+		Doc:  "exported core/graph functions must not write through slice/map parameters unless the doc comment says \"mutates\"",
+		Run:  runMutatearg,
+	})
+}
+
+func runMutatearg(p *Pass) {
+	_, rel := splitModulePath(p.Pkg.Path)
+	if !mutateargPackages[rel] {
+		return
+	}
+	for _, fi := range p.Inspector.Funcs() {
+		fd := fi.Decl
+		if fd == nil || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "mutates") {
+			continue
+		}
+		params := paramObjects(p, fd)
+		if len(params) == 0 {
+			continue
+		}
+		checkMutations(p, fd, params)
+	}
+}
+
+// paramObjects collects the function's parameters whose types are slices
+// or maps (the reference types a write leaks through).
+func paramObjects(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Slice, *types.Map:
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkMutations flags index-assignments, delete() calls, and copy-into
+// targeting any of the given parameter objects.
+func checkMutations(p *Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	report := func(pos ast.Node, obj types.Object) {
+		p.Reportf(pos.Pos(),
+			"%s writes through parameter %q; document with \"mutates\" in the doc comment or copy first",
+			fd.Name.Name, obj.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if obj := paramBase(p, idx.X, params); obj != nil {
+						report(lhs, obj)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, builtin := p.ObjectOf(id).(*types.Builtin); !builtin {
+				return true
+			}
+			switch id.Name {
+			case "delete":
+				if len(n.Args) > 0 {
+					if obj := paramBase(p, n.Args[0], params); obj != nil {
+						report(n, obj)
+					}
+				}
+			case "copy":
+				if len(n.Args) > 0 {
+					if obj := paramBase(p, n.Args[0], params); obj != nil {
+						report(n, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// paramBase resolves e (possibly through nested index expressions like
+// param[i][j]) to a tracked parameter object, or nil.
+func paramBase(p *Pass, e ast.Expr, params map[types.Object]bool) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := p.ObjectOf(x); obj != nil && params[obj] {
+				return obj
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded local generator — the reproducible pattern the repo requires.
+// Everything else exported by math/rand draws from (or reseeds) the
+// global source and breaks experiment reproducibility.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "seededrand",
+		Doc:  "forbids the global math/rand source in non-test code; use rand.New(rand.NewSource(seed))",
+		Run:  runSeededRand,
+	})
+}
+
+func runSeededRand(p *Pass) {
+	for _, n := range p.Inspector.Nodes((*ast.SelectorExpr)(nil)) {
+		sel := n.(*ast.SelectorExpr)
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := p.ObjectOf(id).(*types.PkgName)
+		if !ok {
+			continue
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		name := sel.Sel.Name
+		if randConstructors[name] {
+			continue
+		}
+		// Type names (rand.Rand, rand.Source) are fine; only function
+		// calls touch the global source.
+		if _, isFunc := p.ObjectOf(sel.Sel).(*types.Func); !isFunc {
+			continue
+		}
+		p.Reportf(sel.Pos(), "global rand.%s breaks reproducibility; use rand.New(rand.NewSource(seed)) (see stats.NewRand)", name)
+	}
+}

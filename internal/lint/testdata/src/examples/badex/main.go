@@ -1,0 +1,9 @@
+// Command badex is a fixture for the public-surface rule: examples may
+// depend only on the module root, never on internal packages.
+package main
+
+import "fixture/internal/core" // want:layering
+
+func main() {
+	core.Sum([]float64{1, 2, 3})
+}

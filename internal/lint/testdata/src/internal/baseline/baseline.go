@@ -1,0 +1,5 @@
+// Package baseline sits beside experiment at the top of the fixture DAG.
+package baseline
+
+// Marker exists so lower layers can (illegally) reference this package.
+var Marker = 2

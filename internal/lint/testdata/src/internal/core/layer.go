@@ -1,0 +1,9 @@
+package core
+
+import (
+	"fixture/internal/baseline"   // want:layering
+	"fixture/internal/experiment" // want:layering
+)
+
+// Layers references the upper layers so the imports are real.
+func Layers() int { return baseline.Marker + experiment.Marker }

@@ -1,0 +1,49 @@
+// Package core is a fixture for the mutatearg and layering checks.
+package core
+
+// Scale rescales xs toward f. It silently writes through its slice
+// parameter without documenting the mutation.
+func Scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] = xs[i] * f // want:mutatearg
+	}
+}
+
+// Drop removes key k without documenting the mutation.
+func Drop(m map[string]int, k string) {
+	delete(m, k) // want:mutatearg
+}
+
+// ScaleCopy returns a scaled copy, leaving the argument untouched.
+func ScaleCopy(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = xs[i] * f
+	}
+	return out
+}
+
+// ResetTotals mutates counts in place, zeroing every entry.
+func ResetTotals(counts map[string]int) {
+	for k := range counts {
+		counts[k] = 0
+	}
+}
+
+// scaleInPlace is unexported, so in-place mutation is its own business.
+func scaleInPlace(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}
+
+// Sum keeps the unexported helper alive for the type checker.
+func Sum(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	scaleInPlace(tmp, 1)
+	var s float64
+	for _, x := range tmp {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+// Package errs is a fixture for the errdrop check.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad drops errors three different ways.
+func Bad() int {
+	mayFail()       // want:errdrop
+	_ = mayFail()   // want:errdrop
+	n, _ := pair()  // want:errdrop
+	defer mayFail() // want:errdrop
+	return n
+}
+
+// Good propagates everything.
+func Good() (int, error) {
+	if err := mayFail(); err != nil {
+		return 0, err
+	}
+	return pair()
+}
+
+// Exempt exercises the conventional don't-check list.
+func Exempt() string {
+	fmt.Println("terminal output is exempt")
+	var sb strings.Builder
+	sb.WriteString("builder writes are exempt")
+	return sb.String()
+}
+
+// Suppressed shows the ignore directive on a deliberate drop.
+func Suppressed() {
+	//lint:ignore errdrop fixture: error is deliberately discarded
+	_ = mayFail()
+}

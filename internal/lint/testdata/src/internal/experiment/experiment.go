@@ -1,0 +1,5 @@
+// Package experiment is the top layer in the fixture DAG.
+package experiment
+
+// Marker exists so lower layers can (illegally) reference this package.
+var Marker = 1

@@ -1,0 +1,9 @@
+// Package geo is a layering-negative fixture: it imports nothing from
+// the layers above it and stays clean.
+package geo
+
+import "fixture/internal/utility"
+
+// Norm is a well-behaved cross-layer call (utility is a sibling, not an
+// upper layer).
+func Norm(a, b float64) bool { return utility.Less(a, b) }

@@ -1,0 +1,30 @@
+// Package gg is a fixture for the goroutineguard check.
+package gg
+
+import "sync"
+
+// Bad fires and forgets: nothing in scope can observe completion.
+func Bad(work func()) {
+	go work() // want:goroutineguard
+}
+
+// GoodWaitGroup joins through a sync.WaitGroup.
+func GoodWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodChannel joins through a done channel.
+func GoodChannel(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,8 @@
+// Package graph is a fixture for the layering check: the graph layer
+// must not depend on the core layer above it.
+package graph
+
+import "fixture/internal/core" // want:layering
+
+// UsesCore leans on the forbidden import.
+func UsesCore() []float64 { return core.ScaleCopy(nil, 1) }

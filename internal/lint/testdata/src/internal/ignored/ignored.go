@@ -1,0 +1,14 @@
+// Package ignored is a fixture for the ignore-directive grammar: a
+// directive without a reason is itself reported.
+package ignored
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// BadDirective has an ignore comment with no reason, so both the
+// malformed directive and the undropped finding are reported.
+func BadDirective() {
+	//lint:ignore errdrop
+	_ = mayFail() // want:errdrop
+}

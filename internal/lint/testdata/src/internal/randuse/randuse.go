@@ -1,0 +1,20 @@
+// Package randuse is a fixture for the seededrand check.
+package randuse
+
+import "math/rand"
+
+// Bad draws from the global source, which is not reproducible.
+func Bad() int {
+	return rand.Intn(10) // want:seededrand
+}
+
+// BadFloat is the float variant.
+func BadFloat() float64 {
+	return rand.Float64() // want:seededrand
+}
+
+// Good builds an explicitly seeded local generator.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

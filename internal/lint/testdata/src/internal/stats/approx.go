@@ -1,0 +1,16 @@
+// Package stats is a fixture for the floatcmp allowlist: ApproxEqual is
+// the approved epsilon helper, so its exact fast path is not flagged.
+package stats
+
+// ApproxEqual mirrors the real helper's shape: exact fast path, then a
+// scaled tolerance.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol
+}

@@ -1,0 +1,26 @@
+// Package utility is a fixture for the floatcmp check.
+package utility
+
+// Eq compares two computed floats exactly — the bug class floatcmp exists
+// to catch.
+func Eq(a, b float64) bool {
+	return a == b // want:floatcmp
+}
+
+// Ne is the != variant.
+func Ne(a, b float64) bool {
+	return a != b // want:floatcmp
+}
+
+// Less is fine: ordered comparisons are not equality.
+func Less(a, b float64) bool { return a < b }
+
+// EqInt is fine: integer equality is exact.
+func EqInt(a, b int) bool { return a == b }
+
+// EqSuppressed shows the ignore directive silencing an intentional exact
+// comparison.
+func EqSuppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact comparison is intentional here
+	return a == b
+}

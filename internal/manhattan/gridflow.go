@@ -104,8 +104,14 @@ func (s *Scenario) Endpoints(f GridFlow) (entry, exit graph.NodeID, err error) {
 	if err := s.Validate(f); err != nil {
 		return graph.Invalid, graph.Invalid, err
 	}
-	entry, _ = s.boundaryNode(f.EntrySide, f.EntryIndex)
-	exit, _ = s.boundaryNode(f.ExitSide, f.ExitIndex)
+	entry, err = s.boundaryNode(f.EntrySide, f.EntryIndex)
+	if err != nil {
+		return graph.Invalid, graph.Invalid, err
+	}
+	exit, err = s.boundaryNode(f.ExitSide, f.ExitIndex)
+	if err != nil {
+		return graph.Invalid, graph.Invalid, err
+	}
 	return entry, exit, nil
 }
 

@@ -60,6 +60,7 @@ func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
+		//lint:ignore floatcmp sort comparator needs exact compare; epsilon would break transitivity
 		if gains[order[a]] != gains[order[b]] {
 			return gains[order[a]] > gains[order[b]]
 		}

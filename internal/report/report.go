@@ -142,6 +142,7 @@ func (r *Report) String() string {
 func pct(a, b int) float64 { return 100 * safeDiv(float64(a), float64(b)) }
 
 func safeDiv(a, b float64) float64 {
+	//lint:ignore floatcmp division guard needs exact zero; any nonzero divisor is valid
 	if b == 0 {
 		return 0
 	}

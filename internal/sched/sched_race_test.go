@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+// TestGreedyConcurrentCallers is the race-regression test for the
+// scheduler: Greedy must be safe to call from many goroutines over the
+// same campaign slice (the production serving pattern), because each call
+// builds its own engines from copies of the shared problems. Run with
+// -race; GOMAXPROCS is forced above one so the goroutines truly overlap.
+func TestGreedyConcurrentCallers(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU machine cannot exercise concurrent callers")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	campaigns := twoShopCampaigns(t)
+	raps := []graph.NodeID{1, 2, 3, 4}
+
+	const callers = 8
+	welfare := make([]float64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := Greedy(raps, campaigns, 1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			welfare[i] = a.Welfare
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if math.Abs(welfare[i]-welfare[0]) > 1e-9*(1+welfare[0]) {
+			t.Fatalf("caller %d welfare %v differs from caller 0's %v", i, welfare[i], welfare[0])
+		}
+	}
+}

@@ -223,6 +223,7 @@ func Compare(e *core.Engine, placement []graph.NodeID, cfg Config) (*Result, flo
 	if err != nil {
 		return nil, 0, err
 	}
+	//lint:ignore floatcmp division guard needs exact zero; any nonzero expectation is valid
 	if res.Expected == 0 {
 		return res, 0, nil
 	}

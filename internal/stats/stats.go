@@ -69,6 +69,24 @@ func (s Summary) CI95() float64 {
 	return 1.96 * s.Std / math.Sqrt(float64(s.N))
 }
 
+// ApproxEqual reports whether a and b agree within tol, scaled by the
+// larger magnitude so the tolerance is relative for large values and
+// absolute near zero. It is the approved helper for floating-point
+// equality (the floatcmp lint check flags raw == / != elsewhere); the
+// exact fast path makes equal infinities compare equal, which no finite
+// tolerance can.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*(1+scale)
+}
+
 // SplitMix64 advances the splitmix64 generator once, returning the next
 // state and output. It is the standard way to derive independent seeds.
 func SplitMix64(state uint64) (next, out uint64) {

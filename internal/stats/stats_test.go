@@ -153,3 +153,24 @@ func TestSplitMix64KnownValues(t *testing.T) {
 		t.Errorf("second output = %#x", out)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                         // exact fast path
+		{math.Inf(1), math.Inf(1), 1e-9, true},  // equal infinities
+		{math.Inf(1), math.Inf(-1), 1e9, false}, // opposite infinities
+		{1, 1 + 1e-12, 1e-9, true},              // within tolerance
+		{1, 1.1, 1e-9, false},                   // outside tolerance
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true},  // relative scaling
+		{0, 1e-12, 1e-9, true},                  // absolute near zero
+		{math.NaN(), math.NaN(), 1e9, false},    // NaN never equal
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

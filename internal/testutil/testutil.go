@@ -85,7 +85,9 @@ func RandomProblem(tb testing.TB, rng *rand.Rand, nodes, flows, k int, u utility
 	for e := 0; e < 2*nodes; e++ {
 		u1, v1 := rng.Intn(nodes), rng.Intn(nodes)
 		if u1 != v1 {
-			_ = b.AddEdge(graph.NodeID(u1), graph.NodeID(v1), 1+rng.Float64()*9)
+			if err := b.AddEdge(graph.NodeID(u1), graph.NodeID(v1), 1+rng.Float64()*9); err != nil {
+				tb.Fatal(err)
+			}
 		}
 	}
 	g, err := b.Build()

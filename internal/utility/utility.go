@@ -150,6 +150,7 @@ func Validate(f Function, alpha float64) error {
 		prev = p
 	}
 	for _, x := range []float64{d * 1.0001, d * 2, d * 100} {
+		//lint:ignore floatcmp the contract requires exactly zero beyond the detour threshold
 		if p := f.Prob(x, alpha); p != 0 {
 			return fmt.Errorf("%w: f(%v) = %v beyond threshold", ErrInvalid, x, p)
 		}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's verification gate. CI runs exactly this script;
+# run it locally before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke: FuzzGraphJSONRoundTrip (10s)"
+go test -run '^$' -fuzz '^FuzzGraphJSONRoundTrip$' -fuzztime 10s ./internal/graph
+
+echo "==> fuzz smoke: FuzzFlowIO (10s)"
+go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
+
+echo "==> roadsidelint"
+go run ./cmd/roadsidelint ./...
+
+echo "verify: all gates passed"
