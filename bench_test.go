@@ -2,6 +2,7 @@ package roadside
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"roadside/internal/experiment"
@@ -44,14 +45,28 @@ func BenchmarkFig13(b *testing.B) { benchFigure(b, 13) }
 
 // ---- Solver micro-benchmarks on a fixed Dublin-scale instance ----
 
-func dublinEngine(b *testing.B, k int) *Engine {
+// The Dublin fixture is expensive (city synthesis plus engine
+// preprocessing), and the engine is immutable once built, so both the
+// problem and the engine are cached per seed and shared across every
+// benchmark instead of being rebuilt in each one's setup.
+var (
+	benchFixtureMu sync.Mutex
+	benchProblems  = map[int64]*Problem{}
+	benchEngines   = map[int64]*Engine{}
+)
+
+func dublinProblem(b *testing.B, seed int64) *Problem {
 	b.Helper()
-	city, err := Dublin(7)
+	benchFixtureMu.Lock()
+	defer benchFixtureMu.Unlock()
+	if p, ok := benchProblems[seed]; ok {
+		return p
+	}
+	city, err := Dublin(seed)
 	if err != nil {
 		b.Fatal(err)
 	}
-	demand := DefaultDemand()
-	routes, err := GenerateRoutes(city, demand, 7)
+	routes, err := GenerateRoutes(city, DefaultDemand(), seed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,43 +82,37 @@ func dublinEngine(b *testing.B, k int) *Engine {
 	if err != nil {
 		b.Fatal(err)
 	}
-	shop := cls.Nodes(CityClass)[0]
-	e, err := NewEngine(&Problem{
+	p := &Problem{
 		Graph:   city.Graph,
-		Shop:    shop,
+		Shop:    cls.Nodes(CityClass)[0],
 		Flows:   flows,
 		Utility: LinearUtility{D: 20_000},
-		K:       k,
-	})
+		K:       10,
+	}
+	benchProblems[seed] = p
+	return p
+}
+
+func dublinEngine(b *testing.B, seed int64) *Engine {
+	b.Helper()
+	p := dublinProblem(b, seed)
+	benchFixtureMu.Lock()
+	defer benchFixtureMu.Unlock()
+	if e, ok := benchEngines[seed]; ok {
+		return e
+	}
+	e, err := NewEngine(p)
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchEngines[seed] = e
 	return e
 }
 
 // BenchmarkEngineConstruction measures the detour precomputation (the
-// paper's O(|V|^3) term, implemented as per-destination Dijkstra).
+// paper's O(|V|^3) term, implemented as parallel per-destination Dijkstra).
 func BenchmarkEngineConstruction(b *testing.B) {
-	city, err := Dublin(7)
-	if err != nil {
-		b.Fatal(err)
-	}
-	routes, err := GenerateRoutes(city, DefaultDemand(), 7)
-	if err != nil {
-		b.Fatal(err)
-	}
-	flowList, err := RoutesToFlows(routes, 100, 0.001)
-	if err != nil {
-		b.Fatal(err)
-	}
-	flows, err := NewFlowSet(flowList)
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := &Problem{
-		Graph: city.Graph, Shop: 0, Flows: flows,
-		Utility: LinearUtility{D: 20_000}, K: 10,
-	}
+	p := dublinProblem(b, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewEngine(p); err != nil {
@@ -115,7 +124,7 @@ func BenchmarkEngineConstruction(b *testing.B) {
 // BenchmarkAblationAlgorithm2 measures the paper's composite greedy
 // (the k|V||T| term of its complexity analysis).
 func BenchmarkAblationAlgorithm2(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Algorithm2(e); err != nil {
@@ -127,7 +136,7 @@ func BenchmarkAblationAlgorithm2(b *testing.B) {
 // BenchmarkAblationCombined measures the single-objective marginal-gain
 // greedy ablation.
 func BenchmarkAblationCombined(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := GreedyCombined(e); err != nil {
@@ -139,7 +148,7 @@ func BenchmarkAblationCombined(b *testing.B) {
 // BenchmarkAblationLazy measures the lazy-evaluation greedy, which exploits
 // submodularity to skip most candidate re-evaluations.
 func BenchmarkAblationLazy(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := GreedyLazy(e); err != nil {
@@ -151,7 +160,7 @@ func BenchmarkAblationLazy(b *testing.B) {
 // BenchmarkEvaluate measures a single placement evaluation, the inner loop
 // of every experiment trial.
 func BenchmarkEvaluate(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	pl, err := Algorithm2(e)
 	if err != nil {
 		b.Fatal(err)
@@ -162,10 +171,24 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatePrefixes measures the incremental nested-prefix sweep
+// that replaces per-k re-evaluation in the experiment runners.
+func BenchmarkEvaluatePrefixes(b *testing.B) {
+	e := dublinEngine(b, 7)
+	pl, err := Algorithm2(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.EvaluatePrefixes(pl.Nodes)
+	}
+}
+
 // BenchmarkRandomBaseline measures the Random baseline including its
 // geometric candidate filtering.
 func BenchmarkRandomBaseline(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -218,7 +241,7 @@ func BenchmarkAblationAlgorithm4(b *testing.B) {
 // BenchmarkSimulate measures a 30-day stochastic dissemination simulation
 // on the Dublin instance.
 func BenchmarkSimulate(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	pl, err := Algorithm2(e)
 	if err != nil {
 		b.Fatal(err)
@@ -234,7 +257,7 @@ func BenchmarkSimulate(b *testing.B) {
 // BenchmarkSchedule measures the multi-shop campaign scheduler on shared
 // infrastructure (3 campaigns, 10 RAPs, capacity 2).
 func BenchmarkSchedule(b *testing.B) {
-	e := dublinEngine(b, 10)
+	e := dublinEngine(b, 7)
 	pl, err := Algorithm2(e)
 	if err != nil {
 		b.Fatal(err)

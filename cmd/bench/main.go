@@ -1,0 +1,276 @@
+// Command bench runs the repo's tracked performance benchmarks and emits a
+// machine-readable benchio report (BENCH_*.json). It exists so performance
+// is measured, recorded, and gated the same way correctness is: verify.sh
+// runs it in quick mode as a smoke check, and CI compares a full run
+// against the checked-in baseline, failing on large regressions.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-quick] [-out results/BENCH_2.json] \
+//	    [-benchtime 300ms] [-baseline results/BENCH_baseline.json -check]
+//
+// Each entry also reports a speedup against the recorded pre-optimization
+// ("seed") numbers where one exists, documenting what the CSR-arena engine
+// layout bought.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"roadside"
+	"roadside/internal/benchio"
+)
+
+// seedBaselineNs records ns/op measured on the pre-optimization engine (the
+// map-of-slices layout with per-call utility evaluation, per-candidate map
+// lookups in the greedy scans) at 300ms benchtime on a single-CPU container,
+// in the same session as the optimized numbers so machine conditions match.
+// They are the fixed reference the report's speedup column is computed
+// against; per-machine regression gating uses a checked-in baseline report
+// instead (-baseline/-check).
+var seedBaselineNs = map[string]float64{
+	"engine_construct_dublin": 4812675,
+	"solver_algorithm2":       353586,
+	"solver_combined":         344107,
+	"solver_lazy":             57153,
+	"evaluate":                1705,
+}
+
+func main() {
+	testing.Init()
+	var (
+		out        = flag.String("out", "", "write the benchio JSON report to this path")
+		label      = flag.String("label", "current", "report label")
+		quick      = flag.Bool("quick", false, "short benchtime, skip the slow end-to-end figure benchmarks")
+		benchtime  = flag.String("benchtime", "", "per-benchmark measuring time (default 300ms, quick 50ms)")
+		baseline   = flag.String("baseline", "", "benchio report to compare against")
+		check      = flag.Bool("check", false, "exit nonzero if any entry regresses past -max-regress vs -baseline")
+		maxRegress = flag.Float64("max-regress", 2.0, "allowed ns/op ratio vs baseline before -check fails")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *out, *label, *quick, *benchtime, *baseline, *check, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, out, label string, quick bool, benchtime, baseline string, check bool, maxRegress float64) error {
+	if benchtime == "" {
+		benchtime = "300ms"
+		if quick {
+			benchtime = "50ms"
+		}
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("set benchtime: %w", err)
+	}
+
+	cases, err := buildCases(quick)
+	if err != nil {
+		return err
+	}
+
+	report := benchio.New(label, quick)
+	fmt.Fprintf(w, "bench: %d entries, benchtime %s, GOMAXPROCS %d\n",
+		len(cases), benchtime, runtime.GOMAXPROCS(0))
+	for _, c := range cases {
+		res := testing.Benchmark(c.fn)
+		if res.N == 0 {
+			return fmt.Errorf("%s: benchmark failed to run", c.name)
+		}
+		entry := benchio.Entry{
+			Name:        c.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		if base, ok := seedBaselineNs[c.name]; ok && entry.NsPerOp > 0 {
+			entry.BaselineNs = base
+			entry.Speedup = base / entry.NsPerOp
+		}
+		report.Add(entry)
+		line := fmt.Sprintf("  %-28s %14.0f ns/op %8d allocs/op", entry.Name, entry.NsPerOp, entry.AllocsPerOp)
+		if entry.Speedup > 0 {
+			line += fmt.Sprintf("   %.2fx vs seed", entry.Speedup)
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	if out != "" {
+		if err := benchio.Write(out, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench: report written to %s\n", out)
+	}
+	if baseline != "" {
+		base, err := benchio.Read(baseline)
+		if err != nil {
+			return err
+		}
+		regressions := benchio.Compare(report, base, maxRegress)
+		for _, r := range regressions {
+			fmt.Fprintln(w, "REGRESSION:", r)
+		}
+		if check && len(regressions) > 0 {
+			return fmt.Errorf("%d entr(ies) regressed past %.2fx vs %s", len(regressions), maxRegress, baseline)
+		}
+		if len(regressions) == 0 {
+			fmt.Fprintf(w, "bench: no regressions past %.2fx vs %s\n", maxRegress, baseline)
+		}
+	}
+	return nil
+}
+
+type benchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// buildCases constructs the shared Dublin fixture once and returns the
+// benchmark set. Fixture construction failures surface as errors here, so
+// the closures themselves only measure.
+func buildCases(quick bool) ([]benchCase, error) {
+	p, err := dublinProblem()
+	if err != nil {
+		return nil, fmt.Errorf("dublin fixture: %w", err)
+	}
+	e, err := roadside.NewEngine(p)
+	if err != nil {
+		return nil, fmt.Errorf("dublin engine: %w", err)
+	}
+	pl, err := roadside.Algorithm2(e)
+	if err != nil {
+		return nil, fmt.Errorf("dublin placement: %w", err)
+	}
+
+	cases := []benchCase{
+		{"engine_construct_dublin", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.NewEngine(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The same construction pinned to one worker: the gap between this
+		// entry and the previous one is the preprocessing parallelism win on
+		// the current machine (zero on a single-CPU container).
+		{"engine_construct_dublin_p1", func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(1)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.NewEngine(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"solver_algorithm1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.Algorithm1(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"solver_algorithm2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.Algorithm2(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"solver_combined", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.GreedyCombined(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"solver_lazy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := roadside.GreedyLazy(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"evaluate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = e.Evaluate(pl.Nodes)
+			}
+		}},
+		// The per-k sweep both ways: one evaluation per prefix length versus
+		// a single incremental pass (what RunGeneralOn now uses).
+		{"prefix_sweep_naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				for n := 1; n <= len(pl.Nodes); n++ {
+					sum += e.Evaluate(pl.Nodes[:n])
+				}
+				_ = sum
+			}
+		}},
+		{"prefix_sweep_incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = e.EvaluatePrefixes(pl.Nodes)
+			}
+		}},
+	}
+
+	if !quick {
+		for _, fig := range []int{10, 11, 12, 13} {
+			fig := fig
+			cases = append(cases, benchCase{fmt.Sprintf("figure_%d", fig), func(b *testing.B) {
+				opts := roadside.FigureOptions{Seed: 2015, Quick: true, Trials: 2}
+				for i := 0; i < b.N; i++ {
+					results, err := roadside.Figure(fig, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(results) == 0 {
+						b.Fatal("no results")
+					}
+				}
+			}})
+		}
+	}
+	return cases, nil
+}
+
+// dublinProblem mirrors the fixed Dublin-scale instance used by the repo's
+// bench_test.go micro-benchmarks, so cmd/bench numbers and `go test -bench`
+// numbers describe the same workload.
+func dublinProblem() (*roadside.Problem, error) {
+	city, err := roadside.Dublin(7)
+	if err != nil {
+		return nil, err
+	}
+	routes, err := roadside.GenerateRoutes(city, roadside.DefaultDemand(), 7)
+	if err != nil {
+		return nil, err
+	}
+	flowList, err := roadside.RoutesToFlows(routes, 100, 0.001)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := roadside.NewFlowSet(flowList)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := roadside.ClassifyIntersections(flows, city.Graph.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	shop := cls.Nodes(roadside.CityClass)[0]
+	return &roadside.Problem{
+		Graph:   city.Graph,
+		Shop:    shop,
+		Flows:   flows,
+		Utility: roadside.LinearUtility{D: 20_000},
+		K:       10,
+	}, nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadside/internal/benchio"
+)
+
+// TestRunQuick exercises the full quick-mode path: run the benchmark set at
+// a tiny benchtime, write a report, and re-check it against itself (which
+// can never regress).
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := run(&buf, out, "test", true, "5ms", "", false, 2.0); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	rep, err := benchio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Quick || rep.Label != "test" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	for _, name := range []string{
+		"engine_construct_dublin", "engine_construct_dublin_p1",
+		"solver_algorithm1", "solver_algorithm2", "solver_combined", "solver_lazy",
+		"evaluate", "prefix_sweep_naive", "prefix_sweep_incremental",
+	} {
+		e, ok := rep.Lookup(name)
+		if !ok {
+			t.Fatalf("entry %q missing from report", name)
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Fatalf("entry %q not measured: %+v", name, e)
+		}
+	}
+	if _, ok := rep.Lookup("figure_10"); ok {
+		t.Fatal("quick mode must skip figure benchmarks")
+	}
+	if e, _ := rep.Lookup("solver_algorithm2"); e.BaselineNs <= 0 || e.Speedup <= 0 {
+		t.Fatalf("seed baseline not applied: %+v", e)
+	}
+
+	// Self-comparison is the degenerate regression check: ratios hover
+	// around 1.0. The wide 10x budget keeps tiny-benchtime jitter from
+	// flaking the test; the real gate uses 2x at a 300ms benchtime.
+	buf.Reset()
+	if err := run(&buf, "", "recheck", true, "5ms", out, true, 10.0); err != nil {
+		t.Fatalf("self-check flagged a regression: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("expected no-regressions line, got:\n%s", buf.String())
+	}
+}

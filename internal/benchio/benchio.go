@@ -1,0 +1,124 @@
+// Package benchio defines the machine-readable benchmark report format
+// written by cmd/bench and consumed by CI's regression gate. The format is
+// versioned ("roadside-bench/v1") so downstream tooling can reject reports
+// it does not understand, and it records enough machine context (Go
+// version, CPU count, GOMAXPROCS) to make cross-run comparisons honest.
+package benchio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Schema is the report format identifier for this package's version.
+const Schema = "roadside-bench/v1"
+
+// ErrSchema is returned by Read for a report with an unknown schema tag.
+var ErrSchema = errors.New("benchio: unknown report schema")
+
+// Entry is one benchmark measurement. BaselineNs and Speedup are filled in
+// when the run has a recorded reference number for the same entry (cmd/bench
+// embeds the pre-optimization seed numbers); Speedup is baseline/current,
+// so 2.0 means twice as fast as the reference.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	BaselineNs  float64 `json:"baseline_ns,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// Report is a full benchmark run.
+type Report struct {
+	Schema     string  `json:"schema"`
+	Label      string  `json:"label"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Quick      bool    `json:"quick"`
+	Entries    []Entry `json:"entries"`
+}
+
+// New returns an empty report stamped with the current machine context.
+func New(label string, quick bool) *Report {
+	return &Report{
+		Schema:     Schema,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		Entries:    []Entry{},
+	}
+}
+
+// Add appends an entry to the report.
+func (r *Report) Add(e Entry) { r.Entries = append(r.Entries, e) }
+
+// Lookup returns the entry with the given name.
+func (r *Report) Lookup(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Write serializes the report to path as indented JSON.
+func Write(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	return nil
+}
+
+// Read parses a report from path, rejecting unknown schemas.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%w: %q in %s", ErrSchema, r.Schema, path)
+	}
+	return &r, nil
+}
+
+// Compare checks cur against base and returns one message per entry whose
+// ns/op regressed by more than maxRatio (e.g. 2.0 flags entries at least
+// twice as slow as the baseline). Entries present in only one report are
+// ignored: benchmark sets may grow, and a fresh entry has no reference.
+func Compare(cur, base *Report, maxRatio float64) []string {
+	var regressions []string
+	for _, b := range base.Entries {
+		c, ok := cur.Lookup(b.Name)
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := c.NsPerOp / b.NsPerOp; ratio > maxRatio {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx allowed)",
+				b.Name, c.NsPerOp, b.NsPerOp, ratio, maxRatio))
+		}
+	}
+	return regressions
+}

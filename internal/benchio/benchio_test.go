@@ -1,0 +1,93 @@
+package benchio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(label string) *Report {
+	r := New(label, true)
+	r.Add(Entry{Name: "solver", NsPerOp: 1000, AllocsPerOp: 12, BytesPerOp: 512, Iterations: 300})
+	r.Add(Entry{Name: "evaluate", NsPerOp: 50, Iterations: 9000, BaselineNs: 100, Speedup: 2})
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := sample("rt")
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Label != "rt" || !got.Quick {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got.Entries))
+	}
+	e, ok := got.Lookup("evaluate")
+	if !ok {
+		t.Fatal("evaluate entry missing")
+	}
+	if e.NsPerOp != 50 || e.BaselineNs != 100 || e.Speedup != 2 {
+		t.Fatalf("entry mismatch: %+v", e)
+	}
+	if got.GoVersion == "" || got.GOMAXPROCS < 1 || got.NumCPU < 1 {
+		t.Fatalf("machine context not stamped: %+v", got)
+	}
+}
+
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, ErrSchema) {
+		t.Fatalf("got %v, want ErrSchema", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected read error for missing file")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := New("base", false)
+	base.Add(Entry{Name: "fast", NsPerOp: 100})
+	base.Add(Entry{Name: "slow", NsPerOp: 100})
+	base.Add(Entry{Name: "gone", NsPerOp: 100})
+	base.Add(Entry{Name: "zero", NsPerOp: 0})
+
+	cur := New("cur", false)
+	cur.Add(Entry{Name: "fast", NsPerOp: 150})  // 1.5x: within 2x budget
+	cur.Add(Entry{Name: "slow", NsPerOp: 250})  // 2.5x: regression
+	cur.Add(Entry{Name: "fresh", NsPerOp: 999}) // no baseline: ignored
+	cur.Add(Entry{Name: "zero", NsPerOp: 10})   // zero baseline: ignored
+
+	regs := Compare(cur, base, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions (%v), want 1", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "slow") || !strings.Contains(regs[0], "2.50x") {
+		t.Fatalf("unexpected message: %q", regs[0])
+	}
+
+	if regs := Compare(cur, base, 3.0); len(regs) != 0 {
+		t.Fatalf("3x budget should pass, got %v", regs)
+	}
+}

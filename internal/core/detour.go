@@ -3,96 +3,189 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 
 	"roadside/internal/graph"
+	"roadside/internal/par"
 )
 
-// visit is one (node, flow) incidence annotated with the detour distance a
-// driver of that flow incurs when diverting to the shop at that node.
-type visit struct {
-	flow   int32
-	pos    int32
-	detour float64
-}
-
 // Engine precomputes detour distances for a problem instance and evaluates
-// placements. Construction runs two Dijkstras for the shop plus one reverse
-// Dijkstra per distinct flow destination, matching the paper's
-// preprocessing budget while staying near-linear in practice.
+// placements. Construction runs two Dijkstras per shop plus one reverse
+// Dijkstra per distinct flow destination — matching the paper's
+// preprocessing budget while staying near-linear in practice — and fans the
+// independent runs across a bounded worker pool.
+//
+// The incidence data lives in flat CSR-style arenas (offsets plus packed
+// parallel arrays, the same layout internal/graph uses for adjacency)
+// rather than per-node maps: the greedy inner loops walk contiguous memory
+// and never chase pointers. Each visit's base gain
+// Utility.Prob(detour, alpha) * Volume is precomputed at construction, so
+// evaluation and marginal-gain scans are branch-light float loops with no
+// utility-interface dispatch.
 //
 // An Engine is immutable after construction and safe for concurrent use.
 type Engine struct {
 	p *Problem
-	// visits[v] lists the flows through node v with their detour at v.
-	visits map[graph.NodeID][]visit
-	// flowNodes[f] lists the (node, detour) pairs along flow f's path,
-	// in path order (first visit only for repeated nodes).
-	flowNodes [][]nodeDetour
-	// cands is the effective candidate list.
-	cands []graph.NodeID
+
+	// Visit arena, indexed by node: the flows through node v occupy
+	// positions visitOff[v]..visitOff[v+1] of the packed arrays, ordered by
+	// ascending flow index.
+	visitOff    []int32
+	visitFlow   []int32   // flow index of each visit
+	visitDetour []float64 // detour distance at the node for that flow
+	visitGain   []float64 // Utility.Prob(detour, alpha) * Volume, precomputed
+
+	// Flow arena, indexed by flow: the distinct nodes of flow f's path
+	// occupy positions flowOff[f]..flowOff[f+1], sorted by ascending node
+	// ID so per-flow lookups binary-search instead of scanning the path.
+	flowOff    []int32
+	flowNode   []graph.NodeID
+	flowDetour []float64
+
+	// cands is the effective candidate list; candLo/candSpan describe the
+	// ID range it occupies, sizing the flat placed-sets the greedy scans
+	// use in place of a map.
+	cands    []graph.NodeID
+	candLo   graph.NodeID
+	candSpan int
 }
 
-type nodeDetour struct {
-	node   graph.NodeID
-	detour float64
-}
+// defaultWorkers is the worker count used by the exported entry points.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// NewEngine validates the problem and precomputes all detour distances.
+// NewEngine validates the problem and precomputes all detour distances,
+// parallelizing the independent Dijkstra runs and per-flow detour
+// computations across GOMAXPROCS workers. The result is bit-identical to a
+// serial construction: every parallel phase writes to index-disjoint slots
+// and is assembled in deterministic order.
 func NewEngine(p *Problem) (*Engine, error) {
+	return newEngine(p, defaultWorkers())
+}
+
+// newEngine is NewEngine with an explicit worker count; workers <= 1 is the
+// serial reference path used by the determinism tests.
+func newEngine(p *Problem, workers int) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := p.Graph
 	shops := append([]graph.NodeID{p.Shop}, p.ExtraShops...)
-	toShops := make([]*graph.Tree, len(shops))   // d' = dist(v, shop)
-	fromShops := make([]*graph.Tree, len(shops)) // d'' = dist(shop, dest)
-	for i, s := range shops {
-		var err error
-		if toShops[i], err = g.ShortestTo(s); err != nil {
-			return nil, fmt.Errorf("core: to-shop tree %d: %w", s, err)
-		}
-		if fromShops[i], err = g.ShortestFrom(s); err != nil {
-			return nil, fmt.Errorf("core: from-shop tree %d: %w", s, err)
-		}
+
+	// Batch every tree the construction needs: per shop the reverse tree
+	// d' = dist(v, shop) and forward tree d'' = dist(shop, dest), then one
+	// reverse tree d''' = dist(v, dest) per distinct destination in
+	// first-appearance order.
+	reqs := make([]graph.TreeReq, 0, 2*len(shops))
+	for _, s := range shops {
+		reqs = append(reqs,
+			graph.TreeReq{Root: s, Reverse: true},
+			graph.TreeReq{Root: s, Reverse: false})
 	}
-	// d''' = dist(v, dest): one reverse tree per distinct destination.
-	destTrees := make(map[graph.NodeID]*graph.Tree)
+	destIdx := make(map[graph.NodeID]int)
 	for i := 0; i < p.Flows.Len(); i++ {
 		dest := p.Flows.At(i).Dest
-		if _, ok := destTrees[dest]; ok {
+		if _, ok := destIdx[dest]; ok {
 			continue
 		}
-		t, err := g.ShortestTo(dest)
-		if err != nil {
-			return nil, fmt.Errorf("core: dest tree %d: %w", dest, err)
+		if !g.ValidNode(dest) {
+			return nil, fmt.Errorf("core: dest tree %d: %w", dest, graph.ErrNodeRange)
 		}
-		destTrees[dest] = t
+		destIdx[dest] = len(reqs)
+		reqs = append(reqs, graph.TreeReq{Root: dest, Reverse: true})
 	}
-	e := &Engine{
-		p:         p,
-		visits:    make(map[graph.NodeID][]visit),
-		flowNodes: make([][]nodeDetour, p.Flows.Len()),
-		cands:     p.candidateList(),
+	trees, err := g.Trees(reqs, workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocessing trees: %w", err)
 	}
-	for i := 0; i < p.Flows.Len(); i++ {
+	toShops := make([]*graph.Tree, len(shops))
+	fromShops := make([]*graph.Tree, len(shops))
+	for i := range shops {
+		toShops[i] = trees[2*i]
+		fromShops[i] = trees[2*i+1]
+	}
+
+	// Per-flow detour lists: independent across flows, so they fan across
+	// the pool too. Each list is sorted by node ID for the flow arena; a
+	// flow visits each node at most once, so the sort keys are unique and
+	// the order is deterministic.
+	type flowVisit struct {
+		node   graph.NodeID
+		detour float64
+		gain   float64
+	}
+	lists := make([][]flowVisit, p.Flows.Len())
+	u := p.Utility
+	par.Do(p.Flows.Len(), workers, func(i int) {
 		f := p.Flows.At(i)
-		toDest := destTrees[f.Dest]
+		toDest := trees[destIdx[f.Dest]]
 		seen := make(map[graph.NodeID]bool, len(f.Path))
-		nodes := make([]nodeDetour, 0, len(f.Path))
-		for pos, v := range f.Path {
+		nodes := make([]flowVisit, 0, len(f.Path))
+		for _, v := range f.Path {
 			if seen[v] {
 				continue
 			}
 			seen[v] = true
 			d := detourAt(toShops, fromShops, toDest, v, f.Dest)
-			nodes = append(nodes, nodeDetour{node: v, detour: d})
-			e.visits[v] = append(e.visits[v], visit{
-				flow:   int32(i),
-				pos:    int32(pos),
+			nodes = append(nodes, flowVisit{
+				node:   v,
 				detour: d,
+				gain:   u.Prob(d, f.Alpha) * f.Volume,
 			})
 		}
-		e.flowNodes[i] = nodes
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].node < nodes[b].node })
+		lists[i] = nodes
+	})
+
+	// Serial assembly into the CSR arenas, iterating flows in index order
+	// so the visit arena's per-node buckets are ordered by flow.
+	n := g.NumNodes()
+	e := &Engine{
+		p:        p,
+		visitOff: make([]int32, n+1),
+		flowOff:  make([]int32, p.Flows.Len()+1),
+		cands:    p.candidateList(),
+	}
+	if len(e.cands) > 0 {
+		lo, hi := e.cands[0], e.cands[0]
+		for _, v := range e.cands {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		e.candLo, e.candSpan = lo, int(hi-lo)+1
+	}
+	total := 0
+	for i, list := range lists {
+		total += len(list)
+		e.flowOff[i+1] = int32(total)
+		for _, fv := range list {
+			e.visitOff[fv.node+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		e.visitOff[v+1] += e.visitOff[v]
+	}
+	e.visitFlow = make([]int32, total)
+	e.visitDetour = make([]float64, total)
+	e.visitGain = make([]float64, total)
+	e.flowNode = make([]graph.NodeID, total)
+	e.flowDetour = make([]float64, total)
+	cursor := make([]int32, n)
+	for i, list := range lists {
+		base := int(e.flowOff[i])
+		for j, fv := range list {
+			e.flowNode[base+j] = fv.node
+			e.flowDetour[base+j] = fv.detour
+			at := e.visitOff[fv.node] + cursor[fv.node]
+			cursor[fv.node]++
+			e.visitFlow[at] = int32(i)
+			e.visitDetour[at] = fv.detour
+			e.visitGain[at] = fv.gain
+		}
 	}
 	return e, nil
 }
@@ -134,14 +227,26 @@ func (e *Engine) Problem() *Problem { return e.p }
 // must not be modified.
 func (e *Engine) Candidates() []graph.NodeID { return e.cands }
 
+// visitRange returns the visit-arena bounds for node v; nodes outside the
+// graph have an empty range, matching the old map semantics where unknown
+// nodes simply had no visits.
+func (e *Engine) visitRange(v graph.NodeID) (int32, int32) {
+	if v < 0 || int(v)+1 >= len(e.visitOff) {
+		return 0, 0
+	}
+	return e.visitOff[v], e.visitOff[v+1]
+}
+
 // Detour returns the detour distance a driver of flow f incurs when
 // receiving the advertisement at node v, or +Inf if v is not on the flow's
-// path (no advertisement is received there).
+// path (no advertisement is received there). The lookup binary-searches the
+// flow's sorted node list instead of scanning the path.
 func (e *Engine) Detour(f int, v graph.NodeID) float64 {
-	for _, nd := range e.flowNodes[f] {
-		if nd.node == v {
-			return nd.detour
-		}
+	lo, hi := int(e.flowOff[f]), int(e.flowOff[f+1])
+	nodes := e.flowNode[lo:hi]
+	i := sort.Search(len(nodes), func(i int) bool { return nodes[i] >= v })
+	if i < len(nodes) && nodes[i] == v {
+		return e.flowDetour[lo+i]
 	}
 	return math.Inf(1)
 }
@@ -157,12 +262,13 @@ type FlowVisit struct {
 	Detour float64
 }
 
-// VisitsAt returns the flows passing through node v with their detours.
+// VisitsAt returns the flows passing through node v with their detours,
+// ordered by ascending flow index.
 func (e *Engine) VisitsAt(v graph.NodeID) []FlowVisit {
-	vis := e.visits[v]
-	out := make([]FlowVisit, len(vis))
-	for i, x := range vis {
-		out[i] = FlowVisit{Flow: int(x.flow), Detour: x.detour}
+	lo, hi := e.visitRange(v)
+	out := make([]FlowVisit, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, FlowVisit{Flow: int(e.visitFlow[i]), Detour: e.visitDetour[i]})
 	}
 	return out
 }
@@ -173,11 +279,9 @@ func (e *Engine) VisitsAt(v graph.NodeID) []FlowVisit {
 // advertisements add nothing: only the best RAP matters.
 func (e *Engine) FlowDetour(f int, nodes []graph.NodeID) float64 {
 	best := math.Inf(1)
-	for _, nd := range e.flowNodes[f] {
-		for _, p := range nodes {
-			if nd.node == p && nd.detour < best {
-				best = nd.detour
-			}
+	for _, v := range nodes {
+		if d := e.Detour(f, v); d < best {
+			best = d
 		}
 	}
 	return best
@@ -190,29 +294,51 @@ func (e *Engine) Evaluate(nodes []graph.NodeID) float64 {
 	for _, v := range nodes {
 		cur.place(e, v)
 	}
-	return cur.total(e)
+	return cur.total()
+}
+
+// EvaluatePrefixes computes the objective of every prefix of nodes in one
+// incremental pass: out[i] equals Evaluate(nodes[:i]) bit-for-bit for
+// 0 <= i <= len(nodes). The experiment harness uses it to score a nested
+// greedy placement at every budget k without re-placing each prefix from
+// scratch (one pass instead of sum-over-k re-evaluations).
+func (e *Engine) EvaluatePrefixes(nodes []graph.NodeID) []float64 {
+	out := make([]float64, len(nodes)+1)
+	st := e.newDetourState()
+	out[0] = st.total()
+	for i, v := range nodes {
+		st.place(e, v)
+		out[i+1] = st.total()
+	}
+	return out
 }
 
 // StandaloneGain returns w({v}), the customers attracted by a single RAP at
 // v. Used by the MaxCustomers baseline and by upper bounds in the
 // exhaustive solver.
 func (e *Engine) StandaloneGain(v graph.NodeID) float64 {
+	lo, hi := e.visitRange(v)
 	var total float64
-	for _, vis := range e.visits[v] {
-		f := e.p.Flows.At(int(vis.flow))
-		total += e.p.Utility.Prob(vis.detour, f.Alpha) * f.Volume
+	for i := lo; i < hi; i++ {
+		total += e.visitGain[i]
 	}
 	return total
 }
 
-// detourState tracks the current minimum detour per flow during greedy
-// construction or evaluation.
+// detourState tracks, per flow, the current minimum detour and the utility
+// gain already banked at that detour during greedy construction or
+// evaluation. Storing the gain alongside the detour means the covered-flow
+// delta of a marginal-gain scan needs no utility recompute: it is the
+// difference of two precomputed gains.
 type detourState struct {
-	cur []float64 // per-flow minimum detour so far (+Inf = uncovered)
+	cur  []float64 // per-flow minimum detour so far (+Inf = uncovered)
+	gain []float64 // per-flow gain at cur (0 while uncovered)
 }
 
 func (e *Engine) newDetourState() *detourState {
-	s := &detourState{cur: make([]float64, e.p.Flows.Len())}
+	n := e.p.Flows.Len()
+	buf := make([]float64, 2*n)
+	s := &detourState{cur: buf[:n], gain: buf[n:]}
 	for i := range s.cur {
 		s.cur[i] = math.Inf(1)
 	}
@@ -221,22 +347,25 @@ func (e *Engine) newDetourState() *detourState {
 
 // place updates the state with a RAP at v.
 func (s *detourState) place(e *Engine, v graph.NodeID) {
-	for _, vis := range e.visits[v] {
-		if vis.detour < s.cur[vis.flow] {
-			s.cur[vis.flow] = vis.detour
+	lo, hi := e.visitRange(v)
+	flows := e.visitFlow[lo:hi]
+	dets := e.visitDetour[lo:hi]
+	gains := e.visitGain[lo:hi]
+	for i, f := range flows {
+		if d := dets[i]; d < s.cur[f] {
+			s.cur[f] = d
+			s.gain[f] = gains[i]
 		}
 	}
 }
 
-// total evaluates the objective for the current state.
-func (s *detourState) total(e *Engine) float64 {
+// total evaluates the objective for the current state: uncovered flows hold
+// a banked gain of exactly 0, so the sum over all flows (in flow order, for
+// bit-stable results) is the objective.
+func (s *detourState) total() float64 {
 	var sum float64
-	for i, d := range s.cur {
-		if math.IsInf(d, 1) {
-			continue
-		}
-		f := e.p.Flows.At(i)
-		sum += e.p.Utility.Prob(d, f.Alpha) * f.Volume
+	for _, g := range s.gain {
+		sum += g
 	}
 	return sum
 }
@@ -244,20 +373,26 @@ func (s *detourState) total(e *Engine) float64 {
 // marginalGain returns the objective increase from adding a RAP at v to the
 // current state, split into the uncovered-flow part (flows with no RAP yet)
 // and the covered-flow part (flows whose detour improves). These are the
-// two candidate objectives of Algorithm 2.
+// two candidate objectives of Algorithm 2. The loop touches only the
+// precomputed visit arena: no utility calls, no map lookups.
 func (s *detourState) marginalGain(e *Engine, v graph.NodeID) (uncovered, covered float64) {
-	u := e.p.Utility
-	for _, vis := range e.visits[v] {
-		curD := s.cur[vis.flow]
-		if vis.detour >= curD {
+	lo, hi := e.visitRange(v)
+	// Narrow the arenas to this node's bucket so the loop indexes small
+	// equal-length slices; the node's visits are the hottest data in every
+	// greedy scan.
+	flows := e.visitFlow[lo:hi]
+	dets := e.visitDetour[lo:hi]
+	gains := e.visitGain[lo:hi]
+	cur, bank := s.cur, s.gain
+	for i, f := range flows {
+		curD := cur[f]
+		if dets[i] >= curD {
 			continue
 		}
-		f := e.p.Flows.At(int(vis.flow))
-		gain := u.Prob(vis.detour, f.Alpha) * f.Volume
 		if math.IsInf(curD, 1) {
-			uncovered += gain
+			uncovered += gains[i]
 		} else {
-			covered += gain - u.Prob(curD, f.Alpha)*f.Volume
+			covered += gains[i] - bank[f]
 		}
 	}
 	return uncovered, covered

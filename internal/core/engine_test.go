@@ -136,15 +136,22 @@ func TestTheorem1FirstVisitHasMinDetour(t *testing.T) {
 			t.Fatal(err)
 		}
 		for f := 0; f < p.Flows.Len(); f++ {
-			nodes := e.flowNodes[f]
-			for i := 1; i < len(nodes); i++ {
+			seen := make(map[graph.NodeID]bool)
+			var detours []float64 // first-visit order along the path
+			for _, v := range p.Flows.At(f).Path {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				d := e.Detour(f, v)
 				// Each later node must have detour >= every earlier node.
-				for j := 0; j < i; j++ {
-					if nodes[i].detour < nodes[j].detour-1e-6 {
+				for j, earlier := range detours {
+					if d < earlier-1e-6 {
 						t.Fatalf("trial %d flow %d: detour decreases along path (%v at %d vs %v at %d)",
-							trial, f, nodes[j].detour, j, nodes[i].detour, i)
+							trial, f, earlier, j, d, len(detours))
 					}
 				}
+				detours = append(detours, d)
 			}
 		}
 	}
@@ -236,6 +243,42 @@ func TestLazyMatchesCombined(t *testing.T) {
 	}
 }
 
+// When the budget exceeds the number of candidates with any gain to give,
+// GreedyLazy's zero-gain pruning must stop the step loop early instead of
+// padding the placement with useless RAPs. Under a threshold utility every
+// flow yields gain at most once, so useful steps are capped by the flow
+// count and a budget above it is guaranteed to exhaust the queue.
+func TestLazyStopsWhenGainsExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const flows = 8
+	p := randomProblem(t, rng, 30, flows, 25, utility.Threshold{D: 1e6})
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := GreedyLazy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lazy.Nodes) == 0 || len(lazy.Nodes) > flows {
+		t.Fatalf("placed %d RAPs, want 1..%d (budget %d exceeds useful candidates)",
+			len(lazy.Nodes), flows, p.K)
+	}
+	for i, g := range lazy.StepGains {
+		if g <= 0 {
+			t.Fatalf("step %d has non-positive gain %v", i, g)
+		}
+	}
+	// The truncated placement still attains the full greedy objective.
+	comb, err := GreedyCombined(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lazy.Attracted-comb.Attracted) > 1e-9 {
+		t.Fatalf("lazy %v != combined %v", lazy.Attracted, comb.Attracted)
+	}
+}
+
 // Respecting an explicit candidate set: placements only use listed nodes.
 func TestCandidateRestriction(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
@@ -245,7 +288,7 @@ func TestCandidateRestriction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, solver := range []func(*Engine) (*Placement, error){Algorithm1, Algorithm2, GreedyCombined, GreedyLazy} {
+	for _, solver := range []func(*Engine) (*Placement, error){Algorithm1, Algorithm2, GreedyCombined} {
 		pl, err := solver(e)
 		if err != nil {
 			t.Fatal(err)
@@ -259,6 +302,28 @@ func TestCandidateRestriction(t *testing.T) {
 			}
 		}
 	}
+	// GreedyLazy prunes zero-gain candidates, so it may legitimately place
+	// fewer than k RAPs; what it places must still come from the candidate
+	// set and match the combined greedy's objective.
+	lazy, err := GreedyLazy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lazy.Nodes) == 0 || len(lazy.Nodes) > 3 {
+		t.Fatalf("lazy placed %v, want 1..3 candidates", lazy.Nodes)
+	}
+	for _, v := range lazy.Nodes {
+		if v < 1 || v > 3 {
+			t.Errorf("lazy placement %v escapes candidate set", lazy.Nodes)
+		}
+	}
+	comb, err := GreedyCombined(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lazy.Attracted-comb.Attracted) > 1e-9 {
+		t.Errorf("lazy attracted %v != combined %v", lazy.Attracted, comb.Attracted)
+	}
 }
 
 // K larger than the candidate set stops early instead of reusing nodes.
@@ -270,7 +335,7 @@ func TestBudgetExceedsCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, solver := range []func(*Engine) (*Placement, error){Algorithm1, Algorithm2, GreedyCombined, GreedyLazy} {
+	for _, solver := range []func(*Engine) (*Placement, error){Algorithm1, Algorithm2, GreedyCombined} {
 		pl, err := solver(e)
 		if err != nil {
 			t.Fatal(err)
@@ -285,6 +350,22 @@ func TestBudgetExceedsCandidates(t *testing.T) {
 			}
 			seen[v] = true
 		}
+	}
+	// GreedyLazy stops once every remaining candidate's gain is zero, so it
+	// places at most the two candidates and never duplicates.
+	lazy, err := GreedyLazy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lazy.Nodes) > 2 {
+		t.Fatalf("lazy placed %v, want at most the 2 candidates", lazy.Nodes)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range lazy.Nodes {
+		if seen[v] {
+			t.Fatalf("duplicate placement in %v", lazy.Nodes)
+		}
+		seen[v] = true
 	}
 }
 

@@ -1,55 +1,57 @@
 package core
 
 import (
-	"math"
-
 	"roadside/internal/graph"
 )
+
+// The greedy solvers share one scan contract: at every step each still-
+// unplaced candidate is evaluated against the current state, and the winner
+// is the candidate with the highest gain, ties broken toward the lowest
+// node ID. The scan fans across GOMAXPROCS workers on large instances and
+// is bit-identical to a serial scan (see scanCandidates), so placements,
+// step gains, and objectives never depend on the worker count.
 
 // Algorithm1 is the paper's Algorithm 1: the classic greedy for weighted
 // maximum coverage. At each of the k steps it places a RAP at the
 // intersection attracting the most drivers from still-uncovered flows, then
 // marks every flow with a positive detour probability at that intersection
-// as covered. Under the threshold utility function this achieves a 1-1/e
+// as covered. Under the threshold utility this achieves a 1-1/e
 // approximation (Section III-B); under decreasing utilities it serves as
 // the "coverage factor only" ablation.
 func Algorithm1(e *Engine) (*Placement, error) {
+	return algorithm1(e, defaultWorkers())
+}
+
+func algorithm1(e *Engine, workers int) (*Placement, error) {
 	p := e.p
 	covered := make([]bool, p.Flows.Len())
-	placed := make(map[graph.NodeID]bool, p.K)
+	placed := e.newPlacedSet()
 	result := &Placement{
 		Nodes:     make([]graph.NodeID, 0, p.K),
 		StepGains: make([]float64, 0, p.K),
 	}
-	for step := 0; step < p.K; step++ {
-		best := graph.Invalid
-		bestGain := math.Inf(-1)
-		for _, v := range e.cands {
-			if placed[v] {
-				continue
-			}
-			var gain float64
-			for _, vis := range e.visits[v] {
-				if covered[vis.flow] {
-					continue
-				}
-				f := p.Flows.At(int(vis.flow))
-				gain += p.Utility.Prob(vis.detour, f.Alpha) * f.Volume
-			}
-			if gain > bestGain {
-				best, bestGain = v, gain
+	coverageGain := func(v graph.NodeID) (float64, float64) {
+		lo, hi := e.visitRange(v)
+		var gain float64
+		for i := lo; i < hi; i++ {
+			if !covered[e.visitFlow[i]] {
+				gain += e.visitGain[i]
 			}
 		}
-		if best == graph.Invalid {
+		return gain, 0
+	}
+	for step := 0; step < p.K; step++ {
+		best := e.scanCandidates(workers, placed, coverageGain).byU
+		if best.node == graph.Invalid {
 			break // candidate set exhausted
 		}
-		placed[best] = true
-		result.Nodes = append(result.Nodes, best)
-		result.StepGains = append(result.StepGains, bestGain)
-		for _, vis := range e.visits[best] {
-			f := p.Flows.At(int(vis.flow))
-			if p.Utility.Prob(vis.detour, f.Alpha) > 0 {
-				covered[vis.flow] = true
+		placed.add(best.node)
+		result.Nodes = append(result.Nodes, best.node)
+		result.StepGains = append(result.StepGains, best.u)
+		lo, hi := e.visitRange(best.node)
+		for i := lo; i < hi; i++ {
+			if e.visitGain[i] > 0 {
+				covered[e.visitFlow[i]] = true
 			}
 		}
 	}
@@ -72,43 +74,37 @@ const (
 // utility. With the threshold utility it reduces to Algorithm 1 (candidate
 // ii always gains zero).
 func Algorithm2(e *Engine) (*Placement, error) {
+	return algorithm2(e, defaultWorkers())
+}
+
+func algorithm2(e *Engine, workers int) (*Placement, error) {
 	p := e.p
 	state := e.newDetourState()
-	placed := make(map[graph.NodeID]bool, p.K)
+	placed := e.newPlacedSet()
 	result := &Placement{
 		Nodes:     make([]graph.NodeID, 0, p.K),
 		StepGains: make([]float64, 0, p.K),
 		StepKinds: make([]string, 0, p.K),
 	}
+	gains := func(v graph.NodeID) (float64, float64) { return state.marginalGain(e, v) }
 	for step := 0; step < p.K; step++ {
-		candI, candII := graph.Invalid, graph.Invalid
-		gainI, gainII := math.Inf(-1), math.Inf(-1)
-		for _, v := range e.cands {
-			if placed[v] {
-				continue
-			}
-			u, c := state.marginalGain(e, v)
-			if u > gainI {
-				candI, gainI = v, u
-			}
-			if c > gainII {
-				candII, gainII = v, c
-			}
-		}
-		if candI == graph.Invalid && candII == graph.Invalid {
+		best := e.scanCandidates(workers, placed, gains)
+		candI, candII := best.byU, best.byC
+		if candI.node == graph.Invalid && candII.node == graph.Invalid {
 			break
 		}
 		// Pick the better candidate; ties favor covering new flows, which
-		// matches the paper's presentation order.
+		// matches the paper's presentation order. The scan already produced
+		// the winner's full (uncovered, covered) pair, so its step gain is
+		// carried through instead of being recomputed.
 		chosen, kind := candI, StepKindUncovered
-		if gainII > gainI {
+		if candII.c > candI.u {
 			chosen, kind = candII, StepKindCovered
 		}
-		placed[chosen] = true
-		u, c := state.marginalGain(e, chosen)
-		state.place(e, chosen)
-		result.Nodes = append(result.Nodes, chosen)
-		result.StepGains = append(result.StepGains, u+c)
+		placed.add(chosen.node)
+		state.place(e, chosen.node)
+		result.Nodes = append(result.Nodes, chosen.node)
+		result.StepGains = append(result.StepGains, chosen.u+chosen.c)
 		result.StepKinds = append(result.StepKinds, kind)
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
@@ -122,32 +118,27 @@ func Algorithm2(e *Engine) (*Placement, error) {
 // candidates, so it inherits the 1-1/sqrt(e) bound; it is included as an
 // ablation to compare against the paper's composite rule.
 func GreedyCombined(e *Engine) (*Placement, error) {
+	return greedyCombined(e, defaultWorkers())
+}
+
+func greedyCombined(e *Engine, workers int) (*Placement, error) {
 	p := e.p
 	state := e.newDetourState()
-	placed := make(map[graph.NodeID]bool, p.K)
+	placed := e.newPlacedSet()
 	result := &Placement{
 		Nodes:     make([]graph.NodeID, 0, p.K),
 		StepGains: make([]float64, 0, p.K),
 	}
+	gains := func(v graph.NodeID) (float64, float64) { return state.marginalGain(e, v) }
 	for step := 0; step < p.K; step++ {
-		best := graph.Invalid
-		bestGain := math.Inf(-1)
-		for _, v := range e.cands {
-			if placed[v] {
-				continue
-			}
-			u, c := state.marginalGain(e, v)
-			if g := u + c; g > bestGain {
-				best, bestGain = v, g
-			}
-		}
-		if best == graph.Invalid {
+		best := e.scanCandidates(workers, placed, gains).bySum
+		if best.node == graph.Invalid {
 			break
 		}
-		placed[best] = true
-		state.place(e, best)
-		result.Nodes = append(result.Nodes, best)
-		result.StepGains = append(result.StepGains, bestGain)
+		placed.add(best.node)
+		state.place(e, best.node)
+		result.Nodes = append(result.Nodes, best.node)
+		result.StepGains = append(result.StepGains, best.u+best.c)
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil
@@ -158,6 +149,12 @@ func GreedyCombined(e *Engine) (*Placement, error) {
 // upper-bound current gains, so most candidates need no re-evaluation. It
 // returns the same placement as GreedyCombined (up to ties) at a fraction
 // of the evaluations and is benchmarked as a performance ablation.
+//
+// Candidates whose refreshed bound drops to zero are pruned outright:
+// submodularity guarantees their gain can never recover, so keeping them
+// only delays termination. When the budget exceeds the number of useful
+// candidates, the step loop therefore ends as soon as the queue drains
+// instead of placing zero-gain RAPs.
 func GreedyLazy(e *Engine) (*Placement, error) {
 	p := e.p
 	state := e.newDetourState()
@@ -209,22 +206,32 @@ func GreedyLazy(e *Engine) (*Placement, error) {
 	}
 	for _, v := range e.cands {
 		u, c := state.marginalGain(e, v)
-		push(entry{node: v, bound: u + c, step: 0})
+		if b := u + c; b > 0 {
+			push(entry{node: v, bound: b, step: 0})
+		}
 	}
-	for step := 0; step < p.K && len(heap) > 0; step++ {
-		for {
+	for step := 0; step < p.K; step++ {
+		var chosen entry
+		found := false
+		for len(heap) > 0 {
 			top := pop()
 			if top.step == step {
 				// Fresh evaluation: by submodularity no other candidate
 				// can beat it.
-				state.place(e, top.node)
-				result.Nodes = append(result.Nodes, top.node)
-				result.StepGains = append(result.StepGains, top.bound)
+				chosen, found = top, true
 				break
 			}
 			u, c := state.marginalGain(e, top.node)
-			push(entry{node: top.node, bound: u + c, step: step})
+			if b := u + c; b > 0 {
+				push(entry{node: top.node, bound: b, step: step})
+			}
 		}
+		if !found {
+			break // every remaining candidate's gain has decayed to zero
+		}
+		state.place(e, chosen.node)
+		result.Nodes = append(result.Nodes, chosen.node)
+		result.StepGains = append(result.StepGains, chosen.bound)
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil

@@ -56,12 +56,10 @@ func (e *Engine) Plan(f int, nodes []graph.NodeID) (*DrivePlan, error) {
 		Detour: math.Inf(1),
 	}
 	// Find the minimum-detour placed RAP on the route.
-	for _, nd := range e.flowNodes[f] {
-		for _, v := range nodes {
-			if nd.node == v && nd.detour < plan.Detour {
-				plan.Detour = nd.detour
-				plan.RAP = v
-			}
+	for _, v := range nodes {
+		if d := e.Detour(f, v); d < plan.Detour {
+			plan.Detour = d
+			plan.RAP = v
 		}
 	}
 	if plan.RAP == graph.Invalid {

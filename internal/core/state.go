@@ -19,7 +19,10 @@ func (e *Engine) NewState() *State {
 
 // Clone returns an independent copy of the state.
 func (st *State) Clone() *State {
-	cp := &detourState{cur: append([]float64(nil), st.s.cur...)}
+	cp := &detourState{
+		cur:  append([]float64(nil), st.s.cur...),
+		gain: append([]float64(nil), st.s.gain...),
+	}
 	return &State{e: st.e, s: cp}
 }
 
@@ -38,4 +41,4 @@ func (st *State) Gain(v graph.NodeID) (uncovered, covered float64) {
 }
 
 // Value returns the objective of the current placement.
-func (st *State) Value() float64 { return st.s.total(st.e) }
+func (st *State) Value() float64 { return st.s.total() }

@@ -2,11 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"roadside/internal/citygen"
 	"roadside/internal/classify"
 	"roadside/internal/core"
 	"roadside/internal/flow"
+	"roadside/internal/graph"
+	"roadside/internal/par"
 	"roadside/internal/stats"
 	"roadside/internal/trace"
 	"roadside/internal/utility"
@@ -111,6 +114,14 @@ func RunGeneral(cfg GeneralConfig, name, title string) (*Result, error) {
 // RunGeneralOn is RunGeneral against a pre-built instance, letting figure
 // groups share one city across sub-figures.
 func RunGeneralOn(inst *Instance, cfg GeneralConfig, name, title string) (*Result, error) {
+	return runGeneralOn(inst, cfg, name, title, runtime.GOMAXPROCS(0))
+}
+
+// runGeneralOn runs trials across the given number of workers. Each trial's
+// randomness derives from (Seed, trial) alone and results land in
+// trial-indexed slots, so any worker count produces the result of the
+// serial run bit for bit.
+func runGeneralOn(inst *Instance, cfg GeneralConfig, name, title string, workers int) (*Result, error) {
 	if err := normalizeGeneral(&cfg); err != nil {
 		return nil, err
 	}
@@ -119,16 +130,15 @@ func RunGeneralOn(inst *Instance, cfg GeneralConfig, name, title string) (*Resul
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	maxK := cfg.Ks[len(cfg.Ks)-1]
-	// values[algo][kIndex] accumulates per-trial objective values.
-	values := make(map[string][][]float64, len(cfg.Algorithms))
-	for _, a := range cfg.Algorithms {
-		values[a] = make([][]float64, len(cfg.Ks))
-	}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	// trialValues[trial][algo][kIndex] holds one trial's objectives.
+	trialValues := make([]map[string][]float64, cfg.Trials)
+	trialErrs := make([]error, cfg.Trials)
+	par.Do(cfg.Trials, workers, func(trial int) {
 		rng := stats.NewRand(cfg.Seed, 1000+trial)
 		shop, err := inst.Classification.Sample(cfg.ShopClass, rng)
 		if err != nil {
-			return nil, err
+			trialErrs[trial] = err
+			return
 		}
 		p := &core.Problem{
 			Graph:   inst.City.Graph,
@@ -139,23 +149,58 @@ func RunGeneralOn(inst *Instance, cfg GeneralConfig, name, title string) (*Resul
 		}
 		e, err := core.NewEngine(p)
 		if err != nil {
-			return nil, err
+			trialErrs[trial] = err
+			return
 		}
+		vals := make(map[string][]float64, len(cfg.Algorithms))
 		for _, algo := range cfg.Algorithms {
 			pl, err := solveGeneral(algo, e, rng)
 			if err != nil {
-				return nil, err
+				trialErrs[trial] = err
+				return
 			}
-			for ki, k := range cfg.Ks {
-				n := k
-				if n > len(pl.Nodes) {
-					n = len(pl.Nodes)
-				}
-				values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes[:n]))
+			vals[algo] = evalAtKs(e, pl.Nodes, cfg.Ks)
+		}
+		trialValues[trial] = vals
+	})
+	return assembleTrials(name, title, cfg.Algorithms, cfg.Ks, trialValues, trialErrs)
+}
+
+// evalAtKs evaluates the nested placement at every budget in ks with one
+// incremental prefix sweep instead of |ks| independent re-evaluations.
+func evalAtKs(e *core.Engine, nodes []graph.NodeID, ks []int) []float64 {
+	prefix := e.EvaluatePrefixes(nodes)
+	row := make([]float64, len(ks))
+	for ki, k := range ks {
+		n := k
+		if n > len(nodes) {
+			n = len(nodes)
+		}
+		row[ki] = prefix[n]
+	}
+	return row
+}
+
+// assembleTrials folds trial-indexed rows into the per-algorithm series,
+// reporting the lowest-index trial error so failures are deterministic.
+func assembleTrials(name, title string, algos []string, ks []int, trialValues []map[string][]float64, trialErrs []error) (*Result, error) {
+	for _, err := range trialErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	values := make(map[string][][]float64, len(algos))
+	for _, a := range algos {
+		values[a] = make([][]float64, len(ks))
+	}
+	for _, vals := range trialValues {
+		for _, algo := range algos {
+			for ki := range ks {
+				values[algo][ki] = append(values[algo][ki], vals[algo][ki])
 			}
 		}
 	}
-	return assemble(name, title, cfg.Algorithms, cfg.Ks, cfg.Trials, values)
+	return assemble(name, title, algos, ks, len(trialValues), values)
 }
 
 func normalizeGeneral(cfg *GeneralConfig) error {

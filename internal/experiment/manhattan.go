@@ -2,10 +2,12 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"roadside/internal/citygen"
 	"roadside/internal/core"
 	"roadside/internal/manhattan"
+	"roadside/internal/par"
 	"roadside/internal/stats"
 	"roadside/internal/utility"
 )
@@ -16,6 +18,13 @@ import (
 // general-purpose algorithms and baselines run on the grid-semantics
 // engine with the nested-prefix optimization.
 func RunManhattan(cfg ManhattanConfig, name, title string) (*Result, error) {
+	return runManhattan(cfg, name, title, runtime.GOMAXPROCS(0))
+}
+
+// runManhattan runs trials across the given number of workers; as with
+// runGeneralOn, per-trial seeds derive from (Seed, trial) alone and results
+// land in trial-indexed slots, so the outcome is worker-count-independent.
+func runManhattan(cfg ManhattanConfig, name, title string, workers int) (*Result, error) {
 	if err := normalizeManhattan(&cfg); err != nil {
 		return nil, err
 	}
@@ -43,24 +52,28 @@ func RunManhattan(cfg ManhattanConfig, name, title string) (*Result, error) {
 		demand.Alpha = cfg.Alpha
 	}
 	maxK := cfg.Ks[len(cfg.Ks)-1]
-	values := make(map[string][][]float64, len(cfg.Algorithms))
-	for _, a := range cfg.Algorithms {
-		values[a] = make([][]float64, len(cfg.Ks))
-	}
 	twoCfg := manhattan.Config{OptBudget: cfg.OptBudget}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trialValues := make([]map[string][]float64, cfg.Trials)
+	trialErrs := make([]error, cfg.Trials)
+	par.Do(cfg.Trials, workers, func(trial int) {
 		flows, err := citygen.GenerateGridFlows(sc, demand, stats.DeriveSeed(cfg.Seed, trial))
 		if err != nil {
-			return nil, err
+			trialErrs[trial] = err
+			return
 		}
 		e, err := sc.Engine(flows, u, maxK)
 		if err != nil {
-			return nil, err
+			trialErrs[trial] = err
+			return
 		}
 		rng := stats.NewRand(cfg.Seed, 5000+trial)
+		vals := make(map[string][]float64, len(cfg.Algorithms))
 		for _, algo := range cfg.Algorithms {
 			switch algo {
 			case AlgoAlgorithm3, AlgoAlgorithm4:
+				// Two-stage placements are not nested across budgets, so
+				// each k takes its own solver run.
+				row := make([]float64, len(cfg.Ks))
 				for ki, k := range cfg.Ks {
 					var pl *core.Placement
 					if algo == AlgoAlgorithm3 {
@@ -69,26 +82,24 @@ func RunManhattan(cfg ManhattanConfig, name, title string) (*Result, error) {
 						pl, err = manhattan.Algorithm4(sc, flows, u, k, twoCfg)
 					}
 					if err != nil {
-						return nil, err
+						trialErrs[trial] = err
+						return
 					}
-					values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes))
+					row[ki] = e.Evaluate(pl.Nodes)
 				}
+				vals[algo] = row
 			default:
 				pl, err := solveGeneral(algo, e, rng)
 				if err != nil {
-					return nil, err
+					trialErrs[trial] = err
+					return
 				}
-				for ki, k := range cfg.Ks {
-					n := k
-					if n > len(pl.Nodes) {
-						n = len(pl.Nodes)
-					}
-					values[algo][ki] = append(values[algo][ki], e.Evaluate(pl.Nodes[:n]))
-				}
+				vals[algo] = evalAtKs(e, pl.Nodes, cfg.Ks)
 			}
 		}
-	}
-	return assemble(name, title, cfg.Algorithms, cfg.Ks, cfg.Trials, values)
+		trialValues[trial] = vals
+	})
+	return assembleTrials(name, title, cfg.Algorithms, cfg.Ks, trialValues, trialErrs)
 }
 
 func normalizeManhattan(cfg *ManhattanConfig) error {

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The runners fan trials across workers; per-trial seeds derive from
+// (Seed, trial) alone and rows land in trial-indexed slots, so any worker
+// count must aggregate to the exact serial Result. DeepEqual (not
+// tolerance) is intentional: float summation order must not change.
+
+func TestRunGeneralParallelBitIdentical(t *testing.T) {
+	cfg := quickGeneral("dublin", "linear", 20_000)
+	inst, err := BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := runGeneralOn(inst, cfg, "par", "parallel determinism", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := runGeneralOn(inst, cfg, "par", "parallel determinism", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: result differs from serial run", workers)
+		}
+	}
+}
+
+func TestRunManhattanParallelBitIdentical(t *testing.T) {
+	cfg := ManhattanConfig{
+		N:           11,
+		UtilityName: "linear",
+		D:           2_500,
+		Ks:          []int{1, 4},
+		Trials:      4,
+		Seed:        3,
+		Flows:       30,
+	}
+	serial, err := runManhattan(cfg, "mpar", "manhattan parallel determinism", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := runManhattan(cfg, "mpar", "manhattan parallel determinism", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: result differs from serial run", workers)
+		}
+	}
+}

@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+
+	"roadside/internal/par"
 )
 
 // distEpsilon is the tolerance used when comparing sums of shortest-path
@@ -27,30 +28,10 @@ type AllPairs struct {
 func NewAllPairs(g *Graph) *AllPairs {
 	n := g.NumNodes()
 	ap := &AllPairs{n: n, dist: make([]float64, n*n)}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan NodeID, workers)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for src := range next {
-				dist, _ := g.dijkstra(src, false)
-				copy(ap.dist[int(src)*n:int(src+1)*n], dist)
-			}
-		}()
-	}
-	for src := 0; src < n; src++ {
-		next <- NodeID(src)
-	}
-	close(next)
-	wg.Wait()
+	par.Do(n, runtime.GOMAXPROCS(0), func(src int) {
+		dist, _ := g.dijkstra(NodeID(src), false)
+		copy(ap.dist[src*n:(src+1)*n], dist)
+	})
 	return ap
 }
 

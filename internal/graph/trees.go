@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"fmt"
+
+	"roadside/internal/par"
+)
+
+// TreeReq requests one shortest-path tree rooted at Root. Reverse selects
+// the direction: a reverse tree holds distances *to* the root (ShortestTo),
+// a forward tree distances *from* it (ShortestFrom).
+type TreeReq struct {
+	Root    NodeID
+	Reverse bool
+}
+
+// Trees computes one shortest-path tree per request, fanning the
+// independent Dijkstra runs across at most workers goroutines. The result
+// slice is indexed by request, so the output is identical to running the
+// requests serially in order regardless of scheduling. Invalid roots are
+// rejected up front with the index of the first offending request.
+//
+// This is the batch entry point used by the placement engine's
+// preprocessing, where one reverse tree per distinct flow destination (plus
+// a pair of trees per shop) dominates construction cost.
+func (g *Graph) Trees(reqs []TreeReq, workers int) ([]*Tree, error) {
+	for i, r := range reqs {
+		if !g.ValidNode(r.Root) {
+			return nil, fmt.Errorf("%w: request %d root %d", ErrNodeRange, i, r.Root)
+		}
+	}
+	out := make([]*Tree, len(reqs))
+	par.Do(len(reqs), workers, func(i int) {
+		r := reqs[i]
+		t := &Tree{root: r.Root, reverse: r.Reverse}
+		t.dist, t.parent = g.dijkstra(r.Root, r.Reverse)
+		out[i] = t
+	})
+	return out, nil
+}

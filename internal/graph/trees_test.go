@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"roadside/internal/geo"
+)
+
+func randomConnectedGraph(tb testing.TB, rng *rand.Rand, n int) *Graph {
+	tb.Helper()
+	b := NewBuilder(n, 4*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Pt(rng.Float64()*100, rng.Float64()*100))
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID((i+1)%n), 1+rng.Float64()*9); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for e := 0; e < 3*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = b.AddEdge(NodeID(u), NodeID(v), 1+rng.Float64()*9)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// Trees must match the one-at-a-time ShortestFrom/ShortestTo results
+// exactly, in request order, at every worker count.
+func TestTreesMatchesSerialConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(t, rng, 40)
+	reqs := make([]TreeReq, 0, 20)
+	for i := 0; i < 20; i++ {
+		reqs = append(reqs, TreeReq{Root: NodeID(rng.Intn(40)), Reverse: i%2 == 0})
+	}
+	want := make([]*Tree, len(reqs))
+	for i, r := range reqs {
+		var err error
+		if r.Reverse {
+			want[i], err = g.ShortestTo(r.Root)
+		} else {
+			want[i], err = g.ShortestFrom(r.Root)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := g.Trees(reqs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d trees, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: tree %d differs from serial construction", workers, i)
+			}
+		}
+	}
+}
+
+func TestTreesRejectsInvalidRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomConnectedGraph(t, rng, 10)
+	_, err := g.Trees([]TreeReq{{Root: 3}, {Root: 99}}, 4)
+	if !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("err = %v, want ErrNodeRange", err)
+	}
+}
+
+func TestTreesEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedGraph(t, rng, 5)
+	out, err := g.Trees(nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Trees(nil) = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package par provides the bounded worker pool underlying every parallel
+// kernel in the repository: the all-pairs Dijkstra fan-out, the placement
+// engine's preprocessing, the greedy candidate scans, and the experiment
+// trial fan-out.
+//
+// The pool enforces the repo's determinism contract by construction: work
+// items are identified by a dense index and workers write results only to
+// caller-owned, index-disjoint slots, so the assembled output never depends
+// on goroutine scheduling. Do returns only after every item has completed.
+package par
+
+import "sync"
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines and
+// blocks until all calls return. With workers <= 1 (or n <= 1) it runs
+// inline on the calling goroutine, which is the serial reference path that
+// the parallel path must match bit-for-bit.
+//
+// fn must be safe for concurrent invocation with distinct arguments and
+// must confine its writes to per-index state.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most parts contiguous half-open ranges of
+// near-equal size and returns their boundaries as (lo, hi) pairs. It is
+// used to hand each scan worker a cache-friendly contiguous slice instead
+// of interleaved items. parts and n of zero or less yield no chunks.
+func Chunks(n, parts int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	size := n / parts
+	rem := n % parts
+	lo := 0
+	for c := 0; c < parts; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

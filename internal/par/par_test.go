@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			counts := make([]int32, n)
+			Do(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDoDeterministicAssembly(t *testing.T) {
+	n := 200
+	want := make([]int, n)
+	Do(n, 1, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	Do(n, 8, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: parallel %d != serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 97} {
+		for _, parts := range []int{0, 1, 2, 5, 200} {
+			chunks := Chunks(n, parts)
+			next := 0
+			for _, c := range chunks {
+				if c[0] != next {
+					t.Fatalf("n=%d parts=%d: chunk starts at %d, want %d", n, parts, c[0], next)
+				}
+				if c[1] <= c[0] {
+					t.Fatalf("n=%d parts=%d: empty chunk %v", n, parts, c)
+				}
+				next = c[1]
+			}
+			if next != n && n > 0 && parts > 0 {
+				t.Fatalf("n=%d parts=%d: chunks cover [0,%d), want [0,%d)", n, parts, next, n)
+			}
+			if n > 0 && parts > 0 && len(chunks) > parts {
+				t.Fatalf("n=%d parts=%d: %d chunks", n, parts, len(chunks))
+			}
+		}
+	}
+}

@@ -22,4 +22,10 @@ go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
 echo "==> roadsidelint"
 go run ./cmd/roadsidelint ./...
 
+echo "==> bench smoke (quick mode, report-only)"
+# Report-only on purpose: ns/op is machine-dependent, so the tier-1 gate
+# never fails on timing. CI's dedicated benchmark job does the regression
+# check against results/BENCH_baseline.json.
+go run ./cmd/bench -quick -out /tmp/bench_quick.json
+
 echo "verify: all gates passed"
