@@ -7,11 +7,25 @@
 // Usage:
 //
 //	go run ./cmd/bench [-quick] [-out results/BENCH_2.json] \
-//	    [-benchtime 300ms] [-baseline results/BENCH_baseline.json -check]
+//	    [-benchtime 300ms] [-baseline results/BENCH_baseline.json -check] \
+//	    [-metrics] [-trace trace.json] [-pprof :6060]
 //
 // Each entry also reports a speedup against the recorded pre-optimization
 // ("seed") numbers where one exists, documenting what the CSR-arena engine
 // layout bought.
+//
+// Observability: -metrics installs an obs.Recorder as the process observer
+// before the fixture is built, so solver steps and engine phases from every
+// benchmark iteration aggregate into counters/histograms printed after the
+// run; -trace additionally writes the recorded spans as a
+// roadside-trace/v1 JSON document; -pprof serves net/http/pprof on the
+// given address for live profiling during long runs.
+//
+// The -check-obs gate protects the opposite property: with the default
+// no-op observer installed, instrumented solver hot paths must stay within
+// -max-obs-overhead (default 2%) of the checked-in baseline's solver_*
+// entries. Entries over the threshold are re-measured up to twice and the
+// minimum is compared, damping scheduler noise at these microsecond scales.
 package main
 
 import (
@@ -20,10 +34,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"roadside"
 	"roadside/internal/benchio"
+	"roadside/internal/obs"
 )
 
 // seedBaselineNs records ns/op measured on the pre-optimization engine (the
@@ -41,51 +57,107 @@ var seedBaselineNs = map[string]float64{
 	"evaluate":                1705,
 }
 
+// options collects the bench invocation's knobs; flags map onto it 1:1.
+type options struct {
+	out            string
+	label          string
+	quick          bool
+	benchtime      string
+	baseline       string
+	check          bool
+	maxRegress     float64
+	metrics        bool
+	tracePath      string
+	pprofAddr      string
+	checkObs       bool
+	maxObsOverhead float64
+}
+
 func main() {
 	testing.Init()
-	var (
-		out        = flag.String("out", "", "write the benchio JSON report to this path")
-		label      = flag.String("label", "current", "report label")
-		quick      = flag.Bool("quick", false, "short benchtime, skip the slow end-to-end figure benchmarks")
-		benchtime  = flag.String("benchtime", "", "per-benchmark measuring time (default 300ms, quick 50ms)")
-		baseline   = flag.String("baseline", "", "benchio report to compare against")
-		check      = flag.Bool("check", false, "exit nonzero if any entry regresses past -max-regress vs -baseline")
-		maxRegress = flag.Float64("max-regress", 2.0, "allowed ns/op ratio vs baseline before -check fails")
-	)
+	var opt options
+	flag.StringVar(&opt.out, "out", "", "write the benchio JSON report to this path")
+	flag.StringVar(&opt.label, "label", "current", "report label")
+	flag.BoolVar(&opt.quick, "quick", false, "short benchtime, skip the slow end-to-end figure benchmarks")
+	flag.StringVar(&opt.benchtime, "benchtime", "", "per-benchmark measuring time (default 300ms, quick 50ms)")
+	flag.StringVar(&opt.baseline, "baseline", "", "benchio report to compare against")
+	flag.BoolVar(&opt.check, "check", false, "exit nonzero if any entry regresses past -max-regress vs -baseline")
+	flag.Float64Var(&opt.maxRegress, "max-regress", 2.0, "allowed ns/op ratio vs baseline before -check fails")
+	flag.BoolVar(&opt.metrics, "metrics", false, "aggregate solver/engine metrics across the run and print them")
+	flag.StringVar(&opt.tracePath, "trace", "", "write recorded spans as roadside-trace/v1 JSON to this path (implies -metrics)")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) during the run")
+	flag.BoolVar(&opt.checkObs, "check-obs", false, "exit nonzero if no-op-observer solver entries exceed -max-obs-overhead vs -baseline")
+	flag.Float64Var(&opt.maxObsOverhead, "max-obs-overhead", 1.02, "allowed solver_* ns/op ratio vs baseline before -check-obs fails")
 	flag.Parse()
-	if err := run(os.Stdout, *out, *label, *quick, *benchtime, *baseline, *check, *maxRegress); err != nil {
+	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, out, label string, quick bool, benchtime, baseline string, check bool, maxRegress float64) error {
-	if benchtime == "" {
-		benchtime = "300ms"
-		if quick {
-			benchtime = "50ms"
+func run(w io.Writer, opt options) error {
+	if opt.benchtime == "" {
+		opt.benchtime = "300ms"
+		if opt.quick {
+			opt.benchtime = "50ms"
 		}
 	}
-	if err := flag.Set("test.benchtime", benchtime); err != nil {
+	if err := flag.Set("test.benchtime", opt.benchtime); err != nil {
 		return fmt.Errorf("set benchtime: %w", err)
 	}
+	if opt.tracePath != "" {
+		opt.metrics = true
+	}
+	if opt.checkObs {
+		if opt.metrics {
+			return fmt.Errorf("-check-obs measures the no-op observer path; drop -metrics/-trace")
+		}
+		if opt.baseline == "" {
+			return fmt.Errorf("-check-obs needs -baseline")
+		}
+	}
+	if opt.pprofAddr != "" {
+		addr, err := obs.StartPprof(opt.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(w, "bench: pprof serving on http://%s/debug/pprof/\n", addr)
+	}
 
-	cases, err := buildCases(quick)
+	// The recorder must be installed before the fixture exists: engines
+	// capture the process observer at construction time.
+	var rec *obs.Recorder
+	if opt.metrics {
+		rec = obs.NewRecorder()
+		rec.Trace.SetMeta("bench.label", opt.label)
+		rec.Trace.SetMeta("bench.benchtime", opt.benchtime)
+		prev := obs.SetDefault(rec)
+		defer obs.SetDefault(prev)
+	}
+
+	cases, err := buildCases(opt.quick)
 	if err != nil {
 		return err
 	}
 
-	report := benchio.New(label, quick)
+	report := benchio.New(opt.label, opt.quick)
 	fmt.Fprintf(w, "bench: %d entries, benchtime %s, GOMAXPROCS %d\n",
-		len(cases), benchtime, runtime.GOMAXPROCS(0))
-	for _, c := range cases {
+		len(cases), opt.benchtime, runtime.GOMAXPROCS(0))
+	measure := func(c benchCase) (float64, testing.BenchmarkResult, error) {
 		res := testing.Benchmark(c.fn)
 		if res.N == 0 {
-			return fmt.Errorf("%s: benchmark failed to run", c.name)
+			return 0, res, fmt.Errorf("%s: benchmark failed to run", c.name)
+		}
+		return float64(res.T.Nanoseconds()) / float64(res.N), res, nil
+	}
+	for _, c := range cases {
+		ns, res, err := measure(c)
+		if err != nil {
+			return err
 		}
 		entry := benchio.Entry{
 			Name:        c.name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			NsPerOp:     ns,
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			Iterations:  res.N,
@@ -102,28 +174,99 @@ func run(w io.Writer, out, label string, quick bool, benchtime, baseline string,
 		fmt.Fprintln(w, line)
 	}
 
-	if out != "" {
-		if err := benchio.Write(out, report); err != nil {
+	if opt.out != "" {
+		if err := benchio.Write(opt.out, report); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "bench: report written to %s\n", out)
+		fmt.Fprintf(w, "bench: report written to %s\n", opt.out)
 	}
-	if baseline != "" {
-		base, err := benchio.Read(baseline)
+	if opt.baseline != "" {
+		base, err := benchio.Read(opt.baseline)
 		if err != nil {
 			return err
 		}
-		regressions := benchio.Compare(report, base, maxRegress)
+		regressions := benchio.Compare(report, base, opt.maxRegress)
 		for _, r := range regressions {
 			fmt.Fprintln(w, "REGRESSION:", r)
 		}
-		if check && len(regressions) > 0 {
-			return fmt.Errorf("%d entr(ies) regressed past %.2fx vs %s", len(regressions), maxRegress, baseline)
+		if opt.check && len(regressions) > 0 {
+			return fmt.Errorf("%d entr(ies) regressed past %.2fx vs %s", len(regressions), opt.maxRegress, opt.baseline)
 		}
 		if len(regressions) == 0 {
-			fmt.Fprintf(w, "bench: no regressions past %.2fx vs %s\n", maxRegress, baseline)
+			fmt.Fprintf(w, "bench: no regressions past %.2fx vs %s\n", opt.maxRegress, opt.baseline)
+		}
+		if opt.checkObs {
+			if err := checkObsOverhead(w, cases, report, base, opt.maxObsOverhead, measure); err != nil {
+				return err
+			}
 		}
 	}
+	if rec != nil {
+		fmt.Fprintln(w, "bench: metrics")
+		if err := rec.Metrics.WriteText(w); err != nil {
+			return err
+		}
+		if opt.tracePath != "" {
+			f, err := os.Create(opt.tracePath)
+			if err != nil {
+				return err
+			}
+			err = rec.Trace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "bench: %d spans written to %s\n", rec.Trace.Len(), opt.tracePath)
+		}
+	}
+	return nil
+}
+
+// checkObsOverhead is the instrumentation-cost gate: every solver_* entry
+// present in both the current report and the baseline must stay within
+// maxRatio of the baseline number while the no-op observer is installed.
+// Timing at these scales is noisy, so an entry over the threshold gets up
+// to two re-measurements and only the minimum observed ns/op is judged.
+func checkObsOverhead(w io.Writer, cases []benchCase, report, base *benchio.Report, maxRatio float64, measure func(benchCase) (float64, testing.BenchmarkResult, error)) error {
+	caseByName := make(map[string]benchCase, len(cases))
+	for _, c := range cases {
+		caseByName[c.name] = c
+	}
+	baseNs := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		baseNs[e.Name] = e.NsPerOp
+	}
+	var over []string
+	for _, e := range report.Entries {
+		if !strings.HasPrefix(e.Name, "solver_") {
+			continue
+		}
+		bn, ok := baseNs[e.Name]
+		if !ok || bn <= 0 {
+			continue
+		}
+		best := e.NsPerOp
+		for retry := 0; best > bn*maxRatio && retry < 2; retry++ {
+			ns, _, err := measure(caseByName[e.Name])
+			if err != nil {
+				return err
+			}
+			if ns < best {
+				best = ns
+			}
+		}
+		ratio := best / bn
+		fmt.Fprintf(w, "  obs-overhead %-20s %.3fx vs baseline (limit %.2fx)\n", e.Name, ratio, maxRatio)
+		if ratio > maxRatio {
+			over = append(over, fmt.Sprintf("%s %.3fx", e.Name, ratio))
+		}
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("observer overhead past %.2fx: %s", maxRatio, strings.Join(over, ", "))
+	}
+	fmt.Fprintf(w, "bench: no-op observer overhead within %.2fx on all solver entries\n", maxRatio)
 	return nil
 }
 

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"roadside/internal/benchio"
+	"roadside/internal/obs"
 )
 
 // TestRunQuick exercises the full quick-mode path: run the benchmark set at
@@ -18,7 +21,10 @@ func TestRunQuick(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_test.json")
 	var buf bytes.Buffer
-	if err := run(&buf, out, "test", true, "5ms", "", false, 2.0); err != nil {
+	err := run(&buf, options{
+		out: out, label: "test", quick: true, benchtime: "5ms", maxRegress: 2.0,
+	})
+	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
 	}
 	rep, err := benchio.Read(out)
@@ -50,12 +56,75 @@ func TestRunQuick(t *testing.T) {
 
 	// Self-comparison is the degenerate regression check: ratios hover
 	// around 1.0. The wide 10x budget keeps tiny-benchtime jitter from
-	// flaking the test; the real gate uses 2x at a 300ms benchtime.
+	// flaking the test; the real gate uses 2x at a 300ms benchtime. The obs
+	// overhead gate rides along with the same widened budget.
 	buf.Reset()
-	if err := run(&buf, "", "recheck", true, "5ms", out, true, 10.0); err != nil {
+	err = run(&buf, options{
+		label: "recheck", quick: true, benchtime: "5ms",
+		baseline: out, check: true, maxRegress: 10.0,
+		checkObs: true, maxObsOverhead: 10.0,
+	})
+	if err != nil {
 		t.Fatalf("self-check flagged a regression: %v\noutput:\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "no regressions") {
 		t.Fatalf("expected no-regressions line, got:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "observer overhead within") {
+		t.Fatalf("expected obs-overhead line, got:\n%s", buf.String())
+	}
+}
+
+// TestRunMetrics checks the -metrics/-trace path: solver counters aggregate
+// across benchmark iterations and the trace file round-trips as JSON.
+func TestRunMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		label: "metrics", quick: true, benchtime: "5ms", maxRegress: 2.0,
+		metrics: true, tracePath: tracePath,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"bench: metrics",
+		"core.solver.combined.steps",
+		"core.solver.lazy.steps",
+		"spans written to",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp obs.TraceExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if exp.Schema != obs.TraceSchema {
+		t.Fatalf("trace schema %q", exp.Schema)
+	}
+	if exp.Meta["bench.label"] != "metrics" {
+		t.Fatalf("trace meta missing run label: %v", exp.Meta)
+	}
+}
+
+// TestRunCheckObsFlagValidation pins the gate's precondition errors.
+func TestRunCheckObsFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, options{quick: true, checkObs: true, maxObsOverhead: 1.02})
+	if err == nil || !strings.Contains(err.Error(), "-baseline") {
+		t.Fatalf("missing-baseline error, got %v", err)
+	}
+	err = run(&buf, options{quick: true, checkObs: true, metrics: true, baseline: "x.json"})
+	if err == nil || !strings.Contains(err.Error(), "no-op observer") {
+		t.Fatalf("metrics+check-obs error, got %v", err)
 	}
 }

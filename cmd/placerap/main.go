@@ -6,6 +6,12 @@
 //
 //	placerap -graph city.json -trace trace.csv -shop 42 -k 10 \
 //	         -utility linear -D 2500 -algo algorithm2
+//
+// Observability: -metrics prints the solver/engine counters and histograms
+// collected during the run, -trace-out writes the recorded phase and step
+// spans as a roadside-trace/v1 JSON document (-trace is taken by the GPS
+// input), and -pprof serves net/http/pprof on the given address while the
+// command runs.
 package main
 
 import (
@@ -13,12 +19,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 
 	"roadside/internal/baseline"
 	"roadside/internal/core"
 	"roadside/internal/flow"
 	"roadside/internal/geo"
 	"roadside/internal/graph"
+	"roadside/internal/obs"
 	"roadside/internal/opt"
 	"roadside/internal/report"
 	"roadside/internal/sim"
@@ -57,9 +65,27 @@ func run(args []string) error {
 		simDays    = fs.Int("simulate", 0, "also run an N-day stochastic simulation of the placement")
 		simRange   = fs.Float64("range", 0, "RAP radio range in feet for the simulation")
 		doReport   = fs.Bool("report", false, "print a coverage and attribution report")
+		doMetrics  = fs.Bool("metrics", false, "print solver/engine metrics collected during the run")
+		traceOut   = fs.String("trace-out", "", "write phase/step spans as roadside-trace/v1 JSON to this path (implies -metrics)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", addr)
+	}
+	// Installed before any engine is built: engines capture the process
+	// observer at construction, so preprocessing phases are recorded too.
+	var rec *obs.Recorder
+	if *doMetrics || *traceOut != "" {
+		rec = obs.NewRecorder()
+		prev := obs.SetDefault(rec)
+		defer obs.SetDefault(prev)
 	}
 	if *graphPath == "" || *shop < 0 {
 		return fmt.Errorf("-graph and -shop are required")
@@ -149,6 +175,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if rec != nil {
+		rec.Trace.SetMeta("placerap.algo", *algo)
+		rec.Trace.SetMeta("placerap.utility", *utilityFn)
+		rec.Trace.SetMeta("placerap.k", strconv.Itoa(*k))
+		rec.Trace.SetMeta("placerap.seed", strconv.FormatInt(*seed, 10))
+	}
 	e, err := core.NewEngine(&core.Problem{
 		Graph:   g,
 		Shop:    graph.NodeID(*shop),
@@ -212,6 +244,28 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Println(rendered)
 		fmt.Println(viz.Legend())
+	}
+	if rec != nil {
+		if *doMetrics {
+			fmt.Println("metrics:")
+			if err := rec.Metrics.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *traceOut != "" {
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			err = rec.Trace.WriteJSON(tf)
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d spans written to %s\n", rec.Trace.Len(), *traceOut)
+		}
 	}
 	return nil
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"roadside/internal/citygen"
+	"roadside/internal/obs"
 	"roadside/internal/trace"
 )
 
@@ -89,6 +91,44 @@ func TestRunAllAlgorithms(t *testing.T) {
 			"-k", "2", "-algo", algo,
 		}); err != nil {
 			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+// TestRunObservability exercises the -metrics/-trace-out path and checks the
+// written trace document carries the run metadata and engine phase spans.
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, tracePath := fixture(t, dir)
+	traceOut := filepath.Join(dir, "spans.json")
+	err := run([]string{
+		"-graph", graphPath, "-trace", tracePath, "-shop", "100",
+		"-k", "3", "-algo", "lazy", "-metrics", "-trace-out", traceOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp obs.TraceExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if exp.Schema != obs.TraceSchema {
+		t.Fatalf("trace schema %q", exp.Schema)
+	}
+	if exp.Meta["placerap.algo"] != "lazy" || exp.Meta["placerap.k"] != "3" {
+		t.Fatalf("trace meta missing run config: %v", exp.Meta)
+	}
+	names := make(map[string]bool)
+	for _, sp := range exp.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"core.engine.trees", "core.engine.assemble"} {
+		if !names[want] {
+			t.Fatalf("trace missing engine phase span %q; got %v", want, names)
 		}
 	}
 }

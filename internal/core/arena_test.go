@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// TestFlowOffsetsSmall pins the offset layout on ordinary sizes.
+func TestFlowOffsetsSmall(t *testing.T) {
+	off, total, err := flowOffsets([]int{3, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	want := []int32{0, 3, 3, 5}
+	for i, w := range want {
+		if off[i] != w {
+			t.Fatalf("off = %v, want %v", off, want)
+		}
+	}
+	if off, total, err := flowOffsets(nil); err != nil || total != 0 || len(off) != 1 {
+		t.Fatalf("empty case: off=%v total=%d err=%v", off, total, err)
+	}
+}
+
+// TestFlowOffsetsOverflowGuard is the regression test for the arena
+// overflow bug: newEngine used to assemble flow offsets with an unguarded
+// int32 conversion, so past 2^31 total visits the offsets silently
+// wrapped and the engine returned garbage. The guard must reject such
+// instances with a descriptive error instead. The guard path is exercised
+// through per-flow lengths alone, so the test needs no multi-gigabyte
+// allocation.
+func TestFlowOffsetsOverflowGuard(t *testing.T) {
+	// Exactly MaxInt32 is still representable...
+	if _, total, err := flowOffsets([]int{math.MaxInt32}); err != nil || total != math.MaxInt32 {
+		t.Fatalf("MaxInt32 must fit: total=%d err=%v", total, err)
+	}
+	// ...one visit more must fail, including when the sum (not any single
+	// flow) crosses the boundary.
+	for _, lens := range [][]int{
+		{math.MaxInt32, 1},
+		{math.MaxInt32 / 2, math.MaxInt32/2 + 2},
+		{1 << 30, 1 << 30, 1 << 30},
+	} {
+		_, _, err := flowOffsets(lens)
+		if err == nil {
+			t.Fatalf("flowOffsets(%v) accepted an overflowing arena", lens)
+		}
+		if !errors.Is(err, ErrArenaOverflow) {
+			t.Fatalf("flowOffsets(%v) error = %v, want ErrArenaOverflow", lens, err)
+		}
+	}
+}
+
+// TestDetourBinarySearchMatchesLinearScan is the differential test for
+// Engine.Detour: on randomized instances the binary search over the
+// flow's sorted node list must agree, for every (flow, node) pair, with a
+// naive linear scan of the same arena and with the visit arena's own
+// record of the flow — including the +Inf "not on path" cases.
+func TestDetourBinarySearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 8; trial++ {
+		nodes := 20 + rng.Intn(40)
+		p := randomProblem(t, rng, nodes, 10+rng.Intn(20), 3, utility.Linear{D: 60})
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Linear-scan reference over the flow arena.
+		naive := func(f int, v graph.NodeID) float64 {
+			lo, hi := int(e.flowOff[f]), int(e.flowOff[f+1])
+			for i := lo; i < hi; i++ {
+				if e.flowNode[i] == v {
+					return e.flowDetour[i]
+				}
+			}
+			return math.Inf(1)
+		}
+		for f := 0; f < p.Flows.Len(); f++ {
+			onPath := make(map[graph.NodeID]bool)
+			for _, v := range p.Flows.At(f).Path {
+				onPath[v] = true
+			}
+			for v := graph.NodeID(0); int(v) < nodes; v++ {
+				got := e.Detour(f, v)
+				want := naive(f, v)
+				if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("trial %d flow %d node %d: Detour=%v, linear scan=%v",
+						trial, f, v, got, want)
+				}
+				if !onPath[v] && !math.IsInf(got, 1) {
+					t.Fatalf("trial %d flow %d node %d: finite detour %v off the path",
+						trial, f, v, got)
+				}
+				if onPath[v] && math.IsInf(got, 1) {
+					t.Fatalf("trial %d flow %d node %d: on-path node has no detour",
+						trial, f, v)
+				}
+			}
+		}
+		// Cross-check against the visit arena: every visit recorded at a
+		// node must be found by the flow-arena binary search with the
+		// same detour.
+		for v := graph.NodeID(0); int(v) < nodes; v++ {
+			for _, fv := range e.VisitsAt(v) {
+				if got := e.Detour(fv.Flow, v); got != fv.Detour {
+					t.Fatalf("trial %d: visit arena says flow %d detours %v at %d, Detour says %v",
+						trial, fv.Flow, fv.Detour, v, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyMatchesCombinedAcrossUtilities is the seeded property test that
+// GreedyLazy and GreedyCombined attract the same customers under all
+// three utility models, on instances both with surplus and with scarce
+// budget.
+func TestLazyMatchesCombinedAcrossUtilities(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(4000 + seed))
+		for _, u := range []utility.Function{
+			utility.Threshold{D: 55},
+			utility.Linear{D: 55},
+			utility.Sqrt{D: 55},
+		} {
+			nodes := 25 + rng.Intn(30)
+			k := 1 + rng.Intn(nodes) // sometimes far beyond the useful set
+			p := randomProblem(t, rng, nodes, 8+rng.Intn(12), k, u)
+			e, err := NewEngine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comb, err := GreedyCombined(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := GreedyLazy(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(comb.Attracted-lazy.Attracted) > 1e-9 {
+				t.Fatalf("seed %d %T k=%d: combined %v != lazy %v",
+					seed, u, k, comb.Attracted, lazy.Attracted)
+			}
+			if len(comb.Nodes) != len(lazy.Nodes) {
+				t.Fatalf("seed %d %T k=%d: combined placed %d, lazy placed %d",
+					seed, u, k, len(comb.Nodes), len(lazy.Nodes))
+			}
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"roadside/internal/graph"
+	"roadside/internal/obs"
 	"roadside/internal/par"
 )
 
@@ -49,6 +52,12 @@ type Engine struct {
 	cands    []graph.NodeID
 	candLo   graph.NodeID
 	candSpan int
+
+	// obs receives step and phase events from the solvers running on this
+	// engine. It is captured from obs.Default at construction (Nop unless
+	// a recorder is installed) and never nil afterwards; WithObserver
+	// derives an engine reporting elsewhere.
+	obs obs.StepObserver
 }
 
 // defaultWorkers is the worker count used by the exported entry points.
@@ -69,6 +78,7 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	o := obs.Default()
 	g := p.Graph
 	shops := append([]graph.NodeID{p.Shop}, p.ExtraShops...)
 
@@ -94,10 +104,16 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 		destIdx[dest] = len(reqs)
 		reqs = append(reqs, graph.TreeReq{Root: dest, Reverse: true})
 	}
+	treeStart := time.Now()
 	trees, err := g.Trees(reqs, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: preprocessing trees: %w", err)
 	}
+	o.Phase(obs.Phase{
+		Component: "core.engine", Name: "trees",
+		Items: len(reqs), Workers: workers,
+		Start: treeStart, Duration: time.Since(treeStart),
+	})
 	toShops := make([]*graph.Tree, len(shops))
 	fromShops := make([]*graph.Tree, len(shops))
 	for i := range shops {
@@ -116,6 +132,7 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 	}
 	lists := make([][]flowVisit, p.Flows.Len())
 	u := p.Utility
+	detourStart := time.Now()
 	par.Do(p.Flows.Len(), workers, func(i int) {
 		f := p.Flows.At(i)
 		toDest := trees[destIdx[f.Dest]]
@@ -136,15 +153,21 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 		sort.Slice(nodes, func(a, b int) bool { return nodes[a].node < nodes[b].node })
 		lists[i] = nodes
 	})
+	o.Phase(obs.Phase{
+		Component: "core.engine", Name: "detours",
+		Items: p.Flows.Len(), Workers: workers,
+		Start: detourStart, Duration: time.Since(detourStart),
+	})
 
 	// Serial assembly into the CSR arenas, iterating flows in index order
 	// so the visit arena's per-node buckets are ordered by flow.
+	asmStart := time.Now()
 	n := g.NumNodes()
 	e := &Engine{
 		p:        p,
 		visitOff: make([]int32, n+1),
-		flowOff:  make([]int32, p.Flows.Len()+1),
 		cands:    p.candidateList(),
+		obs:      o,
 	}
 	if len(e.cands) > 0 {
 		lo, hi := e.cands[0], e.cands[0]
@@ -158,10 +181,16 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 		}
 		e.candLo, e.candSpan = lo, int(hi-lo)+1
 	}
-	total := 0
+	lens := make([]int, len(lists))
 	for i, list := range lists {
-		total += len(list)
-		e.flowOff[i+1] = int32(total)
+		lens[i] = len(list)
+	}
+	flowOff, total, err := flowOffsets(lens)
+	if err != nil {
+		return nil, err
+	}
+	e.flowOff = flowOff
+	for _, list := range lists {
 		for _, fv := range list {
 			e.visitOff[fv.node+1]++
 		}
@@ -187,7 +216,58 @@ func newEngine(p *Problem, workers int) (*Engine, error) {
 			e.visitGain[at] = fv.gain
 		}
 	}
+	o.Phase(obs.Phase{
+		Component: "core.engine", Name: "assemble",
+		Items: total, Workers: 1,
+		Start: asmStart, Duration: time.Since(asmStart),
+	})
 	return e, nil
+}
+
+// ErrArenaOverflow reports a problem whose total visit count exceeds the
+// int32 offset range of the CSR arenas.
+var ErrArenaOverflow = errors.New("core: visit arena exceeds int32 offset range")
+
+// flowOffsets builds the flow arena's offset array from per-flow visit
+// counts, guarding the int32 conversions: past 2^31-1 total visits the
+// offsets would silently wrap and every downstream lookup would read
+// garbage, so construction fails loudly instead. The running total is
+// accumulated in 64 bits so the guard itself cannot overflow.
+func flowOffsets(lens []int) ([]int32, int, error) {
+	off := make([]int32, len(lens)+1)
+	var total int64
+	for i, n := range lens {
+		total += int64(n)
+		if total > math.MaxInt32 {
+			return nil, 0, fmt.Errorf("%w: %d flows need %d visit slots, max %d",
+				ErrArenaOverflow, len(lens), total, math.MaxInt32)
+		}
+		off[i+1] = int32(total)
+	}
+	return off, int(total), nil
+}
+
+// observer returns the engine's step observer, defaulting to the no-op
+// for zero-value engines that never went through newEngine.
+func (e *Engine) observer() obs.StepObserver {
+	if e.obs == nil {
+		return obs.Nop{}
+	}
+	return e.obs
+}
+
+// WithObserver returns an engine that reports solver steps and phases to
+// o instead of the observer captured at construction. The copy shares
+// every arena with the receiver (engines are immutable), so it costs one
+// struct copy; a nil o silences reporting.
+func (e *Engine) WithObserver(o obs.StepObserver) *Engine {
+	cp := *e
+	if o == nil {
+		cp.obs = obs.Nop{}
+	} else {
+		cp.obs = o
+	}
+	return &cp
 }
 
 // detourAt computes the paper's detour distance d = d' + d” - d”' for a

@@ -293,18 +293,26 @@ func TestCandidateRestriction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(pl.Nodes) != 3 {
-			t.Fatalf("placed %d, want 3", len(pl.Nodes))
+		// Solvers stop at the zero-gain point, so the placement may be
+		// shorter than both k and the candidate list; whatever is placed
+		// must come from the candidate set and carry a positive gain.
+		if len(pl.Nodes) == 0 || len(pl.Nodes) > 3 {
+			t.Fatalf("placed %d, want 1..3", len(pl.Nodes))
 		}
 		for _, v := range pl.Nodes {
 			if v < 1 || v > 3 {
 				t.Errorf("placement %v escapes candidate set", pl.Nodes)
 			}
 		}
+		for _, g := range pl.StepGains {
+			if g <= 0 {
+				t.Errorf("zero-gain step recorded: %v", pl.StepGains)
+			}
+		}
 	}
-	// GreedyLazy prunes zero-gain candidates, so it may legitimately place
-	// fewer than k RAPs; what it places must still come from the candidate
-	// set and match the combined greedy's objective.
+	// GreedyLazy prunes zero-gain candidates the same way; what it places
+	// must still come from the candidate set and match the combined
+	// greedy's objective.
 	lazy, err := GreedyLazy(e)
 	if err != nil {
 		t.Fatal(err)

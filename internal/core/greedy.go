@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"roadside/internal/graph"
+	"roadside/internal/obs"
 )
 
 // The greedy solvers share one scan contract: at every step each still-
@@ -10,6 +13,18 @@ import (
 // node ID. The scan fans across GOMAXPROCS workers on large instances and
 // is bit-identical to a serial scan (see scanCandidates), so placements,
 // step gains, and objectives never depend on the worker count.
+//
+// All four solvers also share one termination contract: the step loop ends
+// as soon as the winning marginal gain drops to zero (or the candidate set
+// is exhausted), even if budget remains. Submodularity guarantees a zero
+// winner stays zero forever, so continuing could only pad Nodes/StepGains
+// with dead entries — and would break the documented equivalence between
+// GreedyLazy (which prunes zero-gain heap entries) and GreedyCombined.
+// Placements may therefore be shorter than K; every recorded step gain is
+// strictly positive.
+//
+// Each placed step is reported to the engine's obs.StepObserver with the
+// measured scan work; the default no-op observer keeps this free.
 
 // Algorithm1 is the paper's Algorithm 1: the classic greedy for weighted
 // maximum coverage. At each of the k steps it places a RAP at the
@@ -17,7 +32,8 @@ import (
 // marks every flow with a positive detour probability at that intersection
 // as covered. Under the threshold utility this achieves a 1-1/e
 // approximation (Section III-B); under decreasing utilities it serves as
-// the "coverage factor only" ablation.
+// the "coverage factor only" ablation. It stops early once no candidate
+// attracts drivers from any uncovered flow.
 func Algorithm1(e *Engine) (*Placement, error) {
 	return algorithm1(e, defaultWorkers())
 }
@@ -40,10 +56,12 @@ func algorithm1(e *Engine, workers int) (*Placement, error) {
 		}
 		return gain, 0
 	}
+	o := e.observer()
 	for step := 0; step < p.K; step++ {
-		best := e.scanCandidates(workers, placed, coverageGain).byU
-		if best.node == graph.Invalid {
-			break // candidate set exhausted
+		scan, st := e.scanCandidates(workers, placed, coverageGain)
+		best := scan.byU
+		if best.node == graph.Invalid || best.u <= 0 {
+			break // candidate set exhausted or only zero-gain candidates left
 		}
 		placed.add(best.node)
 		result.Nodes = append(result.Nodes, best.node)
@@ -54,6 +72,10 @@ func algorithm1(e *Engine, workers int) (*Placement, error) {
 				covered[e.visitFlow[i]] = true
 			}
 		}
+		o.SolverStep(obs.SolverStep{
+			Solver: "algorithm1", Step: step, Node: int64(best.node),
+			Gain: best.u, Scanned: st.evaluated, Chunks: st.chunks,
+		})
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil
@@ -72,7 +94,8 @@ const (
 // flows by offering smaller detours — and places a RAP at the better one.
 // Theorem 2 proves a 1-1/sqrt(e) approximation for any non-increasing
 // utility. With the threshold utility it reduces to Algorithm 1 (candidate
-// ii always gains zero).
+// ii always gains zero). It stops early once both candidates' gains drop
+// to zero — i.e. every remaining intersection has zero marginal gain.
 func Algorithm2(e *Engine) (*Placement, error) {
 	return algorithm2(e, defaultWorkers())
 }
@@ -87,10 +110,17 @@ func algorithm2(e *Engine, workers int) (*Placement, error) {
 		StepKinds: make([]string, 0, p.K),
 	}
 	gains := func(v graph.NodeID) (float64, float64) { return state.marginalGain(e, v) }
+	o := e.observer()
 	for step := 0; step < p.K; step++ {
-		best := e.scanCandidates(workers, placed, gains)
-		candI, candII := best.byU, best.byC
+		scan, st := e.scanCandidates(workers, placed, gains)
+		candI, candII := scan.byU, scan.byC
 		if candI.node == graph.Invalid && candII.node == graph.Invalid {
+			break
+		}
+		// candI maximizes the uncovered gain and candII the covered gain,
+		// so when both maxima are zero every remaining candidate's total
+		// marginal gain is zero and no further step can add value.
+		if candI.u <= 0 && candII.c <= 0 {
 			break
 		}
 		// Pick the better candidate; ties favor covering new flows, which
@@ -106,6 +136,11 @@ func algorithm2(e *Engine, workers int) (*Placement, error) {
 		result.Nodes = append(result.Nodes, chosen.node)
 		result.StepGains = append(result.StepGains, chosen.u+chosen.c)
 		result.StepKinds = append(result.StepKinds, kind)
+		o.SolverStep(obs.SolverStep{
+			Solver: "algorithm2", Step: step, Node: int64(chosen.node),
+			Gain: chosen.u + chosen.c, Kind: kind,
+			Scanned: st.evaluated, Chunks: st.chunks,
+		})
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil
@@ -116,7 +151,9 @@ func algorithm2(e *Engine, workers int) (*Placement, error) {
 // intersection with the largest total marginal gain (uncovered + covered
 // parts together). Its per-step gain dominates both of Algorithm 2's
 // candidates, so it inherits the 1-1/sqrt(e) bound; it is included as an
-// ablation to compare against the paper's composite rule.
+// ablation to compare against the paper's composite rule. It stops early
+// once the best total marginal gain is zero, so its placement stays
+// step-for-step comparable with GreedyLazy's pruned heap.
 func GreedyCombined(e *Engine) (*Placement, error) {
 	return greedyCombined(e, defaultWorkers())
 }
@@ -130,15 +167,21 @@ func greedyCombined(e *Engine, workers int) (*Placement, error) {
 		StepGains: make([]float64, 0, p.K),
 	}
 	gains := func(v graph.NodeID) (float64, float64) { return state.marginalGain(e, v) }
+	o := e.observer()
 	for step := 0; step < p.K; step++ {
-		best := e.scanCandidates(workers, placed, gains).bySum
-		if best.node == graph.Invalid {
-			break
+		scan, st := e.scanCandidates(workers, placed, gains)
+		best := scan.bySum
+		if best.node == graph.Invalid || best.u+best.c <= 0 {
+			break // candidate set exhausted or only zero-gain candidates left
 		}
 		placed.add(best.node)
 		state.place(e, best.node)
 		result.Nodes = append(result.Nodes, best.node)
 		result.StepGains = append(result.StepGains, best.u+best.c)
+		o.SolverStep(obs.SolverStep{
+			Solver: "combined", Step: step, Node: int64(best.node),
+			Gain: best.u + best.c, Scanned: st.evaluated, Chunks: st.chunks,
+		})
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil
@@ -154,7 +197,8 @@ func greedyCombined(e *Engine, workers int) (*Placement, error) {
 // submodularity guarantees their gain can never recover, so keeping them
 // only delays termination. When the budget exceeds the number of useful
 // candidates, the step loop therefore ends as soon as the queue drains
-// instead of placing zero-gain RAPs.
+// instead of placing zero-gain RAPs — the same zero-gain termination the
+// eager solvers apply at their scans.
 func GreedyLazy(e *Engine) (*Placement, error) {
 	p := e.p
 	state := e.newDetourState()
@@ -204,15 +248,23 @@ func GreedyLazy(e *Engine) (*Placement, error) {
 		}
 		return top
 	}
+	o := e.observer()
+	initStart := time.Now()
 	for _, v := range e.cands {
 		u, c := state.marginalGain(e, v)
 		if b := u + c; b > 0 {
 			push(entry{node: v, bound: b, step: 0})
 		}
 	}
+	o.Phase(obs.Phase{
+		Component: "core.solver.lazy", Name: "init",
+		Items: len(e.cands), Workers: 1,
+		Start: initStart, Duration: time.Since(initStart),
+	})
 	for step := 0; step < p.K; step++ {
 		var chosen entry
 		found := false
+		reevals := 0
 		for len(heap) > 0 {
 			top := pop()
 			if top.step == step {
@@ -221,6 +273,7 @@ func GreedyLazy(e *Engine) (*Placement, error) {
 				chosen, found = top, true
 				break
 			}
+			reevals++
 			u, c := state.marginalGain(e, top.node)
 			if b := u + c; b > 0 {
 				push(entry{node: top.node, bound: b, step: step})
@@ -232,6 +285,10 @@ func GreedyLazy(e *Engine) (*Placement, error) {
 		state.place(e, chosen.node)
 		result.Nodes = append(result.Nodes, chosen.node)
 		result.StepGains = append(result.StepGains, chosen.bound)
+		o.SolverStep(obs.SolverStep{
+			Solver: "lazy", Step: step, Node: int64(chosen.node),
+			Gain: chosen.bound, Scanned: reevals, Reevals: reevals,
+		})
 	}
 	result.Attracted = e.Evaluate(result.Nodes)
 	return result, nil

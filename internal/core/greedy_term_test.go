@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// TestZeroGainTermination is the regression test for the greedy
+// termination bug: with a budget exceeding the number of useful candidates
+// the eager solvers used to keep placing zero-gain RAPs until the
+// candidate set ran dry (they only broke on graph.Invalid), while
+// GreedyLazy pruned zero-gain entries and stopped early — so the four
+// "equivalent" solvers returned placements of different lengths padded
+// with dead entries. All four must now stop at the zero-gain point.
+//
+// The threshold utility makes all four solvers equivalent (Algorithm 2's
+// covered candidate always gains zero), so equal-length, zero-free,
+// equal-objective placements are the exact contract.
+func TestZeroGainTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(1203))
+	for trial := 0; trial < 10; trial++ {
+		// Few short flows on a small graph: the useful candidates are the
+		// handful of on-path nodes with detour <= D, far fewer than K.
+		p := randomProblem(t, rng, 30, 3, 1, utility.Threshold{D: 40})
+		p.K = 30 // budget deliberately exceeds every useful candidate
+
+		solvers := []struct {
+			name string
+			run  func(*Engine) (*Placement, error)
+		}{
+			{"algorithm1", Algorithm1},
+			{"algorithm2", Algorithm2},
+			{"combined", GreedyCombined},
+			{"lazy", GreedyLazy},
+		}
+		e, err := NewEngine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements := make([]*Placement, len(solvers))
+		for i, s := range solvers {
+			pl, err := s.run(e)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.name, err)
+			}
+			placements[i] = pl
+			if len(pl.Nodes) == 0 || len(pl.Nodes) >= p.K {
+				t.Fatalf("trial %d %s: placed %d RAPs with budget %d; zero-gain termination broken",
+					trial, s.name, len(pl.Nodes), p.K)
+			}
+			if len(pl.StepGains) != len(pl.Nodes) {
+				t.Fatalf("trial %d %s: %d gains for %d nodes",
+					trial, s.name, len(pl.StepGains), len(pl.Nodes))
+			}
+			for step, g := range pl.StepGains {
+				if g <= 0 {
+					t.Fatalf("trial %d %s: zero-gain step %d recorded: %v",
+						trial, s.name, step, pl.StepGains)
+				}
+			}
+		}
+		ref := placements[0]
+		for i, s := range solvers[1:] {
+			pl := placements[i+1]
+			if len(pl.Nodes) != len(ref.Nodes) {
+				t.Fatalf("trial %d: %s placed %d RAPs, algorithm1 placed %d",
+					trial, s.name, len(pl.Nodes), len(ref.Nodes))
+			}
+			if math.Abs(pl.Attracted-ref.Attracted) > 1e-9 {
+				t.Fatalf("trial %d: %s objective %v != algorithm1 %v",
+					trial, s.name, pl.Attracted, ref.Attracted)
+			}
+		}
+	}
+}
+
+// TestZeroGainTerminationUnreachableShop pins the degenerate corner: when
+// no candidate has any gain at all (the shop is unreachable), every solver
+// returns an empty placement instead of K arbitrary nodes.
+func TestZeroGainTerminationUnreachableShop(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := randomProblem(t, rng, 20, 5, 4, utility.Threshold{D: 0.0001})
+	// A microscopic detour threshold leaves (almost) nothing useful; pick
+	// candidates off every flow path so gains are exactly zero.
+	off := make(map[graph.NodeID]bool)
+	for i := 0; i < p.Flows.Len(); i++ {
+		for _, v := range p.Flows.At(i).Path {
+			off[v] = true
+		}
+	}
+	p.Candidates = nil
+	for v := graph.NodeID(0); int(v) < 20; v++ {
+		if !off[v] {
+			p.Candidates = append(p.Candidates, v)
+		}
+	}
+	if len(p.Candidates) == 0 {
+		t.Skip("random instance covered every node")
+	}
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		run  func(*Engine) (*Placement, error)
+	}{
+		{"algorithm1", Algorithm1},
+		{"algorithm2", Algorithm2},
+		{"combined", GreedyCombined},
+		{"lazy", GreedyLazy},
+	} {
+		pl, err := s.run(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl.Nodes) != 0 {
+			t.Fatalf("%s placed %v on an instance with no positive gains", s.name, pl.Nodes)
+		}
+		if pl.Attracted != 0 {
+			t.Fatalf("%s objective %v, want 0", s.name, pl.Attracted)
+		}
+	}
+}

@@ -88,46 +88,62 @@ func (b *scanBest) merge(o scanBest) {
 	}
 }
 
+// scanStats reports how much work one candidate scan performed; the
+// greedy solvers forward it to the step observer so candidate-evaluation
+// counts are measured rather than estimated.
+type scanStats struct {
+	evaluated int // unplaced candidates evaluated
+	chunks    int // contiguous chunks the scan fanned across (1 = inline)
+}
+
 // scanCandidates evaluates eval(v) = (uncovered, covered) for every
-// unplaced candidate and returns the argmaxes. With workers > 1 and enough
-// candidates, contiguous candidate chunks are scanned concurrently; the
-// merge order is irrelevant because betterKey is a strict total order over
-// (gain, node), so the result is bit-identical to the serial scan. eval
-// must be a pure read of solver state — scans never overlap with state
-// mutation.
+// unplaced candidate and returns the argmaxes plus scan statistics. With
+// workers > 1 and enough candidates, contiguous candidate chunks are
+// scanned concurrently; the merge order is irrelevant because betterKey is
+// a strict total order over (gain, node), so the result is bit-identical
+// to the serial scan. eval must be a pure read of solver state — scans
+// never overlap with state mutation.
 func (e *Engine) scanCandidates(
 	workers int,
 	placed placedSet,
 	eval func(v graph.NodeID) (u, c float64),
-) scanBest {
+) (scanBest, scanStats) {
 	cands := e.cands
 	if workers <= 1 || len(cands) < minParallelScan {
 		best := newScanBest()
+		evaluated := 0
 		for _, v := range cands {
 			if placed.has(v) {
 				continue
 			}
 			u, c := eval(v)
 			best.consider(scanned{node: v, u: u, c: c})
+			evaluated++
 		}
-		return best
+		return best, scanStats{evaluated: evaluated, chunks: 1}
 	}
 	chunks := par.Chunks(len(cands), workers)
 	partial := make([]scanBest, len(chunks))
+	counts := make([]int, len(chunks))
 	par.Do(len(chunks), workers, func(ci int) {
 		best := newScanBest()
+		evaluated := 0
 		for _, v := range cands[chunks[ci][0]:chunks[ci][1]] {
 			if placed.has(v) {
 				continue
 			}
 			u, c := eval(v)
 			best.consider(scanned{node: v, u: u, c: c})
+			evaluated++
 		}
 		partial[ci] = best
+		counts[ci] = evaluated
 	})
 	best := newScanBest()
-	for _, p := range partial {
+	st := scanStats{chunks: len(chunks)}
+	for i, p := range partial {
 		best.merge(p)
+		st.evaluated += counts[i]
 	}
-	return best
+	return best, st
 }

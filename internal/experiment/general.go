@@ -3,12 +3,16 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"roadside/internal/citygen"
 	"roadside/internal/classify"
 	"roadside/internal/core"
 	"roadside/internal/flow"
 	"roadside/internal/graph"
+	"roadside/internal/obs"
 	"roadside/internal/par"
 	"roadside/internal/stats"
 	"roadside/internal/trace"
@@ -130,6 +134,19 @@ func runGeneralOn(inst *Instance, cfg GeneralConfig, name, title string, workers
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	maxK := cfg.Ks[len(cfg.Ks)-1]
+	o := obs.Default()
+	o.Run(obs.Run{
+		Runner: "experiment.general", Name: name,
+		Seed: cfg.Seed, Trials: cfg.Trials, Workers: workers,
+		Config: map[string]string{
+			"city":       cfg.City,
+			"utility":    cfg.UtilityName,
+			"d":          strconv.FormatFloat(cfg.D, 'g', -1, 64),
+			"ks":         ksString(cfg.Ks),
+			"shop_class": fmt.Sprint(cfg.ShopClass),
+			"algorithms": strings.Join(cfg.Algorithms, ","),
+		},
+	})
 	// trialValues[trial][algo][kIndex] holds one trial's objectives.
 	trialValues := make([]map[string][]float64, cfg.Trials)
 	trialErrs := make([]error, cfg.Trials)
@@ -154,16 +171,36 @@ func runGeneralOn(inst *Instance, cfg GeneralConfig, name, title string, workers
 		}
 		vals := make(map[string][]float64, len(cfg.Algorithms))
 		for _, algo := range cfg.Algorithms {
+			solveStart := time.Now()
 			pl, err := solveGeneral(algo, e, rng)
 			if err != nil {
 				trialErrs[trial] = err
 				return
 			}
-			vals[algo] = evalAtKs(e, pl.Nodes, cfg.Ks)
+			row := evalAtKs(e, pl.Nodes, cfg.Ks)
+			vals[algo] = row
+			o.Trial(obs.Trial{
+				Runner: "experiment.general", Name: name,
+				Trial: trial, Seed: stats.DeriveSeed(cfg.Seed, 1000+trial),
+				Algo: algo, Objective: row[len(row)-1],
+				Duration: time.Since(solveStart),
+			})
 		}
 		trialValues[trial] = vals
 	})
 	return assembleTrials(name, title, cfg.Algorithms, cfg.Ks, trialValues, trialErrs)
+}
+
+// ksString renders a budget list as "1,2,5" for run metadata.
+func ksString(ks []int) string {
+	var sb strings.Builder
+	for i, k := range ks {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(k))
+	}
+	return sb.String()
 }
 
 // evalAtKs evaluates the nested placement at every budget in ks with one

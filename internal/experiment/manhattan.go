@@ -3,10 +3,14 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"roadside/internal/citygen"
 	"roadside/internal/core"
 	"roadside/internal/manhattan"
+	"roadside/internal/obs"
 	"roadside/internal/par"
 	"roadside/internal/stats"
 	"roadside/internal/utility"
@@ -53,6 +57,19 @@ func runManhattan(cfg ManhattanConfig, name, title string, workers int) (*Result
 	}
 	maxK := cfg.Ks[len(cfg.Ks)-1]
 	twoCfg := manhattan.Config{OptBudget: cfg.OptBudget}
+	o := obs.Default()
+	o.Run(obs.Run{
+		Runner: "experiment.manhattan", Name: name,
+		Seed: cfg.Seed, Trials: cfg.Trials, Workers: workers,
+		Config: map[string]string{
+			"n":          strconv.Itoa(cfg.N),
+			"utility":    cfg.UtilityName,
+			"d":          strconv.FormatFloat(cfg.D, 'g', -1, 64),
+			"ks":         ksString(cfg.Ks),
+			"flows":      strconv.Itoa(demand.Flows),
+			"algorithms": strings.Join(cfg.Algorithms, ","),
+		},
+	})
 	trialValues := make([]map[string][]float64, cfg.Trials)
 	trialErrs := make([]error, cfg.Trials)
 	par.Do(cfg.Trials, workers, func(trial int) {
@@ -69,6 +86,7 @@ func runManhattan(cfg ManhattanConfig, name, title string, workers int) (*Result
 		rng := stats.NewRand(cfg.Seed, 5000+trial)
 		vals := make(map[string][]float64, len(cfg.Algorithms))
 		for _, algo := range cfg.Algorithms {
+			solveStart := time.Now()
 			switch algo {
 			case AlgoAlgorithm3, AlgoAlgorithm4:
 				// Two-stage placements are not nested across budgets, so
@@ -96,6 +114,13 @@ func runManhattan(cfg ManhattanConfig, name, title string, workers int) (*Result
 				}
 				vals[algo] = evalAtKs(e, pl.Nodes, cfg.Ks)
 			}
+			row := vals[algo]
+			o.Trial(obs.Trial{
+				Runner: "experiment.manhattan", Name: name,
+				Trial: trial, Seed: stats.DeriveSeed(cfg.Seed, trial),
+				Algo: algo, Objective: row[len(row)-1],
+				Duration: time.Since(solveStart),
+			})
 		}
 		trialValues[trial] = vals
 	})

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"roadside/internal/obs"
+)
+
+// captureObserver records observer events; safe for concurrent use since
+// trial events arrive from the worker pool.
+type captureObserver struct {
+	mu     sync.Mutex
+	trials []obs.Trial
+	runs   []obs.Run
+}
+
+func (c *captureObserver) SolverStep(obs.SolverStep) {}
+func (c *captureObserver) Phase(obs.Phase)           {}
+
+func (c *captureObserver) Trial(ev obs.Trial) {
+	c.mu.Lock()
+	c.trials = append(c.trials, ev)
+	c.mu.Unlock()
+}
+
+func (c *captureObserver) Run(ev obs.Run) {
+	c.mu.Lock()
+	c.runs = append(c.runs, ev)
+	c.mu.Unlock()
+}
+
+// TestRunnersEmitRunAndTrialEvents checks both experiment runners report a
+// Run event carrying the config metadata and one Trial event per
+// (trial, algorithm) pair, with seeds derived from (Seed, trial) alone.
+func TestRunnersEmitRunAndTrialEvents(t *testing.T) {
+	cap := &captureObserver{}
+	prev := obs.SetDefault(cap)
+	defer obs.SetDefault(prev)
+
+	gcfg := quickGeneral("dublin", "linear", 20_000)
+	if _, err := RunGeneral(gcfg, "obs-general", ""); err != nil {
+		t.Fatal(err)
+	}
+	mcfg := ManhattanConfig{
+		N:           11,
+		UtilityName: "linear",
+		D:           2_500,
+		Ks:          []int{1, 4},
+		Trials:      3,
+		Seed:        3,
+		Flows:       30,
+	}
+	if _, err := RunManhattan(mcfg, "obs-manhattan", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.runs) != 2 {
+		t.Fatalf("%d run events, want 2", len(cap.runs))
+	}
+	byRunner := make(map[string]obs.Run)
+	for _, r := range cap.runs {
+		byRunner[r.Runner] = r
+	}
+	gr, ok := byRunner["experiment.general"]
+	if !ok || gr.Name != "obs-general" || gr.Seed != gcfg.Seed || gr.Trials != gcfg.Trials {
+		t.Fatalf("general run event wrong: %+v", gr)
+	}
+	if gr.Config["city"] != "dublin" || gr.Config["utility"] != "linear" || gr.Config["ks"] != "1,3,5" {
+		t.Fatalf("general run config wrong: %v", gr.Config)
+	}
+	if !strings.Contains(gr.Config["algorithms"], AlgoAlgorithm2) {
+		t.Fatalf("general run algorithms missing default greedy: %v", gr.Config)
+	}
+	mr, ok := byRunner["experiment.manhattan"]
+	if !ok || mr.Config["n"] != "11" || mr.Config["flows"] != "30" {
+		t.Fatalf("manhattan run event wrong: %+v", mr)
+	}
+
+	// One trial event per (trial, algo); five default algorithms each.
+	count := make(map[string]int)
+	seeds := make(map[string]map[int]int64)
+	for _, tr := range cap.trials {
+		count[tr.Runner]++
+		if tr.Algo == "" || tr.Objective < 0 || tr.Duration < 0 {
+			t.Fatalf("malformed trial event: %+v", tr)
+		}
+		if seeds[tr.Runner] == nil {
+			seeds[tr.Runner] = make(map[int]int64)
+		}
+		if prev, ok := seeds[tr.Runner][tr.Trial]; ok && prev != tr.Seed {
+			t.Fatalf("%s trial %d reported two seeds %d and %d",
+				tr.Runner, tr.Trial, prev, tr.Seed)
+		}
+		seeds[tr.Runner][tr.Trial] = tr.Seed
+	}
+	if want := gcfg.Trials * 5; count["experiment.general"] != want {
+		t.Fatalf("general trial events = %d, want %d", count["experiment.general"], want)
+	}
+	if want := mcfg.Trials * 5; count["experiment.manhattan"] != want {
+		t.Fatalf("manhattan trial events = %d, want %d", count["experiment.manhattan"], want)
+	}
+	for runner, perTrial := range seeds {
+		distinct := make(map[int64]bool)
+		for _, s := range perTrial {
+			distinct[s] = true
+		}
+		if len(distinct) != len(perTrial) {
+			t.Fatalf("%s: %d trials share %d distinct seeds", runner, len(perTrial), len(distinct))
+		}
+	}
+}

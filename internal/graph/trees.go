@@ -2,7 +2,9 @@ package graph
 
 import (
 	"fmt"
+	"time"
 
+	"roadside/internal/obs"
 	"roadside/internal/par"
 )
 
@@ -30,11 +32,17 @@ func (g *Graph) Trees(reqs []TreeReq, workers int) ([]*Tree, error) {
 		}
 	}
 	out := make([]*Tree, len(reqs))
+	start := time.Now()
 	par.Do(len(reqs), workers, func(i int) {
 		r := reqs[i]
 		t := &Tree{root: r.Root, reverse: r.Reverse}
 		t.dist, t.parent = g.dijkstra(r.Root, r.Reverse)
 		out[i] = t
+	})
+	obs.Default().Phase(obs.Phase{
+		Component: "graph.trees", Name: "batch",
+		Items: len(reqs), Workers: workers,
+		Start: start, Duration: time.Since(start),
 	})
 	return out, nil
 }

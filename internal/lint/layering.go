@@ -11,6 +11,10 @@ import (
 // import. The root package is the only public surface, so examples must
 // depend on it alone.
 var layerRules = map[string][]string{
+	"internal/obs": {
+		"internal/graph", "internal/geo", "internal/utility", "internal/core",
+		"internal/experiment", "internal/baseline", "internal/par", "internal/flow",
+	},
 	"internal/graph":   {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/geo":     {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/utility": {"internal/core", "internal/experiment", "internal/baseline"},
@@ -20,7 +24,7 @@ var layerRules = map[string][]string{
 func init() {
 	Register(&Analyzer{
 		Name: "layering",
-		Doc:  "enforces the package DAG: graph/geo/utility below core, core below experiment/baseline, examples on the root only",
+		Doc:  "enforces the package DAG: obs (stdlib-only) at the bottom so every layer can report into it, graph/geo/utility below core, core below experiment/baseline, examples on the root only",
 		Run:  runLayering,
 	})
 }

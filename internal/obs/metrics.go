@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric naming convention: lowercase dot-separated paths of the form
+// <component>.<subject>[.<detail>], e.g. "core.solver.lazy.steps" or
+// "graph.trees.batch.duration_us". Units go in the final segment
+// ("_us" for microseconds). The Recorder derives all its names this way,
+// so text and JSON output sort into component groups naturally.
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// atomic and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric holding the latest value of something. Set and
+// Add are atomic (Add via compare-and-swap on the float's bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds v to the gauge.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is atomic and allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	n      atomic.Int64
+	sum    Gauge
+}
+
+// newHistogram copies bounds so callers cannot mutate the histogram's
+// bucket layout after registration.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DurationBucketsUS is the default bucket layout for microsecond
+// durations: wide enough for a 50µs scan and a 30s figure run alike.
+var DurationBucketsUS = []float64{
+	50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1e6, 2.5e6, 1e7, 3e7,
+}
+
+// GainBuckets is the default bucket layout for step gains (attracted
+// customers per step).
+var GainBuckets = []float64{0, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 10_000}
+
+// Registry is a concurrency-safe, name-keyed collection of metrics.
+// Lookup (get-or-create) takes a mutex; the returned metric's hot methods
+// are lock-free, so callers on hot paths should hold onto the pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds if needed. An existing histogram keeps its original
+// bounds; bounds only matter on first registration.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // len(Bounds)+1; last is overflow
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current values of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteText renders the registry sorted by metric name, one line per
+// metric, suitable for terminal output.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	type line struct{ name, text string }
+	lines := make([]line, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, line{name, fmt.Sprintf("counter  %-44s %d", name, v)})
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, line{name, fmt.Sprintf("gauge    %-44s %g", name, v)})
+	}
+	for name, h := range s.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		lines = append(lines, line{name, fmt.Sprintf(
+			"hist     %-44s count=%d sum=%g mean=%g", name, h.Count, h.Sum, mean)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.steps")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b.steps") != c {
+		t.Fatal("Counter did not return the registered instance")
+	}
+	g := r.Gauge("a.b.last")
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Value(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("a.b.duration_us", []float64{10, 100})
+	for _, v := range []float64{5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-1065) > 1e-9 {
+		t.Fatalf("sum = %v, want 1065", h.Sum())
+	}
+	s := r.Snapshot().Histograms["a.b.duration_us"]
+	// 5 and 10 land at bound 10 (SearchFloat64s finds first bound >= v),
+	// 50 at bound 100, 1000 overflows.
+	want := []int64{2, 1, 1}
+	for i, n := range want {
+		if s.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], n, s.Buckets)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race this pins the atomic hot paths and the mutexed lookups.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", GainBuckets).Observe(float64(i % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); math.Abs(got-8000) > 1e-9 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", GainBuckets).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("m.mid").Set(3)
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	if !strings.Contains(out, "a.first") || !strings.Contains(out, "z.last") {
+		t.Fatalf("text output missing metrics:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("text output not sorted by name:\n%s", out)
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(js.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if snap.Counters["z.last"] != 2 || snap.Gauges["m.mid"] != 3 {
+		t.Fatalf("snapshot round-trip lost values: %+v", snap)
+	}
+}

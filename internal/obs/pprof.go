@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof endpoints on addr (e.g.
+// "localhost:6060") from a background goroutine and returns the bound
+// address, so callers may pass ":0" for an ephemeral port. The server uses
+// its own mux — nothing is registered on http.DefaultServeMux — and lives
+// for the remainder of the process, which is the intended lifetime of an
+// opt-in profiling endpoint on a command-line run.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// The error lands in a buffered channel rather than vanishing: the
+	// process-lifetime server only ever stops when the listener dies, and
+	// tests can drain the channel after closing the listener.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

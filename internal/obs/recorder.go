@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Recorder is the standard StepObserver implementation: it aggregates
+// events into a metrics Registry and (optionally) appends them as spans to
+// a Tracer. Install it with SetDefault to light up the instrumented paths:
+//
+//	rec := obs.NewRecorder()
+//	defer obs.SetDefault(obs.SetDefault(rec))
+//	... run solvers / experiments ...
+//	rec.Metrics.WriteText(os.Stdout)
+//	rec.Trace.WriteJSON(f)
+//
+// Recording allocates (metric-name assembly, span attributes); the
+// allocation-free contract applies only to the Nop default.
+type Recorder struct {
+	Metrics *Registry
+	// Trace is optional; nil records metrics only.
+	Trace *Tracer
+}
+
+// NewRecorder returns a Recorder with a fresh registry and tracer.
+func NewRecorder() *Recorder {
+	return &Recorder{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// SolverStep aggregates a solver step into per-solver counters and a
+// step-gain histogram. Steps are metric-only: per-step spans would flood
+// the trace without adding timing (steps are not individually timed).
+func (r *Recorder) SolverStep(ev SolverStep) {
+	pre := "core.solver." + ev.Solver
+	r.Metrics.Counter(pre + ".steps").Inc()
+	r.Metrics.Counter(pre + ".candidates_scanned").Add(int64(ev.Scanned))
+	if ev.Reevals > 0 {
+		r.Metrics.Counter(pre + ".heap_reevals").Add(int64(ev.Reevals))
+	}
+	if ev.Chunks > 0 {
+		r.Metrics.Counter(pre + ".scan_chunks").Add(int64(ev.Chunks))
+	}
+	r.Metrics.Histogram(pre+".step_gain", GainBuckets).Observe(ev.Gain)
+}
+
+// Phase records a timed stage as counters, a duration histogram, and a
+// span.
+func (r *Recorder) Phase(ev Phase) {
+	name := ev.Component + "." + ev.Name
+	r.Metrics.Counter(name + ".calls").Inc()
+	r.Metrics.Counter(name + ".items").Add(int64(ev.Items))
+	r.Metrics.Histogram(name+".duration_us", DurationBucketsUS).
+		Observe(float64(ev.Duration.Microseconds()))
+	if r.Trace != nil {
+		r.Trace.Record(name, ev.Start, ev.Duration, map[string]string{
+			"items":   strconv.Itoa(ev.Items),
+			"workers": strconv.Itoa(ev.Workers),
+		})
+	}
+}
+
+// Trial records one trial/algorithm outcome: an objective histogram, a
+// trial counter, and a span carrying the replay seed.
+func (r *Recorder) Trial(ev Trial) {
+	pre := ev.Runner + "." + ev.Algo
+	r.Metrics.Counter(pre + ".trials").Inc()
+	r.Metrics.Histogram(pre+".objective", GainBuckets).Observe(ev.Objective)
+	if r.Trace != nil {
+		// Trials report on completion; reconstruct the start from the
+		// duration so the span lands where the work actually ran.
+		start := time.Now().Add(-ev.Duration)
+		r.Trace.Record(ev.Runner+".trial", start, ev.Duration, map[string]string{
+			"name":      ev.Name,
+			"trial":     strconv.Itoa(ev.Trial),
+			"seed":      strconv.FormatInt(ev.Seed, 10),
+			"algo":      ev.Algo,
+			"objective": strconv.FormatFloat(ev.Objective, 'g', -1, 64),
+		})
+	}
+}
+
+// Run attaches run metadata to the trace (prefixed by runner and name so
+// figure groups with several runs per process don't clobber each other)
+// and counts the run.
+func (r *Recorder) Run(ev Run) {
+	r.Metrics.Counter(ev.Runner + ".runs").Inc()
+	if r.Trace == nil {
+		return
+	}
+	pre := ev.Runner + "." + ev.Name + "."
+	r.Trace.SetMeta(pre+"seed", strconv.FormatInt(ev.Seed, 10))
+	r.Trace.SetMeta(pre+"trials", strconv.Itoa(ev.Trials))
+	r.Trace.SetMeta(pre+"workers", strconv.Itoa(ev.Workers))
+	for k, v := range ev.Config {
+		r.Trace.SetMeta(pre+k, v)
+	}
+}

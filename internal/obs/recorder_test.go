@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRecorderAggregatesEvents(t *testing.T) {
+	rec := NewRecorder()
+	rec.SolverStep(SolverStep{Solver: "lazy", Step: 0, Node: 3, Gain: 2.5, Scanned: 10, Reevals: 4, Chunks: 1})
+	rec.SolverStep(SolverStep{Solver: "lazy", Step: 1, Node: 5, Gain: 1.5, Scanned: 6, Reevals: 2, Chunks: 1})
+	rec.Phase(Phase{Component: "core.engine", Name: "trees", Items: 7, Workers: 2,
+		Start: time.Now(), Duration: 3 * time.Millisecond})
+	rec.Trial(Trial{Runner: "experiment.general", Name: "fig10a", Trial: 2, Seed: 99,
+		Algo: "algorithm2", Objective: 41.5, Duration: time.Millisecond})
+	rec.Run(Run{Runner: "experiment.general", Name: "fig10a", Seed: 7, Trials: 5,
+		Workers: 2, Config: map[string]string{"city": "dublin"}})
+
+	m := rec.Metrics
+	if got := m.Counter("core.solver.lazy.steps").Value(); got != 2 {
+		t.Fatalf("steps = %d, want 2", got)
+	}
+	if got := m.Counter("core.solver.lazy.candidates_scanned").Value(); got != 16 {
+		t.Fatalf("scanned = %d, want 16", got)
+	}
+	if got := m.Counter("core.solver.lazy.heap_reevals").Value(); got != 6 {
+		t.Fatalf("reevals = %d, want 6", got)
+	}
+	if got := m.Counter("core.engine.trees.items").Value(); got != 7 {
+		t.Fatalf("phase items = %d, want 7", got)
+	}
+	if got := m.Counter("experiment.general.algorithm2.trials").Value(); got != 1 {
+		t.Fatalf("trials = %d, want 1", got)
+	}
+	if got := m.Counter("experiment.general.runs").Value(); got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+
+	exp := rec.Trace.Export()
+	if exp.Meta["experiment.general.fig10a.city"] != "dublin" ||
+		exp.Meta["experiment.general.fig10a.seed"] != "7" {
+		t.Fatalf("run metadata not attached: %v", exp.Meta)
+	}
+	var sawPhase, sawTrial bool
+	for _, s := range exp.Spans {
+		switch s.Name {
+		case "core.engine.trees":
+			sawPhase = true
+		case "experiment.general.trial":
+			sawTrial = true
+			if s.Attrs["seed"] != "99" || s.Attrs["objective"] != "41.5" {
+				t.Fatalf("trial span attrs = %v", s.Attrs)
+			}
+		}
+	}
+	if !sawPhase || !sawTrial {
+		t.Fatalf("missing spans (phase=%v trial=%v): %+v", sawPhase, sawTrial, exp.Spans)
+	}
+}
+
+func TestDefaultObserverSwap(t *testing.T) {
+	if _, ok := Default().(Nop); !ok {
+		t.Fatalf("default observer = %T, want Nop", Default())
+	}
+	rec := NewRecorder()
+	prev := SetDefault(rec)
+	defer SetDefault(prev)
+	if Default() != StepObserver(rec) {
+		t.Fatal("SetDefault did not install the recorder")
+	}
+	Default().SolverStep(SolverStep{Solver: "combined"})
+	if got := rec.Metrics.Counter("core.solver.combined.steps").Value(); got != 1 {
+		t.Fatalf("event did not reach the installed recorder: %d", got)
+	}
+	if restored := SetDefault(nil); restored != StepObserver(rec) {
+		t.Fatalf("SetDefault(nil) returned %T", restored)
+	}
+	if _, ok := Default().(Nop); !ok {
+		t.Fatalf("SetDefault(nil) did not reset to Nop, got %T", Default())
+	}
+	SetDefault(prev)
+}
+
+// TestNopHotPathAllocationFree pins the no-op contract: emitting events
+// through the default observer must not allocate, so instrumentation can
+// stay compiled into the solver hot paths.
+func TestNopHotPathAllocationFree(t *testing.T) {
+	o := Default()
+	ev := SolverStep{Solver: "combined", Step: 3, Node: 17, Gain: 1.25, Scanned: 640, Chunks: 4}
+	ph := Phase{Component: "core.engine", Name: "trees", Items: 12, Workers: 4}
+	allocs := testing.AllocsPerRun(1000, func() {
+		o.SolverStep(ev)
+		o.Phase(ph)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop observer path allocates %v per event pair, want 0", allocs)
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}

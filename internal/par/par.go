@@ -9,7 +9,12 @@
 // on goroutine scheduling. Do returns only after every item has completed.
 package par
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"roadside/internal/obs"
+)
 
 // Do runs fn(i) for every i in [0, n) on at most workers goroutines and
 // blocks until all calls return. With workers <= 1 (or n <= 1) it runs
@@ -18,6 +23,10 @@ import "sync"
 //
 // fn must be safe for concurrent invocation with distinct arguments and
 // must confine its writes to per-index state.
+//
+// The parallel path reports one obs.Phase event ("par"/"do") per fan-out to
+// the process observer; the serial path stays free of any observability
+// cost so tight per-step loops pay nothing.
 func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -31,6 +40,14 @@ func Do(n, workers int, fn func(i int)) {
 		}
 		return
 	}
+	start := time.Now()
+	defer func() {
+		obs.Default().Phase(obs.Phase{
+			Component: "par", Name: "do",
+			Items: n, Workers: workers,
+			Start: start, Duration: time.Since(start),
+		})
+	}()
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	wg.Add(workers)

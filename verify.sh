@@ -22,10 +22,16 @@ go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
 echo "==> roadsidelint"
 go run ./cmd/roadsidelint ./...
 
-echo "==> bench smoke (quick mode, report-only)"
+echo "==> bench smoke (quick mode, report-only + instrumented run)"
 # Report-only on purpose: ns/op is machine-dependent, so the tier-1 gate
 # never fails on timing. CI's dedicated benchmark job does the regression
-# check against results/BENCH_baseline.json.
-go run ./cmd/bench -quick -out /tmp/bench_quick.json
+# check against results/BENCH_baseline.json and gates no-op observer
+# overhead (-check-obs); here the instrumented pass only has to work.
+go run ./cmd/bench -quick -out /tmp/bench_quick.json \
+    -baseline results/BENCH_baseline.json
+go run ./cmd/bench -quick -benchtime 20ms -metrics -trace /tmp/bench_trace.json \
+    > /tmp/bench_metrics.txt
+grep -q 'core.solver.combined.steps' /tmp/bench_metrics.txt \
+    || { echo "bench -metrics output missing solver counters"; exit 1; }
 
 echo "verify: all gates passed"
