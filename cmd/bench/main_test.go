@@ -116,6 +116,163 @@ func TestRunMetrics(t *testing.T) {
 	}
 }
 
+// quickEntryNames is the benchmark set measured in quick mode.
+var quickEntryNames = []string{
+	"engine_construct_dublin", "engine_construct_dublin_p1",
+	"solver_algorithm1", "solver_algorithm2", "solver_combined", "solver_lazy",
+	"evaluate", "prefix_sweep_naive", "prefix_sweep_incremental",
+}
+
+// writeSyntheticBaseline builds a roadside-bench/v1 report whose entries all
+// claim the given ns/op, so regression ratios against a real run are fully
+// controlled by the test.
+func writeSyntheticBaseline(t *testing.T, ns float64) string {
+	t.Helper()
+	rep := benchio.New("synthetic", true)
+	for _, name := range quickEntryNames {
+		rep.Add(benchio.Entry{Name: name, NsPerOp: ns, Iterations: 1})
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_synthetic.json")
+	if err := benchio.Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunBaselineMissing pins the error path for an unreadable baseline.
+func TestRunBaselineMissing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 2.0,
+		baseline: filepath.Join(t.TempDir(), "nope.json"),
+	})
+	if err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestRunCheckFailsOnRegression feeds a baseline that claims every entry
+// used to take a fraction of a nanosecond: any real measurement regresses
+// past the limit, so -check must fail and name the count.
+func TestRunCheckFailsOnRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	baseline := writeSyntheticBaseline(t, 0.001)
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 2.0,
+		baseline: baseline, check: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "regressed past") {
+		t.Fatalf("err = %v, want regression failure", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION:") {
+		t.Fatalf("regressions not reported:\n%s", buf.String())
+	}
+}
+
+// TestRunReportOnlyRegression: without -check the same regressions are
+// printed but the run still succeeds (verify.sh's report-only smoke mode).
+func TestRunReportOnlyRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	baseline := writeSyntheticBaseline(t, 0.001)
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 2.0,
+		baseline: baseline,
+	})
+	if err != nil {
+		t.Fatalf("report-only mode failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION:") {
+		t.Fatalf("regressions not reported:\n%s", buf.String())
+	}
+}
+
+// TestRunCheckObsFailsOnOverhead: with a baseline claiming sub-nanosecond
+// solver entries, the no-op-observer overhead gate must trip even after its
+// re-measurement retries.
+func TestRunCheckObsFailsOnOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	baseline := writeSyntheticBaseline(t, 0.001)
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 1e12, // isolate the obs gate
+		baseline: baseline, checkObs: true, maxObsOverhead: 1.02,
+	})
+	if err == nil || !strings.Contains(err.Error(), "observer overhead past") {
+		t.Fatalf("err = %v, want obs-overhead failure", err)
+	}
+	if !strings.Contains(buf.String(), "obs-overhead") {
+		t.Fatalf("per-entry ratios not reported:\n%s", buf.String())
+	}
+}
+
+// TestRunTraceWriteError pins the unwritable-trace-path error.
+func TestRunTraceWriteError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 2.0,
+		tracePath: filepath.Join(t.TempDir(), "no", "such", "dir", "trace.json"),
+	})
+	if err == nil {
+		t.Fatal("unwritable trace path accepted")
+	}
+}
+
+// TestRunPprof starts the profiling listener on an ephemeral port.
+func TestRunPprof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		quick: true, benchtime: "5ms", maxRegress: 2.0, pprofAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof serving on") {
+		t.Fatalf("pprof line missing:\n%s", buf.String())
+	}
+}
+
+// TestRunFullIncludesFigures runs the non-quick set at the minimum
+// benchtime (one iteration per entry) to pin that full mode measures the
+// end-to-end figure benchmarks quick mode skips.
+func TestRunFullIncludesFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_full.json")
+	var buf bytes.Buffer
+	err := run(&buf, options{out: out, label: "full", benchtime: "1ns", maxRegress: 2.0})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	rep, err := benchio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []string{"figure_10", "figure_11", "figure_12", "figure_13"} {
+		e, ok := rep.Lookup(fig)
+		if !ok || e.Iterations <= 0 {
+			t.Fatalf("full mode missing %s: %+v", fig, e)
+		}
+	}
+}
+
 // TestRunCheckObsFlagValidation pins the gate's precondition errors.
 func TestRunCheckObsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer

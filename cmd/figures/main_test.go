@@ -53,6 +53,90 @@ func TestRunRatiosOnly(t *testing.T) {
 	}
 }
 
+func TestRunBudgetedAndRadio(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-budgeted", "-radio", "-quick", "-trials", "2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"budgeted.csv", "radio.csv"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(raw)), "\n")) < 2 {
+			t.Errorf("%s has no data rows", name)
+		}
+	}
+	// Studies only: no figure CSVs appear without -fig.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("unexpected extra outputs: %d", len(entries))
+	}
+}
+
+func TestRunStudyPlusExplicitFigure(t *testing.T) {
+	// When -fig is given explicitly alongside a study, both run.
+	dir := t.TempDir()
+	if err := run([]string{"-ablation", "-fig", "12", "-quick", "-trials", "2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ablation.csv")); err != nil {
+		t.Errorf("ablation.csv missing: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 { // ablation + 4 fig12 sub-figures
+		t.Errorf("wrote %d outputs, want 5", len(entries))
+	}
+}
+
+func TestRunCSVDirErrors(t *testing.T) {
+	// A regular file where the CSV directory should go: MkdirAll fails on
+	// every emitting path.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(blocker, "sub")
+	for _, args := range [][]string{
+		{"-fig", "12", "-quick", "-trials", "2", "-csv", bad},
+		{"-ablation", "-quick", "-trials", "2", "-csv", bad},
+		{"-budgeted", "-quick", "-trials", "2", "-csv", bad},
+		{"-radio", "-quick", "-trials", "2", "-csv", bad},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: unwritable csv dir accepted", args)
+		}
+	}
+}
+
+func TestRunCSVWriteErrors(t *testing.T) {
+	// The target CSV path already exists as a directory: WriteFile fails.
+	cases := []struct {
+		blocker string
+		args    []string
+	}{
+		{"ablation.csv", []string{"-ablation", "-quick", "-trials", "2"}},
+		{"budgeted.csv", []string{"-budgeted", "-quick", "-trials", "2"}},
+		{"radio.csv", []string{"-radio", "-quick", "-trials", "2"}},
+		{"fig12a-D1000.csv", []string{"-fig", "12", "-quick", "-trials", "2"}},
+	}
+	for _, c := range cases {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, c.blocker), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(c.args, "-csv", dir)); err == nil {
+			t.Errorf("%s: write onto a directory accepted", c.blocker)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-fig", "7"}); err == nil {
 		t.Error("invalid figure accepted")

@@ -1,0 +1,160 @@
+// Command soak runs the randomized invariant harness (internal/invariant)
+// under an instance and wall-clock budget: generate seed-derived random
+// problem instances, check every registered structural invariant on each,
+// and on any violation shrink the instance to a minimal counterexample and
+// write it as a replayable roadside-repro/v1 artifact before exiting
+// non-zero.
+//
+// Usage:
+//
+//	go run ./cmd/soak [-instances 200] [-seed 2015] [-budget 2m] \
+//	    [-run 'detour-.*'] [-out results] [-metrics] [-list] \
+//	    [-shrink-steps 400] [-max-failures 3] [-selftest-break]
+//
+// verify.sh runs a short soak as a local gate and CI runs the full budget
+// under -race. -list prints the invariant registry; -run filters it by
+// regexp. -selftest-break injects the deliberately broken self-test
+// invariant, proving the failure path (shrink, artifact, non-zero exit) end
+// to end without touching real invariants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"roadside/internal/invariant"
+	"roadside/internal/obs"
+)
+
+// options collects the soak invocation's knobs; flags map onto it 1:1.
+type options struct {
+	instances     int
+	seed          int64
+	budget        time.Duration
+	runFilter     string
+	out           string
+	metrics       bool
+	list          bool
+	shrinkSteps   int
+	maxFailures   int
+	selftestBreak bool
+}
+
+func main() {
+	var opt options
+	flag.IntVar(&opt.instances, "instances", 200, "number of random instances to generate")
+	flag.Int64Var(&opt.seed, "seed", 2015, "base seed; instance i derives from seed+i")
+	flag.DurationVar(&opt.budget, "budget", 0, "wall-clock budget (0 = no time bound)")
+	flag.StringVar(&opt.runFilter, "run", "", "check only invariants whose name matches this regexp")
+	flag.StringVar(&opt.out, "out", ".", "directory for repro artifacts written on failure")
+	flag.BoolVar(&opt.metrics, "metrics", false, "print per-invariant check counters and duration histograms")
+	flag.BoolVar(&opt.list, "list", false, "list registered invariants and exit")
+	flag.IntVar(&opt.shrinkSteps, "shrink-steps", 0, "shrink budget per failure (0 = default)")
+	flag.IntVar(&opt.maxFailures, "max-failures", 0, "stop after this many failures (0 = default)")
+	flag.BoolVar(&opt.selftestBreak, "selftest-break", false, "inject the deliberately broken self-test invariant")
+	flag.Parse()
+	if err := run(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+// errFailures distinguishes invariant violations (artifacts already
+// written) from operational errors.
+type errFailures int
+
+func (e errFailures) Error() string {
+	return fmt.Sprintf("%d invariant violation(s); repro artifacts written", int(e))
+}
+
+func run(w io.Writer, opt options) error {
+	invs, err := selectInvariants(opt)
+	if err != nil {
+		return err
+	}
+	if opt.list {
+		for _, inv := range invs {
+			fmt.Fprintf(w, "%-24s %s\n", inv.Name, inv.Doc)
+		}
+		return nil
+	}
+	if len(invs) == 0 {
+		return fmt.Errorf("no invariants match -run %q", opt.runFilter)
+	}
+	reg := obs.NewRegistry()
+	cfg := invariant.Config{
+		Seed:        opt.seed,
+		Instances:   opt.instances,
+		Budget:      opt.budget,
+		Invariants:  invs,
+		Metrics:     reg,
+		ShrinkSteps: opt.shrinkSteps,
+		MaxFailures: opt.maxFailures,
+	}
+	sum, err := invariant.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "soak: %d instances, %d checks, %d invariant(s), %v elapsed\n",
+		sum.Instances, sum.Checks, len(invs), sum.Elapsed.Round(time.Millisecond))
+	if opt.metrics {
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if sum.OK() {
+		fmt.Fprintln(w, "soak: all invariants hold")
+		return nil
+	}
+	for i, f := range sum.Failures {
+		path, err := writeArtifact(opt.out, i, &f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "soak: FAIL %s\n  artifact: %s\n", f.String(), path)
+	}
+	return errFailures(len(sum.Failures))
+}
+
+// selectInvariants applies -run and -selftest-break to the registry.
+func selectInvariants(opt options) ([]invariant.Invariant, error) {
+	all := invariant.All()
+	if opt.selftestBreak {
+		all = append(all, invariant.SelfTest())
+	}
+	if opt.runFilter == "" {
+		return all, nil
+	}
+	re, err := regexp.Compile(opt.runFilter)
+	if err != nil {
+		return nil, fmt.Errorf("bad -run regexp: %w", err)
+	}
+	keep := all[:0]
+	for _, inv := range all {
+		if re.MatchString(inv.Name) {
+			keep = append(keep, inv)
+		}
+	}
+	return keep, nil
+}
+
+// writeArtifact persists one failure's repro JSON under the -out directory.
+func writeArtifact(dir string, i int, f *invariant.Failure) (string, error) {
+	data, err := f.Repro.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("artifact dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("repro-%s-%d.json", f.Invariant, i))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("write artifact: %w", err)
+	}
+	return path, nil
+}

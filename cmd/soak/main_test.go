@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roadside/internal/invariant"
+)
+
+func TestRunClean(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{instances: 5, seed: 2015, out: t.TempDir(), metrics: true})
+	if err != nil {
+		t.Fatalf("clean soak failed: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "all invariants hold") {
+		t.Errorf("missing pass line:\n%s", got)
+	}
+	if !strings.Contains(got, "invariant.monotone.checked") {
+		t.Errorf("-metrics printed no per-invariant counters:\n%s", got)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, options{list: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range invariant.All() {
+		if !strings.Contains(out.String(), inv.Name) {
+			t.Errorf("list output missing %q", inv.Name)
+		}
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{instances: 2, seed: 1, runFilter: "detour-.*", out: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 invariant(s)") {
+		t.Errorf("filter did not select the two detour invariants:\n%s", out.String())
+	}
+	if err := run(&out, options{runFilter: "["}); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	if err := run(&out, options{runFilter: "matches-nothing"}); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+// TestRunSelftestBreak is the acceptance path at the command level: the
+// injected broken invariant must produce a non-nil (non-zero exit) error and
+// a shrunk artifact on disk that replays to the same failure.
+func TestRunSelftestBreak(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run(&out, options{
+		instances:     3,
+		seed:          2015,
+		out:           dir,
+		selftestBreak: true,
+		maxFailures:   1,
+	})
+	var ef errFailures
+	if !errors.As(err, &ef) || int(ef) != 1 {
+		t.Fatalf("err = %v, want 1 failure", err)
+	}
+	files, err2 := filepath.Glob(filepath.Join(dir, "repro-selftest-broken-*.json"))
+	if err2 != nil || len(files) != 1 {
+		t.Fatalf("artifacts on disk: %v (%v)", files, err2)
+	}
+	data, err2 := os.ReadFile(files[0])
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	r, err2 := invariant.Decode(data)
+	if err2 != nil {
+		t.Fatalf("artifact does not decode: %v", err2)
+	}
+	if r.Invariant != "selftest-broken" {
+		t.Errorf("artifact names %q", r.Invariant)
+	}
+	inst, err2 := r.Instance()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if inst.Problem.Flows.Len() != 1 {
+		t.Errorf("artifact not shrunk: %d flows", inst.Problem.Flows.Len())
+	}
+	if err2 := invariant.ReplayWith(r, invariant.SelfTest()); err2 != nil {
+		t.Errorf("artifact does not replay: %v", err2)
+	}
+	if !strings.Contains(out.String(), "FAIL selftest-broken") {
+		t.Errorf("output missing failure line:\n%s", out.String())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{instances: 1_000_000, seed: 3, budget: 50 * time.Millisecond, out: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "1000000 instances") {
+		t.Error("budget did not stop the soak")
+	}
+}
+
+func TestWriteArtifactBadDir(t *testing.T) {
+	f := &invariant.Failure{Repro: &invariant.Repro{Schema: invariant.Schema}}
+	if _, err := writeArtifact("/dev/null/nope", 0, f); err == nil {
+		t.Error("unwritable artifact dir accepted")
+	}
+}

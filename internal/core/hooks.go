@@ -1,0 +1,78 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Determinism-audit hooks.
+//
+// The solvers and the engine constructor promise bit-identical results at
+// every worker count (see scan.go and newEngine). Inside this package the
+// promise is pinned on fixed instances by parallel_test.go; the randomized
+// invariant harness (internal/invariant) re-checks it on generated
+// instances, which needs the worker knob and an arena digest outside the
+// package. These wrappers exist for that audit; production callers should
+// use the GOMAXPROCS entry points above them.
+
+// NewEngineWorkers is NewEngine with an explicit worker count. workers <= 1
+// is the serial reference construction the parallel result must match
+// bit-for-bit.
+func NewEngineWorkers(p *Problem, workers int) (*Engine, error) {
+	return newEngine(p, workers)
+}
+
+// Algorithm1Workers is Algorithm1 with an explicit scan worker count.
+func Algorithm1Workers(e *Engine, workers int) (*Placement, error) {
+	return algorithm1(e, workers)
+}
+
+// Algorithm2Workers is Algorithm2 with an explicit scan worker count.
+func Algorithm2Workers(e *Engine, workers int) (*Placement, error) {
+	return algorithm2(e, workers)
+}
+
+// GreedyCombinedWorkers is GreedyCombined with an explicit scan worker
+// count.
+func GreedyCombinedWorkers(e *Engine, workers int) (*Placement, error) {
+	return greedyCombined(e, workers)
+}
+
+// Fingerprint digests the engine's CSR arenas (offsets, flow indices,
+// detours, and precomputed gains, all by exact bit pattern) into one FNV-1a
+// hash. Two engines built from the same problem must fingerprint equally
+// regardless of construction worker count; any divergence means a parallel
+// phase broke the index-disjoint write contract.
+func (e *Engine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+		_, _ = h.Write(buf[:])
+	}
+	for _, o := range e.visitOff {
+		w64(uint64(o))
+	}
+	for _, f := range e.visitFlow {
+		w64(uint64(f))
+	}
+	for _, d := range e.visitDetour {
+		w64(math.Float64bits(d))
+	}
+	for _, g := range e.visitGain {
+		w64(math.Float64bits(g))
+	}
+	for _, o := range e.flowOff {
+		w64(uint64(o))
+	}
+	for _, n := range e.flowNode {
+		w64(uint64(n))
+	}
+	for _, d := range e.flowDetour {
+		w64(math.Float64bits(d))
+	}
+	return h.Sum64()
+}

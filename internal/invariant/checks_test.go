@@ -1,0 +1,27 @@
+package invariant
+
+import (
+	"testing"
+)
+
+// TestInvariantsHoldOnEnsemble is the in-tree slice of the soak gate: every
+// registered invariant must hold on a deterministic ensemble of generated
+// instances. cmd/soak runs the same checks over far more seeds.
+func TestInvariantsHoldOnEnsemble(t *testing.T) {
+	const instances = 25
+	for _, inv := range All() {
+		inv := inv
+		t.Run(inv.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < instances; seed++ {
+				inst, err := Generate(seed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := inv.Check(inst); err != nil {
+					t.Errorf("seed %d (%s): %v", seed, inst.Name, err)
+				}
+			}
+		})
+	}
+}

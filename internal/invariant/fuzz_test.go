@@ -1,0 +1,70 @@
+package invariant
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReproRoundTrip feeds arbitrary bytes through the roadside-repro/v1
+// codec. Decodable artifacts must round-trip through Encode/Decode to the
+// same canonical bytes; everything else must come back as an error, never a
+// panic.
+func FuzzReproRoundTrip(f *testing.F) {
+	// A genuine shrunk artifact as the anchor seed.
+	st := SelfTest()
+	inst, err := Generate(9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	shrunk, _ := Shrink(inst, st, 0)
+	r, err := FromInstance(shrunk, st.Name, st.Check(shrunk))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := r.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema":"roadside-repro/v1"}`))
+	f.Add([]byte(`{"schema":"roadside-repro/v2","invariant":"monotone","graph":{},"flows":[]}`))
+	f.Add([]byte(`{"schema":"roadside-repro/v1","invariant":"monotone","utility":"linear","utility_d":5,"k":1,"shop":0,` +
+		`"graph":{"nodes":[{"X":0,"Y":0},{"X":1,"Y":0}],"edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]},` +
+		`"flows":[{"id":"f0","path":[0,1],"volume":3,"alpha":0.5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		first, err := r.Encode()
+		if err != nil {
+			t.Fatalf("encode of decoded artifact failed: %v", err)
+		}
+		r2, err := Decode(first)
+		if err != nil {
+			t.Fatalf("decode(encode(r)) failed: %v", err)
+		}
+		second, err := r2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", first, second)
+		}
+		// The embedded instance must rebuild identically both times.
+		a, err := r.Instance()
+		if err != nil {
+			t.Fatalf("instance of validated artifact failed: %v", err)
+		}
+		b, err := r2.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Problem.Flows.Len() != b.Problem.Flows.Len() ||
+			a.Problem.Graph.NumNodes() != b.Problem.Graph.NumNodes() {
+			t.Fatal("round trip changed the embedded instance")
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"roadside/internal/citygen"
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/stats"
+	"roadside/internal/utility"
+)
+
+// Instance is one generated (or shrunk) problem instance under test.
+type Instance struct {
+	// Name labels the instance in failure reports
+	// ("grid-linear-k3-seed42", with a "-shrunk" suffix after shrinking).
+	Name string
+	// Seed is the generator seed; every random draw in the instance (and
+	// in any sampling a check performs) derives from it.
+	Seed int64
+	// Kind is the generator family: "grid" (citygen street lattice) or
+	// "digraph" (random strongly connected digraph).
+	Kind string
+	// Problem is the fully specified RAP placement instance.
+	Problem *core.Problem
+
+	eng *core.Engine // lazily built, reused across checks
+}
+
+// Engine returns the instance's placement engine, constructing it on first
+// use. Checks that need engines with different parameters (workers,
+// utilities, scaled volumes) build their own from Problem.
+func (in *Instance) Engine() (*core.Engine, error) {
+	if in.eng != nil {
+		return in.eng, nil
+	}
+	e, err := core.NewEngine(in.Problem)
+	if err != nil {
+		return nil, fmt.Errorf("invariant: engine for %s: %w", in.Name, err)
+	}
+	in.eng = e
+	return e, nil
+}
+
+// derived returns a copy of in carrying a modified problem (used by the
+// shrinker); the engine cache is dropped.
+func (in *Instance) derived(name string, p *core.Problem) *Instance {
+	return &Instance{Name: name, Seed: in.Seed, Kind: in.Kind, Problem: p}
+}
+
+// utilityNames is the fixed utility rotation; the generator cycles through
+// it by seed so any run of >= 3 instances exercises all three families.
+var utilityNames = []string{"threshold", "linear", "sqrt"}
+
+// Generate builds a random problem instance, deterministic in seed. The
+// generator alternates between two families — perturbed citygen street
+// lattices and random strongly connected digraphs — and randomizes flows,
+// volumes (integer, so the simulator's per-vehicle realization has the same
+// mean as the analytical objective), alpha, the utility family and its
+// threshold, the budget k, extra shop branches, and candidate restrictions.
+// Instances are deliberately small (tens of nodes): the harness buys
+// confidence from breadth, and the exhaustive-optimum oracle must stay
+// affordable.
+func Generate(seed int64) (*Instance, error) {
+	rng := stats.NewRand(seed, 0)
+	kind := "digraph"
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if uint64(seed)%2 == 0 {
+		kind = "grid"
+		g, err = genGrid(rng, seed)
+	} else {
+		g, err = genDigraph(rng)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("invariant: generate %s seed %d: %w", kind, seed, err)
+	}
+
+	flows, meanLen, err := genFlows(rng, g)
+	if err != nil {
+		return nil, fmt.Errorf("invariant: flows for %s seed %d: %w", kind, seed, err)
+	}
+
+	uname := utilityNames[int(uint64(seed)%uint64(len(utilityNames)))]
+	d := (0.2 + 1.3*rng.Float64()) * meanLen
+	u, err := utility.ByName(uname, d)
+	if err != nil {
+		return nil, err
+	}
+
+	n := g.NumNodes()
+	p := &core.Problem{
+		Graph:   g,
+		Shop:    graph.NodeID(rng.Intn(n)),
+		Flows:   flows,
+		Utility: u,
+		K:       1 + rng.Intn(5),
+	}
+	if rng.Float64() < 0.25 {
+		p.ExtraShops = []graph.NodeID{graph.NodeID(rng.Intn(n))}
+	}
+	if rng.Float64() < 0.2 {
+		// Restrict candidates to a random ~half of the intersections so
+		// the candidate-set paths are exercised too.
+		perm := rng.Perm(n)
+		keep := perm[:1+n/2]
+		cands := make([]graph.NodeID, len(keep))
+		for i, v := range keep {
+			cands[i] = graph.NodeID(v)
+		}
+		p.Candidates = cands
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("invariant: generated invalid problem (seed %d): %w", seed, err)
+	}
+	return &Instance{
+		Name:    fmt.Sprintf("%s-%s-k%d-seed%d", kind, uname, p.K, seed),
+		Seed:    seed,
+		Kind:    kind,
+		Problem: p,
+	}, nil
+}
+
+// genGrid draws a small perturbed street lattice via citygen.
+func genGrid(rng *rand.Rand, seed int64) (*graph.Graph, error) {
+	cfg := citygen.Config{
+		Name:       "invariant-grid",
+		Rows:       4 + rng.Intn(3),
+		Cols:       4 + rng.Intn(3),
+		ExtentFeet: 2_000 + rng.Float64()*8_000,
+		Jitter:     rng.Float64() * 0.2,
+		DropProb:   rng.Float64() * 0.1,
+		Diagonals:  rng.Intn(6),
+		OneWayProb: rng.Float64() * 0.1,
+	}
+	city, err := citygen.Generate(cfg, stats.DeriveSeed(seed, 1))
+	if err != nil {
+		return nil, err
+	}
+	return city.Graph, nil
+}
+
+// genDigraph draws a random strongly connected digraph: a directed ring
+// (guaranteeing strong connectivity) plus random chord edges with weights
+// decoupled from the node geometry.
+func genDigraph(rng *rand.Rand) (*graph.Graph, error) {
+	n := 6 + rng.Intn(18)
+	b := graph.NewBuilder(n, 3*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Pt(rng.Float64()*1_000, rng.Float64()*1_000))
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 1+rng.Float64()*9); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || (u+1)%n == v {
+			continue // self loop or duplicate of a ring edge
+		}
+		if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1+rng.Float64()*9); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// genFlows samples 5-20 flows over g. Most follow shortest paths; some
+// route through a random waypoint, matching real bus routes that are not
+// globally shortest. Volumes are integers so Binomial realization means
+// match the analytical expectation exactly. Returns the flows and their
+// mean path length (used to scale the utility threshold).
+func genFlows(rng *rand.Rand, g *graph.Graph) (*flow.Set, float64, error) {
+	n := g.NumNodes()
+	want := 5 + rng.Intn(16)
+	fl := make([]flow.Flow, 0, want)
+	var totalLen float64
+	const maxAttempts = 400
+	for attempt := 0; len(fl) < want && attempt < maxAttempts; attempt++ {
+		src, dst := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		var path []graph.NodeID
+		if rng.Float64() < 0.3 {
+			via := graph.NodeID(rng.Intn(n))
+			if via != src && via != dst {
+				head, _, err := g.ShortestPath(src, via)
+				if err != nil {
+					continue
+				}
+				tail, _, err := g.ShortestPath(via, dst)
+				if err != nil {
+					continue
+				}
+				path = append(head, tail[1:]...)
+			}
+		}
+		if path == nil {
+			p, _, err := g.ShortestPath(src, dst)
+			if err != nil {
+				continue
+			}
+			path = p
+		}
+		f, err := flow.New(fmt.Sprintf("f%d", len(fl)), path,
+			float64(1+rng.Intn(200)), 0.05+0.95*rng.Float64())
+		if err != nil {
+			return nil, 0, err
+		}
+		length, err := f.Length(g)
+		if err != nil {
+			return nil, 0, err
+		}
+		totalLen += length
+		fl = append(fl, f)
+	}
+	if len(fl) == 0 {
+		return nil, 0, fmt.Errorf("invariant: could not sample any flow")
+	}
+	set, err := flow.NewSet(fl)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, totalLen / float64(len(fl)), nil
+}

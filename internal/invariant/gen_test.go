@@ -1,0 +1,89 @@
+package invariant
+
+import (
+	"math"
+	"testing"
+
+	"roadside/internal/core"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Name != b.Name {
+			t.Fatalf("seed %d: names %q vs %q", seed, a.Name, b.Name)
+		}
+		ea, err := core.NewEngine(a.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := core.NewEngine(b.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea.Fingerprint() != eb.Fingerprint() {
+			t.Fatalf("seed %d: same seed built different instances", seed)
+		}
+	}
+}
+
+func TestGenerateCoversFamilies(t *testing.T) {
+	kinds := map[string]int{}
+	utils := map[string]int{}
+	for seed := int64(0); seed < 12; seed++ {
+		inst, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kinds[inst.Kind]++
+		utils[inst.Problem.Utility.Name()]++
+		if err := inst.Problem.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid problem: %v", seed, err)
+		}
+		for f := 0; f < inst.Problem.Flows.Len(); f++ {
+			vol := inst.Problem.Flows.At(f).Volume
+			if vol != math.Trunc(vol) {
+				t.Fatalf("seed %d flow %d: volume %v is not integral", seed, f, vol)
+			}
+		}
+	}
+	for _, kind := range []string{"grid", "digraph"} {
+		if kinds[kind] == 0 {
+			t.Errorf("12 seeds produced no %q instance", kind)
+		}
+	}
+	for _, u := range utilityNames {
+		if utils[u] == 0 {
+			t.Errorf("12 seeds produced no %q utility", u)
+		}
+	}
+}
+
+func TestInstanceEngineCached(t *testing.T) {
+	inst, err := Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := inst.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := inst.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("Engine() rebuilt instead of reusing the cache")
+	}
+	d := inst.derived("copy", inst.Problem)
+	if d.eng != nil {
+		t.Error("derived instance inherited the engine cache")
+	}
+}

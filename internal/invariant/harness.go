@@ -1,0 +1,153 @@
+package invariant
+
+import (
+	"fmt"
+	"time"
+
+	"roadside/internal/obs"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Seed is the base seed; instance i is generated from Seed+i, so a
+	// failing instance is reproducible from the run's seed and its index.
+	Seed int64
+	// Instances caps the number of generated instances (<= 0 means
+	// DefaultInstances).
+	Instances int
+	// Budget optionally bounds wall-clock time; the run stops before
+	// starting an instance once the budget is spent (0 = no time bound).
+	Budget time.Duration
+	// Invariants to check; nil means every registered invariant.
+	Invariants []Invariant
+	// Metrics optionally receives per-invariant counters
+	// (invariant.<name>.checked / .failed) and check-duration histograms.
+	Metrics *obs.Registry
+	// ShrinkSteps bounds the shrink loop per failure (<= 0 means
+	// DefaultShrinkSteps).
+	ShrinkSteps int
+	// MaxFailures stops the run after this many failures (<= 0 means
+	// DefaultMaxFailures); one bad commit should not spend the whole budget
+	// re-discovering the same bug.
+	MaxFailures int
+}
+
+// DefaultInstances is the instance cap when Config.Instances is unset.
+const DefaultInstances = 200
+
+// DefaultMaxFailures is the failure cap when Config.MaxFailures is unset.
+const DefaultMaxFailures = 3
+
+// Failure is one invariant violation, already shrunk and captured as a
+// replayable artifact.
+type Failure struct {
+	// Invariant is the violated invariant's name.
+	Invariant string
+	// Original names the generated instance the failure was first seen on.
+	Original string
+	// Instance is the shrunk counterexample.
+	Instance *Instance
+	// ShrinkSteps counts adopted reductions (0 = no reduction found).
+	ShrinkSteps int
+	// Err is the failure returned by the check on the shrunk instance.
+	Err error
+	// Repro is the replayable artifact capturing the shrunk instance.
+	Repro *Repro
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("%s: %v (%s)", f.Invariant, f.Err,
+		explain(&Instance{Name: f.Original}, f.Instance, f.ShrinkSteps))
+}
+
+// Summary reports a harness run.
+type Summary struct {
+	// Instances generated; Checks is invariant evaluations performed.
+	Instances int
+	Checks    int
+	// Failures holds every captured violation (bounded by MaxFailures).
+	Failures []Failure
+	// Elapsed is total wall-clock time.
+	Elapsed time.Duration
+}
+
+// OK reports whether the run saw no failures.
+func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// Run generates cfg.Instances random instances (seeds Seed, Seed+1, ...) and
+// checks every configured invariant on each. Failures are shrunk to minimal
+// counterexamples and captured as repro artifacts; generation errors abort
+// the run (the generator is part of the harness and must not be flaky).
+func Run(cfg Config) (*Summary, error) {
+	start := time.Now()
+	instances := cfg.Instances
+	if instances <= 0 {
+		instances = DefaultInstances
+	}
+	maxFailures := cfg.MaxFailures
+	if maxFailures <= 0 {
+		maxFailures = DefaultMaxFailures
+	}
+	invs := cfg.Invariants
+	if invs == nil {
+		invs = All()
+	}
+	sum := &Summary{}
+	for i := 0; i < instances; i++ {
+		if cfg.Budget > 0 && time.Since(start) >= cfg.Budget {
+			break
+		}
+		inst, err := Generate(cfg.Seed + int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("invariant: harness instance %d: %w", i, err)
+		}
+		sum.Instances++
+		for _, inv := range invs {
+			checkStart := time.Now()
+			err := inv.Check(inst)
+			sum.Checks++
+			observe(cfg.Metrics, inv.Name, time.Since(checkStart), err != nil)
+			if err == nil {
+				continue
+			}
+			shrunk, steps := Shrink(inst, inv, cfg.ShrinkSteps)
+			finalErr := inv.Check(shrunk)
+			if finalErr == nil {
+				// Cannot happen per Shrink's contract; keep the original
+				// failure rather than dropping it.
+				shrunk, steps, finalErr = inst, 0, err
+			}
+			repro, rerr := FromInstance(shrunk, inv.Name, finalErr)
+			if rerr != nil {
+				return nil, rerr
+			}
+			sum.Failures = append(sum.Failures, Failure{
+				Invariant:   inv.Name,
+				Original:    inst.Name,
+				Instance:    shrunk,
+				ShrinkSteps: steps,
+				Err:         finalErr,
+				Repro:       repro,
+			})
+			if len(sum.Failures) >= maxFailures {
+				sum.Elapsed = time.Since(start)
+				return sum, nil
+			}
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	return sum, nil
+}
+
+// observe records one check outcome in the metrics registry, if any.
+func observe(m *obs.Registry, name string, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	m.Counter("invariant." + name + ".checked").Inc()
+	if failed {
+		m.Counter("invariant." + name + ".failed").Inc()
+	}
+	m.Histogram("invariant."+name+".check_us", obs.DurationBucketsUS).
+		Observe(float64(d.Microseconds()))
+}

@@ -1,0 +1,112 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"roadside/internal/obs"
+)
+
+func TestHarnessCleanRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	sum, err := Run(Config{Seed: 100, Instances: 10, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.OK() {
+		for _, f := range sum.Failures {
+			t.Errorf("unexpected failure: %s", f.String())
+		}
+	}
+	if sum.Instances != 10 {
+		t.Errorf("ran %d instances, want 10", sum.Instances)
+	}
+	wantChecks := 10 * len(All())
+	if sum.Checks != wantChecks {
+		t.Errorf("performed %d checks, want %d", sum.Checks, wantChecks)
+	}
+	snap := reg.Snapshot()
+	for _, inv := range All() {
+		if got := snap.Counters["invariant."+inv.Name+".checked"]; got != 10 {
+			t.Errorf("counter for %s = %d, want 10", inv.Name, got)
+		}
+		if got := snap.Counters["invariant."+inv.Name+".failed"]; got != 0 {
+			t.Errorf("failure counter for %s = %d", inv.Name, got)
+		}
+	}
+}
+
+// TestHarnessBrokenInvariantEndToEnd is the acceptance path: a deliberately
+// broken invariant must yield a shrunk roadside-repro/v1 artifact that
+// replays to the same failure.
+func TestHarnessBrokenInvariantEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	sum, err := Run(Config{
+		Seed:       200,
+		Instances:  5,
+		Invariants: []Invariant{SelfTest()},
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK() {
+		t.Fatal("broken invariant produced no failures")
+	}
+	if len(sum.Failures) != DefaultMaxFailures {
+		t.Errorf("got %d failures, want the cap %d", len(sum.Failures), DefaultMaxFailures)
+	}
+	f := sum.Failures[0]
+	if f.Invariant != "selftest-broken" || f.Err == nil || f.Repro == nil {
+		t.Fatalf("malformed failure: %+v", f)
+	}
+	if f.ShrinkSteps == 0 {
+		t.Error("failure was not shrunk")
+	}
+	if f.Instance.Problem.Flows.Len() != 1 {
+		t.Errorf("shrunk counterexample has %d flows, want 1", f.Instance.Problem.Flows.Len())
+	}
+	if !strings.Contains(f.String(), "selftest-broken") {
+		t.Errorf("failure string %q lacks the invariant name", f.String())
+	}
+	// The artifact round-trips and replays to the same failure.
+	data, err := f.Repro.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayWith(r, SelfTest()); err != nil {
+		t.Errorf("artifact does not replay: %v", err)
+	}
+	if got := reg.Snapshot().Counters["invariant.selftest-broken.failed"]; got == 0 {
+		t.Error("failure counter not recorded")
+	}
+}
+
+func TestHarnessBudgetStopsEarly(t *testing.T) {
+	sum, err := Run(Config{Seed: 300, Instances: 100000, Budget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Instances >= 100000 {
+		t.Errorf("budget did not stop the run (%d instances)", sum.Instances)
+	}
+}
+
+func TestHarnessDefaults(t *testing.T) {
+	// Metrics nil, invariants nil, shrink steps default: must still run.
+	sum, err := Run(Config{Seed: 400, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Checks != 2*len(All()) {
+		t.Errorf("checks = %d", sum.Checks)
+	}
+	if sum.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}

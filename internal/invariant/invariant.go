@@ -1,0 +1,79 @@
+// Package invariant is the repository's randomized property-testing
+// subsystem: a seed-deterministic instance generator, a registry of named
+// structural invariants the paper's correctness story rests on (monotone
+// submodularity of the objective, the detour identity, utility dominance,
+// serial/parallel bit-identity, greedy approximation bounds, ...), a
+// counterexample shrinker, and a versioned repro codec so a failing
+// instance ships as a replayable artifact.
+//
+// The harness exists because the fixed-instance tests (Fig. 4, the Dublin
+// seeds) pin behavior at a handful of points while the engine keeps being
+// rewritten for speed; checking the same theorems on ensembles of random
+// instances is what makes "refactor freely" safe. cmd/soak drives it under
+// a wall-clock or instance budget, and verify.sh/CI run it as a gate.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Invariant is one named structural property checked against generated
+// instances. Check returns nil when the instance satisfies the property and
+// a descriptive error when it does not; checks must be deterministic in the
+// instance (any sampling they do derives from the instance seed).
+type Invariant struct {
+	// Name is the stable identifier used in metrics, repro artifacts, and
+	// the soak command's -run filter.
+	Name string
+	// Doc is a one-line description shown by `soak -list`.
+	Doc string
+	// Check evaluates the property.
+	Check func(*Instance) error
+}
+
+// registry holds the built-in invariants, populated by init in checks.go.
+var registry = map[string]Invariant{}
+
+// register adds inv to the registry; duplicate names are a programming
+// error caught at init time.
+func register(inv Invariant) {
+	if _, dup := registry[inv.Name]; dup {
+		panic(fmt.Sprintf("invariant: duplicate registration of %q", inv.Name))
+	}
+	registry[inv.Name] = inv
+}
+
+// All returns every registered invariant sorted by name.
+func All() []Invariant {
+	out := make([]Invariant, 0, len(registry))
+	for _, inv := range registry {
+		out = append(out, inv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the registered invariant with the given name.
+func ByName(name string) (Invariant, bool) {
+	inv, ok := registry[name]
+	return inv, ok
+}
+
+// SelfTest returns a deliberately broken invariant (it fails on every
+// instance with at least one flow) used to prove the failure path end to
+// end: harness -> shrink -> repro artifact -> replay. It is not registered;
+// cmd/soak adds it only under its -selftest-break flag, and tests use it to
+// assert that a shipped artifact replays to the same failure.
+func SelfTest() Invariant {
+	return Invariant{
+		Name: "selftest-broken",
+		Doc:  "always-failing self-test fixture proving the shrink/repro pipeline",
+		Check: func(inst *Instance) error {
+			if n := inst.Problem.Flows.Len(); n >= 1 {
+				return fmt.Errorf("selftest: deliberately failing on %d flow(s)", n)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,59 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		names := make([]string, len(all))
+		for i, inv := range all {
+			names[i] = inv.Name
+		}
+		t.Fatalf("registry holds %d invariants, want 12: %v", len(all), names)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("All() not sorted: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+	for _, inv := range all {
+		if inv.Doc == "" || inv.Check == nil {
+			t.Errorf("invariant %q missing doc or check", inv.Name)
+		}
+		got, ok := ByName(inv.Name)
+		if !ok || got.Name != inv.Name {
+			t.Errorf("ByName(%q) failed", inv.Name)
+		}
+	}
+	if _, ok := ByName("no-such-invariant"); ok {
+		t.Error("ByName invented an invariant")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(Invariant{Name: "monotone"})
+}
+
+func TestSelfTestIsBrokenAndUnregistered(t *testing.T) {
+	st := SelfTest()
+	if _, ok := ByName(st.Name); ok {
+		t.Fatalf("%q must not be registered", st.Name)
+	}
+	inst, err := Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Check(inst); err == nil {
+		t.Fatal("self-test fixture passed on an instance with flows")
+	} else if !strings.Contains(err.Error(), "selftest") {
+		t.Errorf("unexpected failure text: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package invariant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureSelfTest produces a shrunk repro artifact from the broken fixture.
+func captureSelfTest(t *testing.T, seed int64) *Repro {
+	t.Helper()
+	st := SelfTest()
+	inst, err := Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, _ := Shrink(inst, st, 0)
+	failure := st.Check(shrunk)
+	if failure == nil {
+		t.Fatal("shrunk instance passes")
+	}
+	r, err := FromInstance(shrunk, st.Name, failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	r := captureSelfTest(t, 7)
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode of encoded artifact failed: %v", err)
+	}
+	if got.Invariant != r.Invariant || got.Seed != r.Seed || got.Name != r.Name ||
+		got.Utility != r.Utility || got.K != r.K || got.Shop != r.Shop {
+		t.Errorf("round trip changed header: %+v vs %+v", got, r)
+	}
+	a, err := r.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Fingerprint() != eb.Fingerprint() {
+		t.Error("round trip changed the embedded instance")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"null":            `null`,
+		"wrong schema":    `{"schema":"roadside-bench/v1","invariant":"x","graph":{},"flows":[]}`,
+		"no invariant":    `{"schema":"roadside-repro/v1","graph":{},"flows":[]}`,
+		"missing payload": `{"schema":"roadside-repro/v1","invariant":"monotone"}`,
+		"bad graph":       `{"schema":"roadside-repro/v1","invariant":"monotone","graph":{"nodes":[],"edges":[{"from":9,"to":1,"weight":1}]},"flows":[]}`,
+	}
+	for name, data := range cases {
+		if _, err := Decode([]byte(data)); !errors.Is(err, ErrSchema) {
+			t.Errorf("%s: err = %v, want ErrSchema", name, err)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	r := captureSelfTest(t, 8)
+	// ReplayWith against the (unregistered) fixture still fails as captured.
+	if err := ReplayWith(r, SelfTest()); err != nil {
+		t.Errorf("ReplayWith: %v", err)
+	}
+	// Replay resolves registered invariants only.
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(data); !errors.Is(err, ErrSchema) {
+		t.Errorf("Replay of unregistered invariant: %v, want ErrSchema", err)
+	}
+	// A passing invariant replays as ErrReplayPassed.
+	pass := Invariant{Name: "always-passes", Check: func(*Instance) error { return nil }}
+	if err := ReplayWith(r, pass); !errors.Is(err, ErrReplayPassed) {
+		t.Errorf("ReplayWith(passing): %v, want ErrReplayPassed", err)
+	}
+	// A registered invariant that holds on the instance: Replay reports it.
+	r2 := captureSelfTest(t, 8)
+	r2.Invariant = "monotone"
+	data2, err := r2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(data2); !errors.Is(err, ErrReplayPassed) {
+		t.Errorf("Replay(monotone on healthy instance): %v, want ErrReplayPassed", err)
+	}
+}
+
+// TestShippedReprosStillFail is the permanent regression loader: every
+// artifact checked into testdata/repro must replay to the same failure. The
+// shipped selftest artifact exercises the full capture->ship->replay path
+// with the deliberately broken fixture.
+func TestShippedReprosStillFail(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shipped repro artifacts; the loader gate is vacuous")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(r.Invariant, "selftest") {
+				if err := ReplayWith(r, SelfTest()); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err := Replay(data); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

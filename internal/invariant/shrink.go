@@ -1,0 +1,249 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/graph"
+)
+
+// DefaultShrinkSteps bounds the shrink loop when the caller does not.
+const DefaultShrinkSteps = 400
+
+// Shrink reduces a failing instance to a smaller one that still fails the
+// invariant. It greedily applies reduction passes — dropping flows, cutting
+// the graph down to the nodes the instance actually uses, removing extra
+// shops and candidate restrictions, lowering the budget k, and halving
+// volumes — re-running the check after each candidate reduction and keeping
+// it only if the failure persists. Every adopted step strictly decreases the
+// instance size measure, so the loop terminates; maxSteps (<= 0 means
+// DefaultShrinkSteps) additionally bounds the number of check invocations.
+//
+// The returned instance is renamed "<orig>-shrunk" when any reduction was
+// adopted; the second result counts adopted reductions.
+func Shrink(inst *Instance, inv Invariant, maxSteps int) (*Instance, int) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultShrinkSteps
+	}
+	cur := inst
+	checks := 0
+	adopted := 0
+	// fails re-checks the invariant on a candidate; construction errors do
+	// not count as the same failure (they would mask the original bug).
+	fails := func(cand *Instance) bool {
+		if checks >= maxSteps {
+			return false
+		}
+		checks++
+		if cand.Problem.Validate() != nil {
+			return false
+		}
+		return inv.Check(cand) != nil
+	}
+	for checks < maxSteps {
+		progressed := false
+		for _, reduce := range []func(*core.Problem) []*core.Problem{
+			dropFlows,
+			restrictGraph,
+			dropExtras,
+			lowerBudget,
+			halveVolumes,
+		} {
+			for _, p := range reduce(cur.Problem) {
+				if p == nil || measure(p) >= measure(cur.Problem) {
+					continue
+				}
+				cand := cur.derived(cur.Name, p)
+				if fails(cand) {
+					cur = cand
+					adopted++
+					progressed = true
+					break // restart the pass list from the smaller instance
+				}
+			}
+			if progressed {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if adopted > 0 && cur != inst {
+		cur.Name = inst.Name + "-shrunk"
+	}
+	return cur, adopted
+}
+
+// measure is the strictly decreasing size metric the shrinker minimizes:
+// nodes and flows dominate, then budget, optional features (extra shops, a
+// candidate restriction), and total volume (log-scaled so halving volumes
+// always makes progress).
+func measure(p *core.Problem) float64 {
+	m := float64(p.Graph.NumNodes()) + 5*float64(p.Flows.Len()) +
+		float64(p.K) + float64(len(p.ExtraShops)) +
+		math.Log2(p.Flows.TotalVolume()+1)
+	if len(p.Candidates) > 0 {
+		m++
+	}
+	return m
+}
+
+// withFlows returns a copy of p carrying the given flows, or nil when the
+// set is empty or invalid.
+func withFlows(p *core.Problem, flows []flow.Flow) *core.Problem {
+	if len(flows) == 0 {
+		return nil
+	}
+	set, err := flow.NewSet(flows)
+	if err != nil {
+		return nil
+	}
+	cp := *p
+	cp.Flows = set
+	return &cp
+}
+
+// dropFlows proposes removing chunks of flows: the first and second half
+// (binary-search-style big cuts), then each flow individually.
+func dropFlows(p *core.Problem) []*core.Problem {
+	flows := p.Flows.Flows()
+	n := len(flows)
+	if n <= 1 {
+		return nil
+	}
+	var out []*core.Problem
+	if n >= 4 {
+		out = append(out,
+			withFlows(p, append([]flow.Flow(nil), flows[n/2:]...)),
+			withFlows(p, append([]flow.Flow(nil), flows[:n/2]...)))
+	}
+	for i := 0; i < n; i++ {
+		rest := make([]flow.Flow, 0, n-1)
+		rest = append(rest, flows[:i]...)
+		rest = append(rest, flows[i+1:]...)
+		out = append(out, withFlows(p, rest))
+	}
+	return out
+}
+
+// restrictGraph proposes cutting the graph down to the nodes the instance
+// actually references (flow paths, shops, candidates), remapping all IDs.
+func restrictGraph(p *core.Problem) []*core.Problem {
+	used := map[graph.NodeID]bool{p.Shop: true}
+	for _, s := range p.ExtraShops {
+		used[s] = true
+	}
+	for _, c := range p.Candidates {
+		used[c] = true
+	}
+	for i := 0; i < p.Flows.Len(); i++ {
+		for _, v := range p.Flows.At(i).Path {
+			used[v] = true
+		}
+	}
+	if len(used) >= p.Graph.NumNodes() {
+		return nil
+	}
+	keep := make([]graph.NodeID, 0, len(used))
+	for v := range used {
+		keep = append(keep, v)
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	sub, remap, err := p.Graph.InducedSubgraph(keep)
+	if err != nil {
+		return nil
+	}
+	mapIDs := func(ids []graph.NodeID) []graph.NodeID {
+		out := make([]graph.NodeID, len(ids))
+		for i, v := range ids {
+			out[i] = remap[v]
+		}
+		return out
+	}
+	flows := p.Flows.Flows()
+	for i := range flows {
+		path := mapIDs(flows[i].Path)
+		flows[i].Path = path
+		flows[i].Origin = path[0]
+		flows[i].Dest = path[len(path)-1]
+	}
+	set, err := flow.NewSet(flows)
+	if err != nil {
+		return nil
+	}
+	cp := *p
+	cp.Graph = sub
+	cp.Shop = remap[p.Shop]
+	cp.ExtraShops = mapIDs(p.ExtraShops)
+	cp.Candidates = mapIDs(p.Candidates)
+	cp.Flows = set
+	// The induced subgraph keeps only edges between kept nodes, which can
+	// sever a flow path; Validate in the shrink loop rejects such copies.
+	return []*core.Problem{&cp}
+}
+
+// dropExtras proposes removing the optional instance features: extra shop
+// branches and the candidate restriction.
+func dropExtras(p *core.Problem) []*core.Problem {
+	var out []*core.Problem
+	if len(p.ExtraShops) > 0 {
+		cp := *p
+		cp.ExtraShops = nil
+		out = append(out, &cp)
+	}
+	if len(p.Candidates) > 0 {
+		cp := *p
+		cp.Candidates = nil
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// lowerBudget proposes k=1 directly, then k-1.
+func lowerBudget(p *core.Problem) []*core.Problem {
+	var out []*core.Problem
+	if p.K > 2 {
+		cp := *p
+		cp.K = 1
+		out = append(out, &cp)
+	}
+	if p.K > 1 {
+		cp := *p
+		cp.K = p.K - 1
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// halveVolumes proposes halving every flow volume (floored at 1 so volumes
+// stay integral and valid).
+func halveVolumes(p *core.Problem) []*core.Problem {
+	flows := p.Flows.Flows()
+	changed := false
+	for i := range flows {
+		half := math.Max(1, math.Floor(flows[i].Volume/2))
+		//lint:ignore floatcmp generated volumes are small integers; exact compare detects a no-op pass
+		if half != flows[i].Volume {
+			changed = true
+		}
+		flows[i].Volume = half
+	}
+	if !changed {
+		return nil
+	}
+	return []*core.Problem{withFlows(p, flows)}
+}
+
+// explain formats a shrink outcome for failure reports.
+func explain(orig, shrunk *Instance, steps int) string {
+	if steps == 0 {
+		return fmt.Sprintf("instance %s (no reduction found)", orig.Name)
+	}
+	return fmt.Sprintf("instance %s shrank in %d step(s): %d nodes, %d flows, k=%d",
+		shrunk.Name, steps, shrunk.Problem.Graph.NumNodes(),
+		shrunk.Problem.Flows.Len(), shrunk.Problem.K)
+}

@@ -1,0 +1,113 @@
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShrinkSelfTest drives the shrinker with the deliberately broken
+// fixture: it must converge to a minimal still-failing instance (one flow,
+// k=1, no optional features, graph cut to the nodes that flow uses).
+func TestShrinkSelfTest(t *testing.T) {
+	st := SelfTest()
+	for seed := int64(0); seed < 6; seed++ {
+		inst, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Check(inst) == nil {
+			t.Fatalf("seed %d: fixture did not fail", seed)
+		}
+		shrunk, steps := Shrink(inst, st, 0)
+		if err := st.Check(shrunk); err == nil {
+			t.Fatalf("seed %d: shrunk instance no longer fails", seed)
+		}
+		if p := shrunk.Problem; p.Flows.Len() != 1 {
+			t.Errorf("seed %d: shrunk to %d flows, want 1", seed, p.Flows.Len())
+		} else {
+			if p.K != 1 {
+				t.Errorf("seed %d: shrunk k=%d, want 1", seed, p.K)
+			}
+			if len(p.ExtraShops) != 0 || len(p.Candidates) != 0 {
+				t.Errorf("seed %d: optional features survived shrinking", seed)
+			}
+			pathLen := len(p.Flows.At(0).Path)
+			if n := p.Graph.NumNodes(); n > pathLen+1 {
+				t.Errorf("seed %d: %d nodes survived for a %d-node path (+shop)",
+					seed, n, pathLen)
+			}
+		}
+		if steps == 0 {
+			t.Errorf("seed %d: no reductions adopted on a generated instance", seed)
+		}
+		if !strings.HasSuffix(shrunk.Name, "-shrunk") {
+			t.Errorf("seed %d: shrunk name %q missing suffix", seed, shrunk.Name)
+		}
+		if measure(shrunk.Problem) >= measure(inst.Problem) {
+			t.Errorf("seed %d: measure did not decrease", seed)
+		}
+	}
+}
+
+// TestShrinkPreservesSpecificFailure shrinks against an invariant that only
+// fails while a specific flow is present; the shrinker must not discard the
+// culprit.
+func TestShrinkPreservesSpecificFailure(t *testing.T) {
+	inst, err := Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	culprit := inst.Problem.Flows.At(inst.Problem.Flows.Len() - 1).ID
+	inv := Invariant{
+		Name: "needs-culprit",
+		Check: func(in *Instance) error {
+			for f := 0; f < in.Problem.Flows.Len(); f++ {
+				if in.Problem.Flows.At(f).ID == culprit {
+					return fmt.Errorf("culprit %s present", culprit)
+				}
+			}
+			return nil
+		},
+	}
+	shrunk, _ := Shrink(inst, inv, 0)
+	if err := inv.Check(shrunk); err == nil {
+		t.Fatal("shrinking lost the failure")
+	}
+	if shrunk.Problem.Flows.Len() != 1 {
+		t.Errorf("shrunk to %d flows, want exactly the culprit", shrunk.Problem.Flows.Len())
+	}
+	if shrunk.Problem.Flows.At(0).ID != culprit {
+		t.Errorf("kept flow %s, want %s", shrunk.Problem.Flows.At(0).ID, culprit)
+	}
+}
+
+// TestShrinkPassingInstance: a passing instance comes back untouched.
+func TestShrinkPassingInstance(t *testing.T) {
+	inst, err := Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := Invariant{Name: "always-passes", Check: func(*Instance) error { return nil }}
+	shrunk, steps := Shrink(inst, pass, 0)
+	if steps != 0 || shrunk != inst {
+		t.Errorf("shrinker reduced a passing instance (%d steps)", steps)
+	}
+}
+
+// TestShrinkBudget: maxSteps bounds check invocations.
+func TestShrinkBudget(t *testing.T) {
+	inst, err := Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	inv := Invariant{Name: "count", Check: func(*Instance) error {
+		calls++
+		return fmt.Errorf("always fails")
+	}}
+	Shrink(inst, inv, 5)
+	if calls > 6 { // the budget plus at most one in-flight check
+		t.Errorf("%d check calls under a budget of 5", calls)
+	}
+}

@@ -19,6 +19,16 @@ var layerRules = map[string][]string{
 	"internal/geo":     {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/utility": {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/core":    {"internal/experiment", "internal/baseline"},
+	// The property-testing harness sits above the solvers and generators it
+	// audits but below the experiment/baseline layer (and must never leak
+	// into it — production figures do not depend on the test harness). It
+	// also must not use testutil: that package imports testing, which a
+	// non-test library (cmd/soak links it) must not drag in.
+	"internal/invariant": {
+		"internal/experiment", "internal/baseline", "internal/testutil",
+	},
+	"internal/experiment": {"internal/invariant"},
+	"internal/baseline":   {"internal/invariant"},
 }
 
 func init() {

@@ -1,0 +1,66 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/opt"
+	"roadside/internal/utility"
+)
+
+// ExampleExhaustive solves a toy instance to optimality: a two-way street of
+// four intersections, two bus flows, and a budget of two RAPs. The optimum
+// covers both flows at zero detour.
+func ExampleExhaustive() {
+	b := graph.NewBuilder(4, 6)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geo.Pt(float64(i)*1000, 0))
+	}
+	for i := 0; i < 3; i++ {
+		u, v := graph.NodeID(i), graph.NodeID(i+1)
+		if err := b.AddEdge(u, v, 1000); err != nil {
+			panic(err)
+		}
+		if err := b.AddEdge(v, u, 1000); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	f0, err := flow.New("east", []graph.NodeID{0, 1, 2}, 10, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	f1, err := flow.New("west", []graph.NodeID{3, 2, 1}, 20, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	flows, err := flow.NewSet([]flow.Flow{f0, f1})
+	if err != nil {
+		panic(err)
+	}
+	e, err := core.NewEngine(&core.Problem{
+		Graph:   g,
+		Shop:    1,
+		Flows:   flows,
+		Utility: utility.Linear{D: 4000},
+		K:       2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	best, err := opt.Exhaustive(e, opt.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal RAPs: %v\n", best.Nodes)
+	fmt.Printf("customers/day: %.2f\n", best.Attracted)
+	// Output:
+	// optimal RAPs: [1 2]
+	// customers/day: 15.00
+}

@@ -121,6 +121,31 @@ func ByName(name string, d float64) (Function, error) {
 	}
 }
 
+// Dominates checks pointwise ordering of two utility functions on a sample
+// grid: hi.Prob(d, alpha) >= lo.Prob(d, alpha) for every sampled detour d
+// in [0, 1.5*max(threshold)]. The paper's three functions are totally
+// ordered this way (threshold >= linear >= sqrt for a shared D), which is
+// what makes threshold the optimistic bound in the evaluation figures; the
+// invariant harness uses this oracle to keep that ordering pinned.
+func Dominates(hi, lo Function, alpha float64, samples int) error {
+	if hi == nil || lo == nil {
+		return fmt.Errorf("%w: nil function", ErrInvalid)
+	}
+	if samples < 2 {
+		samples = 2
+	}
+	d := math.Max(hi.Threshold(), lo.Threshold()) * 1.5
+	for i := 0; i <= samples; i++ {
+		x := d * float64(i) / float64(samples)
+		ph, pl := hi.Prob(x, alpha), lo.Prob(x, alpha)
+		if ph < pl-1e-12 {
+			return fmt.Errorf("%w: %s(%v)=%v < %s(%v)=%v",
+				ErrInvalid, hi.Name(), x, ph, lo.Name(), x, pl)
+		}
+	}
+	return nil
+}
+
 // Validate checks the utility-function axioms on a sample of detour
 // distances: probabilities lie in [0, alpha], f(0) = alpha, f is
 // non-increasing, and f vanishes beyond the threshold. It is used by tests

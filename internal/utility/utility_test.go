@@ -129,3 +129,36 @@ func TestByName(t *testing.T) {
 		t.Errorf("NaN threshold: %v", err)
 	}
 }
+
+func TestDominates(t *testing.T) {
+	// The paper's family is totally ordered at a shared D.
+	thr, lin, sq := Threshold{D: 100}, Linear{D: 100}, Sqrt{D: 100}
+	for _, c := range []struct{ hi, lo Function }{
+		{thr, lin}, {lin, sq}, {thr, sq},
+	} {
+		if err := Dominates(c.hi, c.lo, 0.7, 64); err != nil {
+			t.Errorf("%s >= %s: %v", c.hi.Name(), c.lo.Name(), err)
+		}
+	}
+	// The reverse orderings must be rejected.
+	for _, c := range []struct{ hi, lo Function }{
+		{lin, thr}, {sq, lin}, {sq, thr},
+	} {
+		if err := Dominates(c.hi, c.lo, 0.7, 64); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s >= %s accepted: %v", c.hi.Name(), c.lo.Name(), err)
+		}
+	}
+	if err := Dominates(nil, lin, 1, 8); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil hi accepted: %v", err)
+	}
+	if err := Dominates(thr, nil, 1, 8); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil lo accepted: %v", err)
+	}
+	// Mismatched thresholds: a wide linear dominates a narrow one.
+	if err := Dominates(Linear{D: 200}, Linear{D: 50}, 1, 0); err != nil {
+		t.Errorf("wide vs narrow: %v", err)
+	}
+	if err := Dominates(Linear{D: 50}, Linear{D: 200}, 1, 64); !errors.Is(err, ErrInvalid) {
+		t.Errorf("narrow vs wide accepted: %v", err)
+	}
+}

@@ -19,6 +19,15 @@ go test -run '^$' -fuzz '^FuzzGraphJSONRoundTrip$' -fuzztime 10s ./internal/grap
 echo "==> fuzz smoke: FuzzFlowIO (10s)"
 go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
 
+echo "==> fuzz smoke: FuzzReproRoundTrip (10s)"
+go test -run '^$' -fuzz '^FuzzReproRoundTrip$' -fuzztime 10s ./internal/invariant
+
+echo "==> invariant soak (short: 25 instances, all registered invariants)"
+go run ./cmd/soak -instances 25 -seed 2015 -out /tmp/soak_artifacts -metrics \
+    > /tmp/soak_verify.txt
+grep -q 'all invariants hold' /tmp/soak_verify.txt \
+    || { echo "soak gate did not pass cleanly"; cat /tmp/soak_verify.txt; exit 1; }
+
 echo "==> roadsidelint"
 go run ./cmd/roadsidelint ./...
 
