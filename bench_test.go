@@ -46,13 +46,14 @@ func BenchmarkFig13(b *testing.B) { benchFigure(b, 13) }
 // ---- Solver micro-benchmarks on a fixed Dublin-scale instance ----
 
 // The Dublin fixture is expensive (city synthesis plus engine
-// preprocessing), and the engine is immutable once built, so both the
-// problem and the engine are cached per seed and shared across every
-// benchmark instead of being rebuilt in each one's setup.
+// preprocessing), and the engine is immutable once built, so the problem is
+// cached per generator seed and the engine per problem digest — the same
+// content-addressed key the serving cache uses, so two seeds that happen to
+// synthesize identical problems share one engine.
 var (
 	benchFixtureMu sync.Mutex
 	benchProblems  = map[int64]*Problem{}
-	benchEngines   = map[int64]*Engine{}
+	benchEngines   = map[string]*Engine{}
 )
 
 func dublinProblem(b *testing.B, seed int64) *Problem {
@@ -96,16 +97,20 @@ func dublinProblem(b *testing.B, seed int64) *Problem {
 func dublinEngine(b *testing.B, seed int64) *Engine {
 	b.Helper()
 	p := dublinProblem(b, seed)
+	key, err := ProblemDigest(p)
+	if err != nil {
+		b.Fatal(err)
+	}
 	benchFixtureMu.Lock()
 	defer benchFixtureMu.Unlock()
-	if e, ok := benchEngines[seed]; ok {
+	if e, ok := benchEngines[key]; ok {
 		return e
 	}
 	e, err := NewEngine(p)
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchEngines[seed] = e
+	benchEngines[key] = e
 	return e
 }
 

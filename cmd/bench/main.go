@@ -135,14 +135,18 @@ func run(w io.Writer, opt options) error {
 		defer obs.SetDefault(prev)
 	}
 
-	cases, err := buildCases(opt.quick)
+	cases, digest, err := buildCases(opt.quick)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		rec.Trace.SetMeta("bench.problem_digest", digest)
 	}
 
 	report := benchio.New(opt.label, opt.quick)
 	fmt.Fprintf(w, "bench: %d entries, benchtime %s, GOMAXPROCS %d\n",
 		len(cases), opt.benchtime, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "bench: dublin fixture digest %s\n", digest)
 	measure := func(c benchCase) (float64, testing.BenchmarkResult, error) {
 		res := testing.Benchmark(c.fn)
 		if res.N == 0 {
@@ -276,20 +280,27 @@ type benchCase struct {
 }
 
 // buildCases constructs the shared Dublin fixture once and returns the
-// benchmark set. Fixture construction failures surface as errors here, so
-// the closures themselves only measure.
-func buildCases(quick bool) ([]benchCase, error) {
+// benchmark set plus the fixture's problem digest — the content-addressed
+// workload label (the same key the serving cache uses), replacing the old
+// habit of identifying the fixture by its generator seed. Fixture
+// construction failures surface as errors here, so the closures themselves
+// only measure.
+func buildCases(quick bool) ([]benchCase, string, error) {
 	p, err := dublinProblem()
 	if err != nil {
-		return nil, fmt.Errorf("dublin fixture: %w", err)
+		return nil, "", fmt.Errorf("dublin fixture: %w", err)
+	}
+	digest, err := roadside.ProblemDigest(p)
+	if err != nil {
+		return nil, "", fmt.Errorf("dublin digest: %w", err)
 	}
 	e, err := roadside.NewEngine(p)
 	if err != nil {
-		return nil, fmt.Errorf("dublin engine: %w", err)
+		return nil, "", fmt.Errorf("dublin engine: %w", err)
 	}
 	pl, err := roadside.Algorithm2(e)
 	if err != nil {
-		return nil, fmt.Errorf("dublin placement: %w", err)
+		return nil, "", fmt.Errorf("dublin placement: %w", err)
 	}
 
 	cases := []benchCase{
@@ -381,7 +392,7 @@ func buildCases(quick bool) ([]benchCase, error) {
 			}})
 		}
 	}
-	return cases, nil
+	return cases, digest, nil
 }
 
 // dublinProblem mirrors the fixed Dublin-scale instance used by the repo's

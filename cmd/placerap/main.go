@@ -175,19 +175,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if rec != nil {
-		rec.Trace.SetMeta("placerap.algo", *algo)
-		rec.Trace.SetMeta("placerap.utility", *utilityFn)
-		rec.Trace.SetMeta("placerap.k", strconv.Itoa(*k))
-		rec.Trace.SetMeta("placerap.seed", strconv.FormatInt(*seed, 10))
-	}
-	e, err := core.NewEngine(&core.Problem{
+	p := &core.Problem{
 		Graph:   g,
 		Shop:    graph.NodeID(*shop),
 		Flows:   fset,
 		Utility: u,
 		K:       *k,
-	})
+	}
+	// The content digest identifies the instance across tools: the same
+	// value keys the serving cache (cmd/serverap) and labels bench runs.
+	digest, err := core.ProblemDigest(p)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.Trace.SetMeta("placerap.algo", *algo)
+		rec.Trace.SetMeta("placerap.utility", *utilityFn)
+		rec.Trace.SetMeta("placerap.k", strconv.Itoa(*k))
+		rec.Trace.SetMeta("placerap.seed", strconv.FormatInt(*seed, 10))
+		rec.Trace.SetMeta("placerap.problem_digest", digest)
+	}
+	e, err := core.NewEngine(p)
 	if err != nil {
 		return err
 	}
@@ -200,6 +208,7 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("loaded %d flows\n", fset.Len())
 	}
+	fmt.Printf("problem digest: %s\n", digest)
 	fmt.Printf("placement (%s, %s utility, D=%.0fft, k=%d):\n", *algo, *utilityFn, *d, *k)
 	for i, v := range pl.Nodes {
 		p := g.Point(v)

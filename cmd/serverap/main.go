@@ -1,0 +1,298 @@
+// Command serverap runs the placement engine as a long-lived JSON query
+// service (placement-as-a-service). It serves POST /v1/place, /v1/evaluate
+// and /v1/detour plus GET /healthz and /metrics, with an LRU engine cache,
+// request coalescing, bounded concurrency, and graceful drain on SIGINT or
+// SIGTERM.
+//
+// Usage:
+//
+//	serverap -addr :8080
+//	serverap -load 30s -clients 8 -problems 4 -metrics-out metrics.txt
+//
+// The second form is a self-contained loopback load run: the server is
+// started on an ephemeral local port and hammered by concurrent clients
+// with generated problem instances, every placement response is checked
+// bit-for-bit against a direct single-threaded engine solve, and the
+// final /metrics export is written out. CI uses it as a mini soak.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"roadside/internal/core"
+	"roadside/internal/invariant"
+	"roadside/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serverap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serverap", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "engine cache budget in arena bytes")
+		maxBody    = fs.Int64("max-body", serve.DefaultMaxBody, "request body size limit in bytes")
+		maxInFl    = fs.Int("max-inflight", 0, "max concurrent engine builds+solves (0 = 2*GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline ceiling")
+		drainWait  = fs.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		load       = fs.Duration("load", 0, "run a loopback load test for this duration instead of serving")
+		clients    = fs.Int("clients", 8, "concurrent clients in -load mode")
+		problems   = fs.Int("problems", 4, "distinct generated problems in -load mode")
+		seed       = fs.Int64("seed", 1, "instance-generator seed in -load mode")
+		metricsOut = fs.String("metrics-out", "", "write the final /metrics export to this file in -load mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		CacheBytes:  *cacheBytes,
+		MaxBody:     *maxBody,
+		MaxInFlight: *maxInFl,
+		Timeout:     *timeout,
+	}
+	if *load > 0 {
+		return runLoad(cfg, *load, *clients, *problems, *seed, *metricsOut)
+	}
+	return runServe(cfg, *addr, *drainWait)
+}
+
+// runServe is the production mode: listen, serve, drain on signal.
+func runServe(cfg serve.Config, addr string, drainWait time.Duration) error {
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Printf("serverap listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("serverap: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "serverap: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}
+
+// loadProblem is one generated instance plus the oracle answer every served
+// placement must match bit-for-bit.
+type loadProblem struct {
+	body      []byte
+	wantNodes []core.Placement
+}
+
+// runLoad starts the server on a loopback listener and hammers it.
+func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int64, metricsOut string) error {
+	if clients < 1 || problems < 1 {
+		return fmt.Errorf("-clients and -problems must be >= 1")
+	}
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		//lint:ignore errdrop Serve always returns non-nil on Shutdown; real failures surface as request errors below
+		_ = httpSrv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serverap load: %v, %d clients, %d problems, loopback %s\n", d, clients, problems, base)
+
+	// Generate the problem pool and solve each one directly (single
+	// worker) for the bit-identity oracle.
+	algos := []string{"algorithm1", "algorithm2", "combined", "lazy"}
+	pool := make([]loadProblem, problems)
+	for i := range pool {
+		inst, err := invariant.Generate(seed + int64(i))
+		if err != nil {
+			return err
+		}
+		spec, err := serve.ProblemSpecOf(inst.Problem)
+		if err != nil {
+			return err
+		}
+		body, err := json.Marshal(serve.PlaceRequest{
+			ProblemSpec: spec,
+			K:           inst.Problem.K,
+			Algo:        algos[i%len(algos)],
+		})
+		if err != nil {
+			return err
+		}
+		eng, err := core.NewEngineWorkers(inst.Problem, 1)
+		if err != nil {
+			return err
+		}
+		pl, err := solveWorkers(algos[i%len(algos)], eng)
+		if err != nil {
+			return err
+		}
+		pool[i] = loadProblem{body: body, wantNodes: []core.Placement{*pl}}
+	}
+
+	var (
+		requests, failures atomic.Int64
+		wg                 sync.WaitGroup
+	)
+	deadline := time.Now().Add(d)
+	client := &http.Client{Timeout: cfg.Timeout + 10*time.Second}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				p := &pool[(c+i)%len(pool)]
+				if err := fireOnce(client, base, p); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "serverap load: client %d: %v\n", c, err)
+				}
+				requests.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Snapshot /metrics before shutting the listener down.
+	metrics, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+
+	builds := s.Metrics().Counter("serve.engine.builds").Value()
+	hits := s.Metrics().Counter("serve.cache.hit").Value()
+	fmt.Printf("serverap load: %d requests, %d failures, %d engine builds, %d cache hits\n",
+		requests.Load(), failures.Load(), builds, hits)
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, metrics, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("serverap load: metrics written to %s\n", metricsOut)
+	} else {
+		fmt.Print(string(metrics))
+	}
+	if failures.Load() > 0 {
+		return fmt.Errorf("%d of %d requests failed", failures.Load(), requests.Load())
+	}
+	if builds > int64(len(pool)) {
+		return fmt.Errorf("%d engine builds for %d distinct problems (coalescing broken)", builds, len(pool))
+	}
+	return nil
+}
+
+// fireOnce POSTs one place request and checks the response against the
+// precomputed single-threaded oracle.
+func fireOnce(client *http.Client, base string, p *loadProblem) error {
+	resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(p.body))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var got serve.PlaceResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		return err
+	}
+	want := &p.wantNodes[0]
+	if len(got.Nodes) != len(want.Nodes) {
+		return fmt.Errorf("served %v, oracle %v", got.Nodes, want.Nodes)
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] {
+			return fmt.Errorf("served %v, oracle %v", got.Nodes, want.Nodes)
+		}
+	}
+	if math.Float64bits(got.Attracted) != math.Float64bits(want.Attracted) {
+		return fmt.Errorf("served attracted %v, oracle %v (not bit-identical)", got.Attracted, want.Attracted)
+	}
+	return nil
+}
+
+// fetch GETs url and returns the body.
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// solveWorkers runs the named solver on a single-worker engine: the oracle
+// side of the bit-identity check.
+func solveWorkers(algo string, e *core.Engine) (*core.Placement, error) {
+	switch algo {
+	case "algorithm1":
+		return core.Algorithm1Workers(e, 1)
+	case "algorithm2":
+		return core.Algorithm2Workers(e, 1)
+	case "combined":
+		return core.GreedyCombinedWorkers(e, 1)
+	case "lazy":
+		return core.GreedyLazy(e)
+	default:
+		return nil, fmt.Errorf("unknown algo %q", algo)
+	}
+}

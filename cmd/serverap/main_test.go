@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roadside/internal/serve"
+)
+
+// TestRunLoadSmoke drives the loopback load mode end to end for a moment:
+// it must complete without failures and leave a metrics export behind.
+func TestRunLoadSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.txt")
+	cfg := serve.Config{}
+	if err := runLoad(cfg, 300*time.Millisecond, 2, 2, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serve.engine.builds", "serve.http.place.requests"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics export lacks %q", want)
+		}
+	}
+}
+
+func TestRunLoadRejectsBadCounts(t *testing.T) {
+	if err := runLoad(serve.Config{}, time.Millisecond, 0, 1, 1, ""); err == nil {
+		t.Error("clients=0 accepted")
+	}
+	if err := runLoad(serve.Config{}, time.Millisecond, 1, 0, 1, ""); err == nil {
+		t.Error("problems=0 accepted")
+	}
+}
+
+func TestSolveWorkersUnknownAlgo(t *testing.T) {
+	if _, err := solveWorkers("annealing", nil); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}
+
+func TestRunParsesFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

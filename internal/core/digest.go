@@ -1,0 +1,112 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// DigestVersion prefixes every problem digest. Bump it on any change to
+// the digest's input encoding so cached engines keyed by an old digest can
+// never be served for a problem hashed under a new one.
+const DigestVersion = "rapd1"
+
+// ProblemDigest computes a stable content digest of everything the
+// placement engine's preprocessed arenas depend on: the graph, the flows,
+// the utility function (by name and threshold), the shop and extra-shop
+// branches, and the candidate restriction. The budget K is deliberately
+// excluded — it only parameterizes the greedy step loop, not the arenas —
+// so one cached engine can answer placement queries at every budget (see
+// Engine.WithBudget).
+//
+// The graph and flows are hashed through their canonical JSON interchange
+// encodings (the same codecs the repro artifacts and the query server's
+// wire format embed), each section framed by a tag and a length so
+// adjacent sections can never alias. The digest is a SHA-256, so distinct
+// problems colliding is not a practical concern; two problems with equal
+// digests may be treated as the same engine-construction input.
+func ProblemDigest(p *Problem) (string, error) {
+	if p == nil || p.Graph == nil || p.Flows == nil || p.Utility == nil {
+		return "", ErrNilField
+	}
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+		_, _ = h.Write(buf[:])
+	}
+	section := func(tag byte) {
+		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+		_, _ = h.Write([]byte{tag})
+	}
+
+	section('g')
+	if err := p.Graph.WriteJSON(h); err != nil {
+		return "", fmt.Errorf("core: digest graph: %w", err)
+	}
+	section('f')
+	if err := p.Flows.WriteJSON(h); err != nil {
+		return "", fmt.Errorf("core: digest flows: %w", err)
+	}
+	section('u')
+	name := p.Utility.Name()
+	w64(uint64(len(name)))
+	//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+	_, _ = h.Write([]byte(name))
+	w64(math.Float64bits(p.Utility.Threshold()))
+	section('s')
+	w64(uint64(p.Shop))
+	w64(uint64(len(p.ExtraShops)))
+	for _, s := range p.ExtraShops {
+		w64(uint64(s))
+	}
+	section('c')
+	w64(uint64(len(p.Candidates)))
+	for _, c := range p.Candidates {
+		w64(uint64(c))
+	}
+	return DigestVersion + "-" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WithBudget returns an engine solving for budget k instead of the budget
+// the engine was constructed with. The copy shares every preprocessed
+// arena with the receiver (engines are immutable; K only bounds the greedy
+// step loops), so it costs two struct copies — this is what lets an
+// engine cached under its K-free ProblemDigest answer queries at any
+// budget.
+func (e *Engine) WithBudget(k int) (*Engine, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadBudget, k)
+	}
+	if e.p.K == k {
+		return e, nil
+	}
+	cp := *e
+	pc := *e.p
+	pc.K = k
+	cp.p = &pc
+	return &cp, nil
+}
+
+// ArenaBytes estimates the memory retained by the engine's CSR arenas and
+// candidate list in bytes. It is the size the query server's engine cache
+// budgets by; the estimate ignores the Problem the engine references
+// (typically shared with the caller) and slice headers.
+func (e *Engine) ArenaBytes() int64 {
+	const (
+		i32Size  = 4 // int32 offsets and flow indices
+		f64Size  = 8 // float64 detours and gains
+		nodeSize = 4 // graph.NodeID is int32
+	)
+	return int64(len(e.visitOff))*i32Size +
+		int64(len(e.visitFlow))*i32Size +
+		int64(len(e.visitDetour))*f64Size +
+		int64(len(e.visitGain))*f64Size +
+		int64(len(e.flowOff))*i32Size +
+		int64(len(e.flowNode))*nodeSize +
+		int64(len(e.flowDetour))*f64Size +
+		int64(len(e.cands))*nodeSize
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// TestProblemDigestStability pins the digest contract: equal problems hash
+// equally, K never enters the digest, and every engine-relevant knob does.
+func TestProblemDigestStability(t *testing.T) {
+	g, flows := fig4(t)
+	base := &Problem{
+		Graph:   g,
+		Shop:    4,
+		Flows:   flows,
+		Utility: utility.Linear{D: 10},
+		K:       2,
+	}
+	d1, err := ProblemDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d1, DigestVersion+"-") {
+		t.Fatalf("digest %q lacks version prefix %q", d1, DigestVersion)
+	}
+	d2, err := ProblemDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %q vs %q", d1, d2)
+	}
+
+	// K is excluded: the same engine answers every budget.
+	bumped := *base
+	bumped.K = 5
+	dk, err := ProblemDigest(&bumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dk != d1 {
+		t.Fatalf("digest depends on K: %q vs %q", dk, d1)
+	}
+
+	// Every arena-relevant knob is included.
+	variants := map[string]func(p *Problem){
+		"shop":       func(p *Problem) { p.Shop = 2 },
+		"utility":    func(p *Problem) { p.Utility = utility.Sqrt{D: 10} },
+		"threshold":  func(p *Problem) { p.Utility = utility.Linear{D: 11} },
+		"extraShops": func(p *Problem) { p.ExtraShops = []graph.NodeID{1} },
+		"candidates": func(p *Problem) { p.Candidates = []graph.NodeID{0, 1, 2} },
+	}
+	for name, mutate := range variants {
+		v := *base
+		mutate(&v)
+		dv, err := ProblemDigest(&v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dv == d1 {
+			t.Errorf("digest ignores %s", name)
+		}
+	}
+
+	if _, err := ProblemDigest(&Problem{}); err == nil {
+		t.Error("digest of a nil-field problem should fail")
+	}
+}
+
+// TestWithBudget verifies the shared-arena budget override: the derived
+// engine solves at the new K, shares arenas bit-for-bit, and leaves the
+// receiver untouched.
+func TestWithBudget(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 10})
+	p.K = 1
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := e.WithBudget(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Problem().K != 1 || e3.Problem().K != 3 {
+		t.Fatalf("budgets: receiver K=%d derived K=%d", e.Problem().K, e3.Problem().K)
+	}
+	if e.Fingerprint() != e3.Fingerprint() {
+		t.Fatal("WithBudget must share the preprocessed arenas")
+	}
+
+	// A fresh engine built at K=3 must match the derived one bit-for-bit.
+	p3 := *p
+	p3.K = 3
+	fresh, err := NewEngine(&p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, solve := range map[string]func(*Engine) (*Placement, error){
+		"algorithm1": Algorithm1, "algorithm2": Algorithm2,
+		"combined": GreedyCombined, "lazy": GreedyLazy,
+	} {
+		got, err := solve(e3)
+		if err != nil {
+			t.Fatalf("%s derived: %v", name, err)
+		}
+		want, err := solve(fresh)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", name, err)
+		}
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("%s: %v vs fresh %v", name, got.Nodes, want.Nodes)
+		}
+		for i := range got.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("%s: %v vs fresh %v", name, got.Nodes, want.Nodes)
+			}
+		}
+		if math.Float64bits(got.Attracted) != math.Float64bits(want.Attracted) {
+			t.Fatalf("%s: attracted %v vs fresh %v", name, got.Attracted, want.Attracted)
+		}
+	}
+
+	if same, err := e.WithBudget(1); err != nil || same != e {
+		t.Errorf("WithBudget(current K) should return the receiver, got %p err %v", same, err)
+	}
+	if _, err := e.WithBudget(0); err == nil {
+		t.Error("WithBudget(0) should fail")
+	}
+}
+
+// TestArenaBytes sanity-checks the cache-budget estimate: positive, and
+// exactly the sum of the arena element sizes.
+func TestArenaBytes(t *testing.T) {
+	p := fig4Problem(t, utility.Linear{D: 10})
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(e.visitOff))*4 + int64(len(e.visitFlow))*4 +
+		int64(len(e.visitDetour))*8 + int64(len(e.visitGain))*8 +
+		int64(len(e.flowOff))*4 + int64(len(e.flowNode))*4 +
+		int64(len(e.flowDetour))*8 + int64(len(e.cands))*4
+	if got := e.ArenaBytes(); got != want || got <= 0 {
+		t.Fatalf("ArenaBytes = %d, want %d (> 0)", got, want)
+	}
+}

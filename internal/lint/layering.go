@@ -14,6 +14,7 @@ var layerRules = map[string][]string{
 	"internal/obs": {
 		"internal/graph", "internal/geo", "internal/utility", "internal/core",
 		"internal/experiment", "internal/baseline", "internal/par", "internal/flow",
+		"internal/serve",
 	},
 	"internal/graph":   {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/geo":     {"internal/core", "internal/experiment", "internal/baseline"},
@@ -27,8 +28,17 @@ var layerRules = map[string][]string{
 	"internal/invariant": {
 		"internal/experiment", "internal/baseline", "internal/testutil",
 	},
-	"internal/experiment": {"internal/invariant"},
-	"internal/baseline":   {"internal/invariant"},
+	"internal/experiment": {"internal/invariant", "internal/serve"},
+	"internal/baseline":   {"internal/invariant", "internal/serve"},
+	// The query service sits above core but outside the research stack: it
+	// must not reach into experiments/baselines, and it must not import the
+	// invariant harness (invariant imports serve for serve-identity — the
+	// reverse edge would be a cycle) or testutil (non-test code must not
+	// link the testing package).
+	"internal/serve": {
+		"internal/experiment", "internal/baseline", "internal/invariant",
+		"internal/testutil",
+	},
 }
 
 func init() {

@@ -1,0 +1,57 @@
+package par
+
+import "context"
+
+// Gate is a context-aware counting semaphore bounding how many callers may
+// hold a slot at once. The query server uses one to cap concurrent engine
+// builds and solver executions: each already fans across the pool via Do,
+// so admitting an unbounded number of them would only thrash the scheduler
+// and blow up tail latency under load.
+//
+// A Gate is safe for concurrent use. Acquire and Release pair like a
+// mutex; releasing without a matching acquire panics, because it would
+// silently raise the concurrency bound for the rest of the process.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders; n < 1 is
+// clamped to 1 so a zero-valued configuration still serializes instead of
+// deadlocking.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, whichever comes
+// first. An already-expired context never acquires a slot, so deadline
+// handling stays deterministic even when the gate has capacity.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired by Acquire.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("par: Gate.Release without a matching Acquire")
+	}
+}
+
+// Cap returns the gate's concurrency bound.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// InUse returns the number of currently held slots (a point-in-time
+// reading, exported for gauges and tests).
+func (g *Gate) InUse() int { return len(g.slots) }

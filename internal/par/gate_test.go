@@ -1,0 +1,92 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	g := NewGate(bound)
+	if g.Cap() != bound {
+		t.Fatalf("Cap = %d, want %d", g.Cap(), bound)
+	}
+	var (
+		mu      sync.Mutex
+		cur, hi int
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer g.Release()
+			mu.Lock()
+			cur++
+			if cur > hi {
+				hi = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if hi > bound {
+		t.Fatalf("observed %d concurrent holders, bound %d", hi, bound)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases", g.InUse())
+	}
+}
+
+// TestGateExpiredContext pins the determinism contract the server's
+// deadline handling rests on: an already-expired context never wins a free
+// slot.
+func TestGateExpiredContext(t *testing.T) {
+	g := NewGate(4)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on expired ctx = %v, want DeadlineExceeded", err)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("expired Acquire leaked a slot: InUse = %d", g.InUse())
+	}
+}
+
+func TestGateBlocksThenCancels(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx) }()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("blocked Acquire = %v, want Canceled", err)
+	}
+	g.Release()
+}
+
+func TestGateClampsAndPanicsOnBadRelease(t *testing.T) {
+	if got := NewGate(0).Cap(); got != 1 {
+		t.Fatalf("NewGate(0).Cap() = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire should panic")
+		}
+	}()
+	NewGate(1).Release()
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"roadside/internal/core"
+	"roadside/internal/obs"
+)
+
+// Cache outcomes reported on the wire and counted in metrics.
+const (
+	CacheHit       = "hit"       // engine found in the LRU
+	CacheMiss      = "miss"      // this request built the engine
+	CacheCoalesced = "coalesced" // waited on another request's build
+)
+
+// engineCache is the heart of placement-as-a-service: a byte-budgeted LRU
+// of immutable engines keyed by core.ProblemDigest, with singleflight
+// coalescing. The entry map, the in-flight map, and the LRU share one
+// mutex, so between "no cached engine" and "a flight exists for this
+// digest" there is no window for a second builder: one build per digest,
+// exactly, no matter how many requests race.
+//
+// Engines are immutable and entries only hold references, so eviction can
+// never corrupt an in-flight solve — a request that obtained an engine
+// keeps it alive through its solve regardless of what the LRU does.
+type engineCache struct {
+	budget int64
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	flights map[string]*flight
+	bytes   int64
+
+	hits, misses, coalesced *obs.Counter
+	evicted, builds         *obs.Counter
+	buildErrors             *obs.Counter
+	bytesG, entriesG        *obs.Gauge
+	buildUS                 *obs.Histogram
+}
+
+type cacheEntry struct {
+	digest string
+	eng    *core.Engine
+	bytes  int64
+}
+
+// flight is one in-progress engine build; waiters block on done.
+type flight struct {
+	done chan struct{}
+	eng  *core.Engine
+	err  error
+}
+
+func newEngineCache(budget int64, reg *obs.Registry) *engineCache {
+	return &engineCache{
+		budget:      budget,
+		lru:         list.New(),
+		entries:     map[string]*list.Element{},
+		flights:     map[string]*flight{},
+		hits:        reg.Counter("serve.cache.hit"),
+		misses:      reg.Counter("serve.cache.miss"),
+		coalesced:   reg.Counter("serve.cache.coalesced"),
+		evicted:     reg.Counter("serve.cache.evicted"),
+		builds:      reg.Counter("serve.engine.builds"),
+		buildErrors: reg.Counter("serve.engine.build_errors"),
+		bytesG:      reg.Gauge("serve.cache.bytes"),
+		entriesG:    reg.Gauge("serve.cache.entries"),
+		buildUS:     reg.Histogram("serve.engine.build_us", obs.DurationBucketsUS),
+	}
+}
+
+// Get returns the engine for digest, building it via build on a miss. The
+// returned outcome says how the request was answered; it is what the
+// response's cache field and the hit/miss/coalesced counters report.
+// Waiters abandoned by ctx return ctx's error while the leader's build
+// continues for everyone else; build errors are never cached.
+func (c *engineCache) Get(ctx context.Context, digest string, build func() (*core.Engine, error)) (*core.Engine, string, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[digest]; ok {
+		c.lru.MoveToFront(el)
+		eng := el.Value.(*cacheEntry).eng
+		c.mu.Unlock()
+		c.hits.Inc()
+		return eng, CacheHit, nil
+	}
+	if fl, ok := c.flights[digest]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		select {
+		case <-fl.done:
+			return fl.eng, CacheCoalesced, fl.err
+		case <-ctx.Done():
+			return nil, CacheCoalesced, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[digest] = fl
+	c.mu.Unlock()
+
+	start := time.Now()
+	fl.eng, fl.err = build()
+	c.buildUS.Observe(float64(time.Since(start).Microseconds()))
+
+	c.mu.Lock()
+	delete(c.flights, digest)
+	if fl.err == nil {
+		c.insertLocked(digest, fl.eng)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		c.buildErrors.Inc()
+		return nil, CacheMiss, fl.err
+	}
+	c.builds.Inc()
+	c.misses.Inc()
+	return fl.eng, CacheMiss, nil
+}
+
+// insertLocked adds a freshly built engine and evicts from the LRU tail
+// until the byte budget holds again. The newest entry is never evicted —
+// a cache whose budget is below one engine still serves repeat queries
+// for the latest problem — so the loop stops at length one.
+func (c *engineCache) insertLocked(digest string, eng *core.Engine) {
+	ent := &cacheEntry{digest: digest, eng: eng, bytes: eng.ArenaBytes()}
+	c.entries[digest] = c.lru.PushFront(ent)
+	c.bytes += ent.bytes
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		old := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, old.digest)
+		c.bytes -= old.bytes
+		c.evicted.Inc()
+	}
+	c.bytesG.Set(float64(c.bytes))
+	c.entriesG.Set(float64(c.lru.Len()))
+}
+
+// Stats returns the cache's current occupancy (for /healthz).
+func (c *engineCache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.bytes
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"roadside/internal/core"
+	"roadside/internal/flow"
+	"roadside/internal/graph"
+	"roadside/internal/utility"
+)
+
+// The wire format. A problem travels exactly like a roadside-repro/v1
+// artifact's instance section: the graph and flows embedded via their
+// stable interchange codecs, the utility by name and threshold, plus the
+// shop branches and candidate restriction. Responses carry the problem's
+// digest and how the cache answered, so clients and load tests can audit
+// coalescing externally.
+
+// ProblemSpec is the problem section shared by every solve endpoint.
+type ProblemSpec struct {
+	Graph      json.RawMessage `json:"graph"`
+	Flows      json.RawMessage `json:"flows"`
+	Utility    string          `json:"utility"`
+	UtilityD   float64         `json:"utility_d"`
+	Shop       graph.NodeID    `json:"shop"`
+	ExtraShops []graph.NodeID  `json:"extra_shops,omitempty"`
+	Candidates []graph.NodeID  `json:"candidates,omitempty"`
+}
+
+// ProblemSpecOf captures p in wire form (the inverse of decodeProblem).
+func ProblemSpecOf(p *core.Problem) (ProblemSpec, error) {
+	var spec ProblemSpec
+	if p == nil || p.Graph == nil || p.Flows == nil || p.Utility == nil {
+		return spec, core.ErrNilField
+	}
+	var gbuf, fbuf bytes.Buffer
+	if err := p.Graph.WriteJSON(&gbuf); err != nil {
+		return spec, fmt.Errorf("serve: encode graph: %w", err)
+	}
+	if err := p.Flows.WriteJSON(&fbuf); err != nil {
+		return spec, fmt.Errorf("serve: encode flows: %w", err)
+	}
+	return ProblemSpec{
+		Graph:      json.RawMessage(bytes.TrimSpace(gbuf.Bytes())),
+		Flows:      json.RawMessage(bytes.TrimSpace(fbuf.Bytes())),
+		Utility:    p.Utility.Name(),
+		UtilityD:   p.Utility.Threshold(),
+		Shop:       p.Shop,
+		ExtraShops: append([]graph.NodeID(nil), p.ExtraShops...),
+		Candidates: append([]graph.NodeID(nil), p.Candidates...),
+	}, nil
+}
+
+// PlaceRequest asks for an optimized placement.
+type PlaceRequest struct {
+	ProblemSpec
+	K int `json:"k"`
+	// Algo selects the solver: algorithm1, algorithm2 (default), combined,
+	// or lazy.
+	Algo string `json:"algo,omitempty"`
+	// TimeoutMS optionally lowers the per-request deadline below the
+	// server's ceiling.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// PlaceResponse is the solved placement.
+type PlaceResponse struct {
+	Digest    string         `json:"digest"`
+	Cache     string         `json:"cache"` // hit | miss | coalesced
+	Algo      string         `json:"algo"`
+	K         int            `json:"k"`
+	Nodes     []graph.NodeID `json:"nodes"`
+	Attracted float64        `json:"attracted"`
+	StepGains []float64      `json:"step_gains,omitempty"`
+	StepKinds []string       `json:"step_kinds,omitempty"`
+}
+
+// EvaluateRequest scores a given placement.
+type EvaluateRequest struct {
+	ProblemSpec
+	Placement []graph.NodeID `json:"placement"`
+	TimeoutMS float64        `json:"timeout_ms,omitempty"`
+}
+
+// FlowAttraction is one flow's share of an evaluated placement. Covered
+// reports whether any placed RAP sits on the flow's path with a finite
+// detour; Detour/Prob/Attracted are zero when it does not (never
+// infinities — the wire format stays plain JSON).
+type FlowAttraction struct {
+	Flow      int     `json:"flow"`
+	ID        string  `json:"id,omitempty"`
+	Covered   bool    `json:"covered"`
+	Detour    float64 `json:"detour,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	Attracted float64 `json:"attracted,omitempty"`
+}
+
+// EvaluateResponse is the objective plus its per-flow decomposition.
+type EvaluateResponse struct {
+	Digest    string           `json:"digest"`
+	Cache     string           `json:"cache"`
+	Objective float64          `json:"objective"`
+	Flows     []FlowAttraction `json:"flows"`
+}
+
+// DetourRequest asks for the detour structure at a set of intersections.
+type DetourRequest struct {
+	ProblemSpec
+	Nodes     []graph.NodeID `json:"nodes"`
+	TimeoutMS float64        `json:"timeout_ms,omitempty"`
+}
+
+// NodeDetours is one queried intersection: which flows pass it and at what
+// detour, plus the standalone objective of a single RAP there. Flows whose
+// detour at the node is infinite (no shop reachable) are reported with
+// Reachable false and no Detour value.
+type NodeDetours struct {
+	Node           graph.NodeID  `json:"node"`
+	Visits         []DetourVisit `json:"visits"`
+	StandaloneGain float64       `json:"standalone_gain"`
+}
+
+// DetourVisit is one (flow, detour) incidence at a queried node.
+type DetourVisit struct {
+	Flow      int     `json:"flow"`
+	Reachable bool    `json:"reachable"`
+	Detour    float64 `json:"detour,omitempty"`
+}
+
+// DetourResponse answers a detour query.
+type DetourResponse struct {
+	Digest string        `json:"digest"`
+	Cache  string        `json:"cache"`
+	Nodes  []NodeDetours `json:"nodes"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status       string  `json:"status"`
+	UptimeS      float64 `json:"uptime_s"`
+	CacheEntries int64   `json:"cache_entries"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	Draining     bool    `json:"draining"`
+}
+
+// APIError is a machine-readable request failure: Code is stable and
+// asserted by the e2e battery, Message is human context.
+type APIError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+// ErrorResponse is the wire shape of every non-2xx response.
+type ErrorResponse struct {
+	Err APIError `json:"error"`
+}
+
+func errorf(status int, code, format string, args ...any) *APIError {
+	return &APIError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// decodeProblem turns a wire problem into a validated core.Problem with
+// budget k. Every failure maps to a stable error code; nothing here may
+// panic on adversarial input (FuzzServeRequest enforces that through the
+// endpoint decoders above it).
+func decodeProblem(spec *ProblemSpec, k int) (*core.Problem, *APIError) {
+	if len(spec.Graph) == 0 {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_graph", "missing graph")
+	}
+	if len(spec.Flows) == 0 {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "missing flows")
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(spec.Graph))
+	if err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_graph", "graph: %v", err)
+	}
+	flows, err := flow.ReadJSON(bytes.NewReader(spec.Flows))
+	if err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "flows: %v", err)
+	}
+	// Engine preprocessing walks every flow path, so paths must be real
+	// walks of this graph before they get near the arenas.
+	if err := flows.ValidateAll(g); err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "flows: %v", err)
+	}
+	u, err := utility.ByName(spec.Utility, spec.UtilityD)
+	if err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "unknown_utility",
+			"utility %q (D=%g): %v", spec.Utility, spec.UtilityD, err)
+	}
+	p := &core.Problem{
+		Graph:      g,
+		Shop:       spec.Shop,
+		ExtraShops: append([]graph.NodeID(nil), spec.ExtraShops...),
+		Flows:      flows,
+		Utility:    u,
+		K:          k,
+		Candidates: append([]graph.NodeID(nil), spec.Candidates...),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_problem", "%v", err)
+	}
+	return p, nil
+}
+
+// decodePlaceRequest parses and structurally validates a /v1/place body.
+func decodePlaceRequest(body []byte) (*PlaceRequest, *core.Problem, *APIError) {
+	var req PlaceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+	}
+	if req.K < 1 {
+		return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_budget", "k=%d, need k >= 1", req.K)
+	}
+	if req.Algo == "" {
+		req.Algo = "algorithm2"
+	}
+	if _, ok := solvers[req.Algo]; !ok {
+		return nil, nil, errorf(http.StatusUnprocessableEntity, "unknown_algo",
+			"algo %q (want algorithm1, algorithm2, combined, or lazy)", req.Algo)
+	}
+	p, apiErr := decodeProblem(&req.ProblemSpec, req.K)
+	if apiErr != nil {
+		return nil, nil, apiErr
+	}
+	return &req, p, nil
+}
+
+// decodeEvaluateRequest parses and validates a /v1/evaluate body. The
+// returned problem carries K=1: evaluation ignores the budget, and the
+// digest excludes it, so the engine is shared with placement queries.
+func decodeEvaluateRequest(body []byte) (*EvaluateRequest, *core.Problem, *APIError) {
+	var req EvaluateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+	}
+	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
+	if apiErr != nil {
+		return nil, nil, apiErr
+	}
+	for _, v := range req.Placement {
+		if !p.Graph.ValidNode(v) {
+			return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_placement",
+				"placement node %d is not a node of the graph", v)
+		}
+	}
+	return &req, p, nil
+}
+
+// decodeDetourRequest parses and validates a /v1/detour body.
+func decodeDetourRequest(body []byte) (*DetourRequest, *core.Problem, *APIError) {
+	var req DetourRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+	}
+	if len(req.Nodes) == 0 {
+		return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_nodes", "empty node set")
+	}
+	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
+	if apiErr != nil {
+		return nil, nil, apiErr
+	}
+	for _, v := range req.Nodes {
+		if !p.Graph.ValidNode(v) {
+			return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_nodes",
+				"node %d is not a node of the graph", v)
+		}
+	}
+	return &req, p, nil
+}
+
+// solvers maps wire algo names onto the core solvers.
+var solvers = map[string]func(*core.Engine) (*core.Placement, error){
+	"algorithm1": core.Algorithm1,
+	"algorithm2": core.Algorithm2,
+	"combined":   core.GreedyCombined,
+	"lazy":       core.GreedyLazy,
+}
+
+// writeJSON writes v as the response body. Encoding failures at this point
+// cannot be reported to the client (the status line is gone), so they are
+// swallowed after a best-effort write; response types contain no
+// non-finite floats by construction.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	//lint:ignore errdrop headers are already sent; the client sees a truncated body either way
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform machine-readable error shape.
+func writeError(w http.ResponseWriter, e *APIError) {
+	writeJSON(w, e.Status, ErrorResponse{Err: *e})
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadside/internal/graph"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+// FuzzServeRequest feeds arbitrary bytes through every endpoint decoder and
+// the full /v1/place handler: decoders must never panic, must return a
+// well-formed APIError (4xx/5xx with a stable code) on rejection, and must
+// only accept bodies that decode to a validated problem. The checked-in
+// corpus under testdata/fuzz/FuzzServeRequest seeds the interesting shapes;
+// verify.sh runs this target in its fuzz smoke.
+func FuzzServeRequest(f *testing.F) {
+	spec, err := ProblemSpecOf(testutil.Fig4Problem(f, utility.Linear{D: 10}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(PlaceRequest{ProblemSpec: spec, K: 2, Algo: "algorithm2"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	evalBody, err := json.Marshal(EvaluateRequest{ProblemSpec: spec, Placement: []graph.NodeID{2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(evalBody)
+	f.Add([]byte(`{"k":1}`))
+	f.Add(valid[:len(valid)/2]) // truncated mid-structure
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"graph":{"version":"bogus"},"flows":[],"k":-1}`))
+
+	srv := New(Config{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		checkErr := func(what string, apiErr *APIError) {
+			t.Helper()
+			if apiErr == nil {
+				return
+			}
+			if apiErr.Status < 400 || apiErr.Status > 599 {
+				t.Errorf("%s: error status %d outside 4xx/5xx", what, apiErr.Status)
+			}
+			if apiErr.Code == "" {
+				t.Errorf("%s: empty error code", what)
+			}
+		}
+		if req, p, apiErr := decodePlaceRequest(body); apiErr != nil {
+			checkErr("place", apiErr)
+		} else if req == nil || p == nil || p.Validate() != nil {
+			t.Error("place: accepted body decoded to an invalid problem")
+		}
+		if req, p, apiErr := decodeEvaluateRequest(body); apiErr != nil {
+			checkErr("evaluate", apiErr)
+		} else if req == nil || p == nil || p.Validate() != nil {
+			t.Error("evaluate: accepted body decoded to an invalid problem")
+		}
+		if req, p, apiErr := decodeDetourRequest(body); apiErr != nil {
+			checkErr("detour", apiErr)
+		} else if req == nil || p == nil || p.Validate() != nil {
+			t.Error("detour: accepted body decoded to an invalid problem")
+		}
+
+		// End-to-end through the handler: whatever the body, the response
+		// must be well-formed JSON — a 200 result or the uniform error
+		// shape, never garbage and never a panic.
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/place", strings.NewReader(string(body)))
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			var pl PlaceResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &pl); err != nil {
+				t.Errorf("200 body is not a PlaceResponse: %v", err)
+			}
+		} else {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Err.Code == "" {
+				t.Errorf("status %d body is not the uniform error shape: %v (%s)",
+					rec.Code, err, rec.Body.Bytes())
+			}
+		}
+	})
+}

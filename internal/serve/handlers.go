@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"roadside/internal/core"
+	"roadside/internal/obs"
+)
+
+// solveHandler is one POST endpoint's body→response function. It returns
+// the 200 response value or a machine-readable failure; transport
+// concerns (method, draining, body limits, metrics) live in the
+// solveEndpoint wrapper so every endpoint behaves identically.
+type solveHandler func(r *http.Request, body []byte) (any, *APIError)
+
+// solveEndpoint wraps h with the shared request lifecycle: method check,
+// drain refusal, in-flight accounting, body size limiting, and the
+// per-endpoint request/error/latency metrics.
+func (s *Server) solveEndpoint(name string, h solveHandler) http.HandlerFunc {
+	requests := s.metrics.Counter("serve.http." + name + ".requests")
+	errorsC := s.metrics.Counter("serve.http." + name + ".errors")
+	latency := s.metrics.Histogram("serve.http."+name+".latency_us", obs.DurationBucketsUS)
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		defer func() { latency.Observe(float64(time.Since(start).Microseconds())) }()
+
+		if r.Method != http.MethodPost {
+			errorsC.Inc()
+			writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+				"%s requires POST, got %s", r.URL.Path, r.Method))
+			return
+		}
+		// Refuse before joining the in-flight group: Drain waits only on
+		// requests admitted before the flag flipped.
+		if s.draining.Load() {
+			errorsC.Inc()
+			writeError(w, errorf(http.StatusServiceUnavailable, "shutting_down",
+				"server is draining"))
+			return
+		}
+		s.inflight.Add(1)
+		s.inflightG.Set(float64(s.inflightN.Add(1)))
+		defer func() {
+			s.inflightG.Set(float64(s.inflightN.Add(-1)))
+			s.inflight.Done()
+		}()
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+		if err != nil {
+			errorsC.Inc()
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, errorf(http.StatusRequestEntityTooLarge, "body_too_large",
+					"request body exceeds %d bytes", s.cfg.MaxBody))
+			} else {
+				writeError(w, errorf(http.StatusBadRequest, "bad_json", "read body: %v", err))
+			}
+			return
+		}
+		resp, apiErr := h(r, body)
+		if apiErr != nil {
+			errorsC.Inc()
+			writeError(w, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// ctxError maps a context failure onto the wire. Both expiry and client
+// disconnect surface as deadline_exceeded: from the solver's point of view
+// the request's time ran out either way.
+func ctxError(err error) *APIError {
+	return errorf(http.StatusGatewayTimeout, "deadline_exceeded", "%v", err)
+}
+
+// engineFor resolves the request problem to a cached (or freshly built)
+// engine under the concurrency gate. The caller must hold nothing; the
+// gate slot covers build-or-wait AND the solve that follows, which is why
+// release is returned instead of deferred here. On error release has
+// already been called and the returned func is nil.
+func (s *Server) engineFor(ctx context.Context, p *core.Problem) (eng *core.Engine, digest, outcome string, release func(), apiErr *APIError) {
+	// Decode can outlive an aggressive timeout_ms; check once here so a
+	// pre-expired deadline fails deterministically before any engine work.
+	// The explicit deadline comparison matters: a just-created context whose
+	// timer has not fired yet still reports Err() == nil even when its
+	// deadline is already in the past.
+	if err := ctx.Err(); err != nil {
+		return nil, "", "", nil, ctxError(err)
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return nil, "", "", nil, ctxError(context.DeadlineExceeded)
+	}
+	digest, err := core.ProblemDigest(p)
+	if err != nil {
+		return nil, "", "", nil, errorf(http.StatusInternalServerError, "internal", "digest: %v", err)
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		return nil, "", "", nil, ctxError(err)
+	}
+	eng, outcome, err = s.cache.Get(ctx, digest, func() (*core.Engine, error) {
+		return core.NewEngine(p)
+	})
+	if err != nil {
+		s.gate.Release()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, "", "", nil, ctxError(err)
+		}
+		return nil, "", "", nil, errorf(http.StatusUnprocessableEntity, "bad_problem", "build engine: %v", err)
+	}
+	return eng, digest, outcome, s.gate.Release, nil
+}
+
+func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
+	req, p, apiErr := decodePlaceRequest(body)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	defer release()
+	budgeted, err := eng.WithBudget(req.K)
+	if err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "bad_budget", "%v", err)
+	}
+	pl, err := solvers[req.Algo](budgeted)
+	if err != nil {
+		return nil, errorf(http.StatusInternalServerError, "internal", "solve: %v", err)
+	}
+	return &PlaceResponse{
+		Digest:    digest,
+		Cache:     outcome,
+		Algo:      req.Algo,
+		K:         req.K,
+		Nodes:     pl.Nodes,
+		Attracted: pl.Attracted,
+		StepGains: pl.StepGains,
+		StepKinds: pl.StepKinds,
+	}, nil
+}
+
+func (s *Server) handleEvaluate(r *http.Request, body []byte) (any, *APIError) {
+	req, p, apiErr := decodeEvaluateRequest(body)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	defer release()
+	flows := make([]FlowAttraction, p.Flows.Len())
+	for f := range flows {
+		fl := p.Flows.At(f)
+		fa := FlowAttraction{Flow: f, ID: fl.ID}
+		if d := eng.FlowDetour(f, req.Placement); !math.IsInf(d, 1) {
+			fa.Covered = true
+			fa.Detour = d
+			fa.Prob = p.Utility.Prob(d, fl.Alpha)
+			fa.Attracted = fa.Prob * fl.Volume
+		}
+		flows[f] = fa
+	}
+	return &EvaluateResponse{
+		Digest:    digest,
+		Cache:     outcome,
+		Objective: eng.Evaluate(req.Placement),
+		Flows:     flows,
+	}, nil
+}
+
+func (s *Server) handleDetour(r *http.Request, body []byte) (any, *APIError) {
+	req, p, apiErr := decodeDetourRequest(body)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	defer release()
+	nodes := make([]NodeDetours, len(req.Nodes))
+	for i, v := range req.Nodes {
+		visits := eng.VisitsAt(v)
+		nd := NodeDetours{Node: v, Visits: make([]DetourVisit, len(visits)), StandaloneGain: eng.StandaloneGain(v)}
+		for j, vis := range visits {
+			dv := DetourVisit{Flow: vis.Flow}
+			if !math.IsInf(vis.Detour, 1) {
+				dv.Reachable = true
+				dv.Detour = vis.Detour
+			}
+			nd.Visits[j] = dv
+		}
+		nodes[i] = nd
+	}
+	return &DetourResponse{Digest: digest, Cache: outcome, Nodes: nodes}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+			"/healthz requires GET, got %s", r.Method))
+		return
+	}
+	entries, bytes := s.cache.Stats()
+	writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:       "ok",
+		UptimeS:      time.Since(s.start).Seconds(),
+		CacheEntries: int64(entries),
+		CacheBytes:   bytes,
+		Draining:     s.draining.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+			"/metrics requires GET, got %s", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//lint:ignore errdrop headers are already sent; a failed write only truncates the export
+	_ = s.metrics.WriteText(w)
+}

@@ -138,6 +138,17 @@ type Engine = core.Engine
 // NewEngine validates a problem and precomputes all detour distances.
 func NewEngine(p *Problem) (*Engine, error) { return core.NewEngine(p) }
 
+// DigestVersion prefixes every problem digest; it changes whenever the
+// canonical encoding changes.
+const DigestVersion = core.DigestVersion
+
+// ProblemDigest returns the stable content digest of a problem: equal
+// digests mean interchangeable engines. The budget K is excluded — one
+// engine answers every budget. It is the cache key of the placement query
+// service (internal/serve, cmd/serverap) and the canonical way to label a
+// problem instance in reports and benchmarks.
+func ProblemDigest(p *Problem) (string, error) { return core.ProblemDigest(p) }
+
 // Algorithm1 is the paper's greedy maximum-coverage solution (threshold
 // utility, ratio 1-1/e).
 func Algorithm1(e *Engine) (*Placement, error) { return core.Algorithm1(e) }

@@ -5,7 +5,8 @@
 #   1. total statement coverage drops below the checked-in floor
 #      (results/COVERAGE_baseline.txt), or
 #   2. a per-package floor is violated (cmd/figures and cmd/bench carry
-#      explicit 75% floors from the harness-coverage work).
+#      explicit 75% floors from the harness-coverage work; internal/serve
+#      carries an 80% floor from the placement-service work).
 #
 # The profile is left at ${COVER_PROFILE:-/tmp/coverage.out} so CI can
 # upload it as an artifact. Raise the baseline when coverage improves;
@@ -42,5 +43,6 @@ check_pkg() {
 }
 check_pkg roadside/cmd/figures 75
 check_pkg roadside/cmd/bench 75
+check_pkg roadside/internal/serve 80
 
 echo "coverage gate: passed (profile at $profile)"

@@ -22,6 +22,9 @@ go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
 echo "==> fuzz smoke: FuzzReproRoundTrip (10s)"
 go test -run '^$' -fuzz '^FuzzReproRoundTrip$' -fuzztime 10s ./internal/invariant
 
+echo "==> fuzz smoke: FuzzServeRequest (10s)"
+go test -run '^$' -fuzz '^FuzzServeRequest$' -fuzztime 10s ./internal/serve
+
 echo "==> invariant soak (short: 25 instances, all registered invariants)"
 go run ./cmd/soak -instances 25 -seed 2015 -out /tmp/soak_artifacts -metrics \
     > /tmp/soak_verify.txt
@@ -30,6 +33,12 @@ grep -q 'all invariants hold' /tmp/soak_verify.txt \
 
 echo "==> roadsidelint"
 go run ./cmd/roadsidelint ./...
+
+echo "==> serverap load smoke (3s loopback, bit-identity checked per response)"
+go run ./cmd/serverap -load 3s -clients 4 -problems 3 \
+    -metrics-out /tmp/serverap_metrics.txt > /tmp/serverap_load.txt
+grep -q ' 0 failures' /tmp/serverap_load.txt \
+    || { echo "serverap load smoke reported failures"; cat /tmp/serverap_load.txt; exit 1; }
 
 echo "==> bench smoke (quick mode, report-only + instrumented run)"
 # Report-only on purpose: ns/op is machine-dependent, so the tier-1 gate
