@@ -1,23 +1,31 @@
 // Command roadsidelint runs the project's static-analysis suite over the
 // module and reports findings as "file:line: [check] message". It exits 0
-// when the tree is clean, 1 when any finding survives suppression, and 2
-// on load or usage errors.
+// when the tree is clean, 1 when any finding survives suppression (and the
+// baseline, when one is given), and 2 on load or usage errors.
 //
 // Usage:
 //
-//	roadsidelint [-json] [-checks a,b,c] [-list] [packages]
+//	roadsidelint [-json] [-checks a,b,c] [-severity warn] [-list]
+//	             [-baseline file] [-update-baseline] [packages]
 //
 // The package arguments are accepted for familiarity ("./...") but the
 // tool always analyzes the whole module containing the working directory:
 // the layering check is only meaningful over the full package DAG.
+//
+// With -baseline, known findings recorded in the file are tolerated and
+// only new ones gate: the ratchet. -update-baseline rewrites the file
+// from the current findings; review the diff like any other code change —
+// the baseline may shrink freely but should only grow with a reason.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"roadside/internal/lint"
 )
@@ -26,22 +34,49 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// report is the -json output shape: the run's configuration, its timing,
+// and both the full finding list and the baseline-surviving subset, so CI
+// can archive one artifact that answers "what fired" and "what gates".
+type report struct {
+	Version     string         `json:"version"`
+	Module      string         `json:"module"`
+	Checks      []string       `json:"checks"`
+	MinSeverity string         `json:"min_severity"`
+	WallMS      int64          `json:"wall_ms"`
+	Count       int            `json:"count"`
+	Known       int            `json:"known"`
+	Findings    []lint.Finding `json:"findings"`
+	NewFindings []lint.Finding `json:"new_findings"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("roadsidelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit a JSON report object")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list registered checks and exit")
 	dir := fs.String("C", ".", "directory whose module is analyzed")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings; only new findings gate")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings")
+	minSeverity := fs.String("severity", "info", "minimum severity to report (info, warn, error)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %-5s %s\n", a.Name, a.Severity, a.Doc)
 		}
 		return 0
+	}
+	minSev, err := lint.ParseSeverity(*minSeverity)
+	if err != nil {
+		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+		return 2
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "roadsidelint: -update-baseline requires -baseline")
+		return 2
 	}
 
 	analyzers := lint.Analyzers()
@@ -57,31 +92,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 			analyzers = append(analyzers, a)
 		}
 	}
+	checkNames := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		checkNames[i] = a.Name
+	}
 
 	root, module, err := lint.FindModuleRoot(*dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
 		return 2
 	}
+	start := time.Now()
 	loader := lint.NewLoader(root, module)
 	pkgs, err := loader.Load()
 	if err != nil {
 		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
 		return 2
 	}
-	findings := lint.Run(loader.Fset(), pkgs, analyzers)
+	findings := lint.FilterSeverity(lint.Run(loader.Fset(), pkgs, analyzers), minSev)
+	wallMS := time.Since(start).Milliseconds()
 
-	if *jsonOut {
-		if err := lint.WriteJSON(stdout, findings); err != nil {
+	if *updateBaseline {
+		b := lint.NewBaseline(root, findings, wallMS,
+			time.Now().UTC().Format(time.RFC3339),
+			fmt.Sprintf("load+suite wall-clock %d ms over %d package(s); regenerate with roadsidelint -baseline %s -update-baseline", wallMS, len(pkgs), *baselinePath),
+			checkNames)
+		if err := lint.WriteBaseline(*baselinePath, b); err != nil {
 			fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
 			return 2
 		}
-	} else if err := lint.WriteText(stdout, findings); err != nil {
+		fmt.Fprintf(stderr, "roadsidelint: baseline %s updated with %d finding(s)\n", *baselinePath, len(findings))
+		return 0
+	}
+
+	newFindings := findings
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+			return 2
+		}
+		newFindings = b.Unknown(root, findings)
+	}
+
+	if *jsonOut {
+		rep := report{
+			Version:     "roadside-lint/v1",
+			Module:      module,
+			Checks:      checkNames,
+			MinSeverity: string(minSev),
+			WallMS:      wallMS,
+			Count:       len(findings),
+			Known:       len(findings) - len(newFindings),
+			Findings:    findings,
+			NewFindings: newFindings,
+		}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
+		if rep.NewFindings == nil {
+			rep.NewFindings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
+			return 2
+		}
+	} else if err := lint.WriteText(stdout, newFindings); err != nil {
 		fmt.Fprintf(stderr, "roadsidelint: %v\n", err)
 		return 2
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "roadsidelint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if known := len(findings) - len(newFindings); known > 0 {
+		fmt.Fprintf(stderr, "roadsidelint: %d known finding(s) suppressed by baseline %s\n", known, *baselinePath)
+	}
+	if len(newFindings) > 0 {
+		fmt.Fprintf(stderr, "roadsidelint: %d new finding(s) in %d package(s)\n", len(newFindings), len(pkgs))
 		return 1
 	}
 	return 0

@@ -3,12 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
 const fixtureDir = "../../internal/lint/testdata/src"
+
+// allChecks is the full analyzer inventory the CLI must expose.
+var allChecks = []string{
+	"floatcmp", "layering", "goroutineguard", "errdrop", "seededrand", "mutatearg",
+	"maporder", "detrand", "floataccum", "atomicmix", "ctxflow", "errcode",
+}
 
 func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
@@ -22,10 +29,14 @@ func TestListChecks(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"floatcmp", "layering", "goroutineguard", "errdrop", "seededrand", "mutatearg"} {
+	for _, name := range allChecks {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
+	}
+	// The severity column distinguishes the advisory tier.
+	if !strings.Contains(out, "warn") || !strings.Contains(out, "error") {
+		t.Errorf("-list output missing severity column:\n%s", out)
 	}
 }
 
@@ -36,6 +47,26 @@ func TestUnknownCheck(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "bogus") {
 		t.Errorf("stderr does not name the unknown check: %s", errOut)
+	}
+}
+
+func TestBadSeverity(t *testing.T) {
+	code, _, errOut := runCapture(t, "-severity", "fatal")
+	if code != 2 {
+		t.Errorf("bad severity exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "fatal") {
+		t.Errorf("stderr does not name the bad severity: %s", errOut)
+	}
+}
+
+func TestUpdateBaselineRequiresPath(t *testing.T) {
+	code, _, errOut := runCapture(t, "-update-baseline")
+	if code != 2 {
+		t.Errorf("-update-baseline without -baseline exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-baseline") {
+		t.Errorf("stderr does not explain the missing flag: %s", errOut)
 	}
 }
 
@@ -54,9 +85,9 @@ func TestFixtureViolations(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("fixture run exit = %d, want 1\n%s", code, out)
 	}
-	for _, check := range []string{"[floatcmp]", "[layering]", "[goroutineguard]", "[errdrop]", "[seededrand]", "[mutatearg]"} {
-		if !strings.Contains(out, check) {
-			t.Errorf("fixture output missing %s findings:\n%s", check, out)
+	for _, check := range allChecks {
+		if !strings.Contains(out, "["+check+"]") {
+			t.Errorf("fixture output missing [%s] findings:\n%s", check, out)
 		}
 	}
 	first := strings.SplitN(out, "\n", 2)[0]
@@ -65,34 +96,139 @@ func TestFixtureViolations(t *testing.T) {
 	}
 }
 
+// TestSeverityFilter drops the warn-tier detrand findings at -severity
+// error while keeping the error-tier ones.
+func TestSeverityFilter(t *testing.T) {
+	code, out, _ := runCapture(t, "-C", fixtureDir, "-severity", "error")
+	if code != 1 {
+		t.Fatalf("fixture -severity error exit = %d, want 1\n%s", code, out)
+	}
+	if strings.Contains(out, "[detrand]") {
+		t.Errorf("-severity error did not drop warn-tier detrand findings:\n%s", out)
+	}
+	if !strings.Contains(out, "[maporder]") {
+		t.Errorf("-severity error dropped error-tier maporder findings:\n%s", out)
+	}
+}
+
 func TestFixtureJSON(t *testing.T) {
 	code, out, _ := runCapture(t, "-C", fixtureDir, "-json", "-checks", "layering")
 	if code != 1 {
 		t.Fatalf("fixture -json exit = %d, want 1\n%s", code, out)
 	}
-	var findings []struct {
-		File    string `json:"file"`
-		Line    int    `json:"line"`
-		Check   string `json:"check"`
-		Message string `json:"message"`
+	var rep struct {
+		Version     string   `json:"version"`
+		Module      string   `json:"module"`
+		Checks      []string `json:"checks"`
+		MinSeverity string   `json:"min_severity"`
+		Count       int      `json:"count"`
+		Known       int      `json:"known"`
+		Findings    []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Check    string `json:"check"`
+			Severity string `json:"severity"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		NewFindings []json.RawMessage `json:"new_findings"`
 	}
-	if err := json.Unmarshal([]byte(out), &findings); err != nil {
-		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not a JSON report object: %v\n%s", err, out)
 	}
-	if len(findings) == 0 {
-		t.Fatal("-json reported no layering findings in fixtures")
+	if rep.Version != "roadside-lint/v1" {
+		t.Errorf("report version = %q", rep.Version)
 	}
-	for _, f := range findings {
+	if rep.Module != "fixture" {
+		t.Errorf("report module = %q, want fixture", rep.Module)
+	}
+	if len(rep.Checks) != 1 || rep.Checks[0] != "layering" {
+		t.Errorf("report checks = %v, want [layering]", rep.Checks)
+	}
+	if len(rep.Findings) == 0 || rep.Count != len(rep.Findings) {
+		t.Fatalf("report count %d does not match %d findings", rep.Count, len(rep.Findings))
+	}
+	// Without a baseline nothing is known: new_findings mirrors findings.
+	if rep.Known != 0 || len(rep.NewFindings) != len(rep.Findings) {
+		t.Errorf("baseline-less run has known=%d new=%d of %d", rep.Known, len(rep.NewFindings), len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
 		// Malformed-directive findings come from the engine itself and are
 		// reported under any -checks selection.
 		if f.Check != "layering" && f.Check != "lintdirective" {
 			t.Errorf("-checks layering leaked %q finding", f.Check)
 		}
-		if f.File == "" || f.Line == 0 || f.Message == "" {
+		if f.File == "" || f.Line == 0 || f.Message == "" || f.Severity == "" {
 			t.Errorf("incomplete JSON finding: %+v", f)
 		}
-		if filepath.Base(filepath.Dir(filepath.Dir(f.File))) == "" {
-			t.Errorf("finding has no usable path: %+v", f)
+	}
+}
+
+// TestBaselineRatchet exercises the full ratchet loop on the fixture tree:
+// record a baseline, rerun clean against it, then confirm a tightened
+// baseline makes the same findings gate again.
+func TestBaselineRatchet(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, errOut := runCapture(t, "-C", fixtureDir, "-baseline", baseline, "-update-baseline")
+	if code != 0 {
+		t.Fatalf("-update-baseline exit = %d: %s", code, errOut)
+	}
+
+	code, out, errOut := runCapture(t, "-C", fixtureDir, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("baselined rerun exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("baselined rerun printed findings:\n%s", out)
+	}
+	if !strings.Contains(errOut, "known finding(s) suppressed") {
+		t.Errorf("baselined rerun did not report suppression: %s", errOut)
+	}
+
+	// Drop one known finding from the baseline: exactly that finding must
+	// come back as new.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b map[string]any
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	findings := b["findings"].(map[string]any)
+	var dropped string
+	for key := range findings {
+		if strings.Contains(key, "maporder") {
+			dropped = key
+			break
 		}
+	}
+	if dropped == "" {
+		t.Fatal("no maporder key in baseline")
+	}
+	delete(findings, dropped)
+	data, err = json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ = runCapture(t, "-C", fixtureDir, "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("tightened baseline exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[maporder]") {
+		t.Errorf("tightened baseline did not resurface the maporder finding:\n%s", out)
+	}
+
+	// A corrupt baseline is a load error, not a silent pass.
+	if err := os.WriteFile(baseline, []byte(`{"version":"bogus/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCapture(t, "-C", fixtureDir, "-baseline", baseline)
+	if code != 2 {
+		t.Errorf("corrupt baseline exit = %d, want 2: %s", code, errOut)
 	}
 }

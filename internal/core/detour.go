@@ -61,6 +61,13 @@ type Engine struct {
 }
 
 // defaultWorkers is the worker count used by the exported entry points.
+// The machine-dependent read is safe here: results are bit-identical at
+// any worker count (par.Do writes index-disjoint slots, assembled in
+// deterministic order), so GOMAXPROCS only sets the degree of
+// parallelism, never the output — the parallel-identity battery enforces
+// exactly this.
+//
+//lint:ignore detrand worker count affects speed only; parallel-identity tests pin bit-equality across counts
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // NewEngine validates the problem and precomputes all detour distances,

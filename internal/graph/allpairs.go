@@ -28,6 +28,9 @@ type AllPairs struct {
 func NewAllPairs(g *Graph) *AllPairs {
 	n := g.NumNodes()
 	ap := &AllPairs{n: n, dist: make([]float64, n*n)}
+	// Each Dijkstra writes its own row, so the worker count changes
+	// speed, not output (TestAllPairsParallelConsistency pins this).
+	//lint:ignore detrand worker count affects speed only; row-disjoint writes keep output identical
 	par.Do(n, runtime.GOMAXPROCS(0), func(src int) {
 		dist, _ := g.dijkstra(NodeID(src), false)
 		copy(ap.dist[src*n:(src+1)*n], dist)

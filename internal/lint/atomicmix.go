@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "atomicmix",
+		Doc:      "flags struct fields accessed both through sync/atomic and through plain loads/stores",
+		Severity: SeverityError,
+		Run:      runAtomicMix,
+	})
+}
+
+// runAtomicMix makes two passes over a package. The first records every
+// struct field whose address is handed to a sync/atomic package-level
+// function (atomic.AddInt64(&s.n, 1)) and exempts those selector nodes.
+// The second flags any other selector resolving to a recorded field: a
+// plain load or store of a field that is elsewhere accessed atomically is
+// a data race the race detector only catches when the schedule cooperates.
+//
+// Typed atomics (atomic.Int64 and friends) never trip the check — their
+// methods take a receiver, not a package-level call with an address — and
+// are the recommended fix.
+func runAtomicMix(p *Pass) {
+	type fieldUse struct {
+		pos  token.Position
+		name string
+	}
+	atomicFields := map[*types.Var]fieldUse{}
+	exempt := map[*ast.SelectorExpr]bool{}
+
+	for _, n := range p.Inspector.Nodes((*ast.CallExpr)(nil)) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicPkgCall(p, call) || len(call.Args) == 0 {
+			continue
+		}
+		addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			continue
+		}
+		sel, ok := unparen(addr.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		field := fieldOf(p, sel)
+		if field == nil {
+			continue
+		}
+		exempt[sel] = true
+		if _, seen := atomicFields[field]; !seen {
+			atomicFields[field] = fieldUse{pos: p.Fset.Position(call.Pos()), name: sel.Sel.Name}
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, n := range p.Inspector.Nodes((*ast.SelectorExpr)(nil)) {
+		sel := n.(*ast.SelectorExpr)
+		if exempt[sel] {
+			continue
+		}
+		field := fieldOf(p, sel)
+		if field == nil {
+			continue
+		}
+		use, isAtomic := atomicFields[field]
+		if !isAtomic {
+			continue
+		}
+		p.Reportf(sel.Pos(), "field %s is accessed atomically at %s:%d but plainly here; use sync/atomic (or a typed atomic) for every access", use.name, shortFile(use.pos.Filename), use.pos.Line)
+	}
+}
+
+// isAtomicPkgCall reports whether call targets a package-level sync/atomic
+// function (methods on typed atomics have receivers and do not count).
+func isAtomicPkgCall(p *Pass, call *ast.CallExpr) bool {
+	fn := CalleeOf(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := p.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// shortFile trims the path to its final element for compact messages.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

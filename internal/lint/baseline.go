@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineVersion tags the on-disk baseline format. Readers reject any
+// other version so a format change can never be silently misread as an
+// empty (or full) set of known findings.
+const BaselineVersion = "roadside-lint-baseline/v1"
+
+// Baseline is the checked-in set of known findings the ratchet gate
+// tolerates. Keys are "relpath|check|message" — deliberately
+// line-insensitive, so unrelated edits that shift a known finding up or
+// down a file do not break the build, while any genuinely new finding
+// (new file, new check, new message) does. Counts allow several identical
+// findings per key.
+type Baseline struct {
+	Version string `json:"version"`
+	// Created is an informational timestamp string; the gate ignores it.
+	Created string `json:"created,omitempty"`
+	// Note carries free-form context, e.g. the suite wall-clock at the
+	// time the baseline was recorded.
+	Note string `json:"note,omitempty"`
+	// WallMS is the full-suite wall-clock in milliseconds when the
+	// baseline was last updated, so lint runtime regressions are visible
+	// in review diffs.
+	WallMS int64 `json:"wall_ms,omitempty"`
+	// Checks lists the analyzers that were registered when the baseline
+	// was recorded, sorted; purely informational.
+	Checks []string `json:"checks,omitempty"`
+	// Findings maps baseline keys to the number of known findings with
+	// that key.
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineKey builds the line-insensitive identity of a finding, with the
+// file path made relative to root and slash-normalized so baselines are
+// portable across checkouts and operating systems.
+func baselineKey(root string, f Finding) string {
+	file := f.File
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file) + "|" + f.Check + "|" + f.Message
+}
+
+// NewBaseline records the given findings as the known set.
+func NewBaseline(root string, findings []Finding, wallMS int64, created, note string, checks []string) *Baseline {
+	b := &Baseline{
+		Version:  BaselineVersion,
+		Created:  created,
+		Note:     note,
+		WallMS:   wallMS,
+		Checks:   append([]string(nil), checks...),
+		Findings: map[string]int{},
+	}
+	sort.Strings(b.Checks)
+	for _, f := range findings {
+		b.Findings[baselineKey(root, f)]++
+	}
+	return b
+}
+
+// ReadBaseline loads and validates a baseline file. Every failure mode —
+// missing file, bad JSON, wrong version — is an error, never a panic and
+// never an empty baseline: the gate must not pass by accident.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read baseline: %w", err)
+	}
+	b, err := DecodeBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// DecodeBaseline parses baseline JSON and validates the version tag.
+func DecodeBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("unsupported baseline version %q (want %q)", b.Version, BaselineVersion)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Encode renders the baseline as stable, human-diffable JSON (keys sorted
+// by encoding/json's map ordering, two-space indent, trailing newline).
+func (b *Baseline) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteBaseline writes the baseline to path, creating parent directories.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Unknown applies the ratchet: it returns the findings not covered by the
+// baseline, preserving input order. A finding is covered while the
+// baseline still has budget for its key — the i-th finding with a key is
+// new once i reaches the baseline count, so growing a known finding from
+// 2 occurrences to 3 fails even though the key is known.
+func (b *Baseline) Unknown(root string, findings []Finding) []Finding {
+	used := make(map[string]int, len(findings))
+	var out []Finding
+	for _, f := range findings {
+		key := baselineKey(root, f)
+		if used[key] < b.Findings[key] {
+			used[key]++
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

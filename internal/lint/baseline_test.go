@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRatchetSemantics(t *testing.T) {
+	root := "/repo"
+	f := func(file, check, msg string, line int) Finding {
+		return Finding{File: file, Line: line, Check: check, Message: msg}
+	}
+	known := []Finding{
+		f("/repo/internal/core/a.go", "detrand", "clock read", 10),
+		f("/repo/internal/core/a.go", "detrand", "clock read", 40),
+		f("/repo/internal/serve/b.go", "errcode", "literal", 7),
+	}
+	b := NewBaseline(root, known, 1500, "2026-01-01T00:00:00Z", "note", []string{"detrand", "errcode"})
+
+	// The identical findings are all known, even at different lines.
+	moved := []Finding{
+		f("/repo/internal/core/a.go", "detrand", "clock read", 11),
+		f("/repo/internal/core/a.go", "detrand", "clock read", 44),
+		f("/repo/internal/serve/b.go", "errcode", "literal", 9),
+	}
+	if unknown := b.Unknown(root, moved); len(unknown) != 0 {
+		t.Errorf("line moves should stay known, got %d new: %v", len(unknown), unknown)
+	}
+
+	// A third occurrence of a key with count 2 is new.
+	grown := append(moved, f("/repo/internal/core/a.go", "detrand", "clock read", 90))
+	if unknown := b.Unknown(root, grown); len(unknown) != 1 {
+		t.Errorf("count growth should gate, got %d new", len(unknown))
+	}
+
+	// A different message is a different key.
+	reworded := []Finding{f("/repo/internal/serve/b.go", "errcode", "other literal", 7)}
+	if unknown := b.Unknown(root, reworded); len(unknown) != 1 {
+		t.Errorf("reworded finding should be new, got %d", len(unknown))
+	}
+
+	// Fewer findings than the baseline is always fine.
+	if unknown := b.Unknown(root, known[:1]); len(unknown) != 0 {
+		t.Errorf("shrinking should pass, got %d new", len(unknown))
+	}
+}
+
+func TestBaselineKeysAreRootRelative(t *testing.T) {
+	in := []Finding{{File: "/checkout-a/pkg/x.go", Check: "c", Message: "m"}}
+	b := NewBaseline("/checkout-a", in, 0, "", "", nil)
+	if _, ok := b.Findings["pkg/x.go|c|m"]; !ok {
+		t.Fatalf("baseline key not root-relative: %v", b.Findings)
+	}
+	// The same finding from a different checkout matches the same key.
+	other := []Finding{{File: "/checkout-b/pkg/x.go", Check: "c", Message: "m"}}
+	if unknown := b.Unknown("/checkout-b", other); len(unknown) != 0 {
+		t.Errorf("relative keys should be portable across roots, got %v", unknown)
+	}
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "baseline.json")
+	b := NewBaseline("/r", []Finding{{File: "/r/x.go", Check: "c", Message: "m"}}, 77, "2026-02-02T00:00:00Z", "n", []string{"c"})
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != BaselineVersion || got.WallMS != 77 || got.Findings["x.go|c|m"] != 1 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline should be an error")
+	}
+}
+
+func TestDecodeBaselineRejectsBadVersions(t *testing.T) {
+	for _, bad := range []string{
+		`{"version":"roadside-lint-baseline/v2","findings":{}}`,
+		`{"findings":{}}`,
+		`not json`,
+		`null`,
+	} {
+		if _, err := DecodeBaseline([]byte(bad)); err == nil {
+			t.Errorf("DecodeBaseline(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	if !(SeverityInfo.Rank() < SeverityWarn.Rank() && SeverityWarn.Rank() < SeverityError.Rank()) {
+		t.Error("severity ranks out of order")
+	}
+	if Severity("bogus").Rank() != 0 {
+		t.Error("unknown severity should rank below info")
+	}
+	if _, err := ParseSeverity("warn"); err != nil {
+		t.Errorf("ParseSeverity(warn): %v", err)
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) should fail")
+	}
+	in := []Finding{
+		{Check: "a", Severity: SeverityInfo},
+		{Check: "b", Severity: SeverityWarn},
+		{Check: "c", Severity: SeverityError},
+	}
+	out := FilterSeverity(in, SeverityWarn)
+	if len(out) != 2 || out[0].Check != "b" || out[1].Check != "c" {
+		t.Errorf("FilterSeverity(warn) = %v", out)
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkFixtureLoad measures parse + type-check of the fixture module:
+// the fixed cost every lint run pays before any analyzer fires.
+func BenchmarkFixtureLoad(b *testing.B) {
+	dir := filepath.Join("testdata", "src")
+	for i := 0; i < b.N; i++ {
+		l := NewLoader(dir, "fixture")
+		if _, err := l.Load(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteRun measures the full analyzer suite (load excluded) over
+// the fixture module — the marginal cost of the checks themselves,
+// including call-graph construction and the dataflow analyzers.
+func BenchmarkSuiteRun(b *testing.B) {
+	l := NewLoader(filepath.Join("testdata", "src"), "fixture")
+	pkgs, err := l.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(l.Fset(), pkgs, nil)
+	}
+}
+
+// BenchmarkModuleSuite is the number the baseline header's wall-clock note
+// tracks: load plus full suite over the real repository. Skipped in short
+// mode — it type-checks the whole module.
+func BenchmarkModuleSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: skipping whole-module lint benchmark")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, module, err := FindModuleRoot(wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l := NewLoader(root, module)
+		pkgs, err := l.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		Run(l.Fset(), pkgs, nil)
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "ctxflow",
+		Doc:      "flags serve functions that receive a context (or request) yet call context.Background/TODO",
+		Severity: SeverityError,
+		Run:      runCtxFlow,
+	})
+}
+
+// runCtxFlow enforces context propagation in the serving layer: a function
+// that already holds a request-scoped context — a context.Context
+// parameter or an *http.Request — must not mint a fresh root context with
+// context.Background or context.TODO. A fresh root drops the request's
+// cancellation and deadline, so a disconnected client keeps burning solver
+// time and the PR 5 deadline contract silently stops applying.
+//
+// Functions without a request-scoped context (setup paths, main) may use
+// Background freely.
+func runCtxFlow(p *Pass) {
+	_, rel := splitModulePath(p.Pkg.Path)
+	if rel != "internal/serve" {
+		return
+	}
+	for _, fi := range p.Inspector.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil || !hasRequestScopedParam(p, fi.Decl) {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeOf(p.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				p.Reportf(call.Pos(), "handler already holds a request-scoped context; context.%s drops cancellation and the deadline budget — propagate the request context", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// hasRequestScopedParam reports whether the declaration takes a
+// context.Context or an *http.Request.
+func hasRequestScopedParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isNamedFrom(t, "context", "Context") {
+			return true
+		}
+		if ptr, ok := t.(*types.Pointer); ok && isNamedFrom(ptr.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedFrom reports whether t is the named type pkgPath.name.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}

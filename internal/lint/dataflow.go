@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Taint is an intraprocedural forward dataflow engine over one function
+// body. Seed it with source objects (SeedObject) or a source-expression
+// predicate (SeedSource), call Propagate, then ask whether an expression
+// or object carries taint.
+//
+// Propagation follows value flow to a fixpoint through:
+//
+//   - assignments and short variable declarations, including compound ops
+//     (x += src taints x) and tuple assignment (x, y := f() taints both
+//     when the call is tainted);
+//   - var declarations with initializers;
+//   - range statements (ranging over a tainted value taints the key and
+//     value variables);
+//   - calls, one level deep: a call expression is tainted when any
+//     argument subexpression is tainted (callees are assumed to propagate
+//     their inputs to their results), or when the callee is declared in
+//     the module and its return value derives from a source expression —
+//     the engine opens the callee's body once, runs a summary pass without
+//     further call expansion, and memoizes the verdict.
+//
+// The engine tracks named objects (types.Object), not heap shape: writes
+// through index or field expressions do not transfer taint to the
+// container. Analyzers built on it are therefore under-approximate by
+// design and should pick sources and sinks so a missed flow is a missed
+// warning, never a false gate.
+type Taint struct {
+	info      *types.Info
+	prog      *Program
+	scope     ast.Node
+	sources   []func(info *types.Info, e ast.Expr) bool
+	tainted   map[types.Object]bool
+	summarize bool
+	summaries map[*types.Func]bool
+}
+
+// NewTaint returns a taint engine over scope (usually a function body)
+// resolving names through the pass's package.
+func (p *Pass) NewTaint(scope ast.Node) *Taint {
+	return &Taint{
+		info:      p.Pkg.Info,
+		prog:      p.Prog,
+		scope:     scope,
+		tainted:   map[types.Object]bool{},
+		summarize: true,
+		summaries: map[*types.Func]bool{},
+	}
+}
+
+// SeedObject marks obj as a taint source.
+func (t *Taint) SeedObject(obj types.Object) {
+	if obj != nil {
+		t.tainted[obj] = true
+	}
+}
+
+// SeedSource registers a predicate identifying source expressions (for
+// example "this exact call node" or "any call to time.Now"). The info
+// argument lets predicates resolve names in callee packages during
+// one-level summary passes.
+func (t *Taint) SeedSource(pred func(info *types.Info, e ast.Expr) bool) {
+	t.sources = append(t.sources, pred)
+}
+
+// Object reports whether obj is tainted (after Propagate).
+func (t *Taint) Object(obj types.Object) bool { return obj != nil && t.tainted[obj] }
+
+// Propagate runs the dataflow to a fixpoint. The iteration cap is a
+// defensive bound: each productive pass taints at least one new object, so
+// real fixpoints arrive in far fewer rounds.
+func (t *Taint) Propagate() {
+	for i := 0; i < 128; i++ {
+		if !t.step() {
+			return
+		}
+	}
+}
+
+// step performs one propagation pass and reports whether anything changed.
+func (t *Taint) step() bool {
+	changed := false
+	mark := func(obj types.Object) {
+		if obj != nil && !t.tainted[obj] {
+			t.tainted[obj] = true
+			changed = true
+		}
+	}
+	markExpr := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			mark(t.info.ObjectOf(id))
+		}
+	}
+	ast.Inspect(t.scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				if t.Expr(n.Rhs[0]) {
+					for _, l := range n.Lhs {
+						markExpr(l)
+					}
+				}
+				return true
+			}
+			for i, l := range n.Lhs {
+				if i < len(n.Rhs) && t.Expr(n.Rhs[i]) {
+					markExpr(l)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && len(n.Names) > 1 {
+				if t.Expr(n.Values[0]) {
+					for _, name := range n.Names {
+						mark(t.info.ObjectOf(name))
+					}
+				}
+				return true
+			}
+			for i, name := range n.Names {
+				if i < len(n.Values) && t.Expr(n.Values[i]) {
+					mark(t.info.ObjectOf(name))
+				}
+			}
+		case *ast.RangeStmt:
+			if t.Expr(n.X) {
+				if n.Key != nil {
+					markExpr(n.Key)
+				}
+				if n.Value != nil {
+					markExpr(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// Expr reports whether e carries taint: it contains a source expression, a
+// tainted identifier, or a call whose module-local callee returns a
+// source-derived value (one call level deep).
+func (t *Taint) Expr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		for _, pred := range t.sources {
+			if pred(t.info, expr) {
+				found = true
+				return false
+			}
+		}
+		switch x := expr.(type) {
+		case *ast.Ident:
+			if obj := t.info.ObjectOf(x); obj != nil && t.tainted[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if t.summarize && t.callReturnsSource(x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callReturnsSource opens a module-local callee one level deep and reports
+// whether its return value derives from a source expression. Verdicts are
+// memoized; the summary pass itself never expands further calls, which is
+// what bounds the analysis to one level.
+func (t *Taint) callReturnsSource(call *ast.CallExpr) bool {
+	if t.prog == nil {
+		return false
+	}
+	fn := CalleeOf(t.info, call)
+	if fn == nil {
+		return false
+	}
+	if v, done := t.summaries[fn]; done {
+		return v
+	}
+	t.summaries[fn] = false // cycle guard: a recursive summary is not a source
+	site, ok := t.prog.Graph.Decl(fn)
+	if !ok || site.Decl.Body == nil {
+		return false
+	}
+	sub := &Taint{
+		info:    site.Pkg.Info,
+		prog:    t.prog,
+		scope:   site.Decl.Body,
+		sources: t.sources,
+		tainted: map[types.Object]bool{},
+	}
+	sub.Propagate()
+	// Named results picked up through plain assignment need a bare return
+	// to escape; explicit return expressions are checked directly.
+	verdict := false
+	ast.Inspect(site.Decl.Body, func(n ast.Node) bool {
+		if verdict {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			verdict = namedResultTainted(sub, site.Decl)
+			return !verdict
+		}
+		for _, res := range ret.Results {
+			if sub.Expr(res) {
+				verdict = true
+				break
+			}
+		}
+		return !verdict
+	})
+	t.summaries[fn] = verdict
+	return verdict
+}
+
+// namedResultTainted reports whether any named result variable of the
+// declaration is tainted in the summary engine.
+func namedResultTainted(sub *Taint, decl *ast.FuncDecl) bool {
+	if decl.Type.Results == nil {
+		return false
+	}
+	for _, field := range decl.Type.Results.List {
+		for _, name := range field.Names {
+			if sub.Object(sub.info.ObjectOf(name)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source range — the standard "is this variable local to the loop /
+// literal" question sink analyzers ask.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	return node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// withinRange reports whether pos falls inside node's source range.
+func withinRange(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// detrandScope lists the module-relative packages whose API-reachable code
+// must be bit-deterministic: the solvers, the graph kernels, the utility
+// models, and the parallel runner. Reads of wall clocks, environment, or
+// runtime topology inside them make outputs depend on the machine and the
+// moment, which breaks the repo's replay and identity batteries.
+var detrandScope = map[string]bool{
+	"internal/core":    true,
+	"internal/graph":   true,
+	"internal/utility": true,
+	"internal/par":     true,
+}
+
+// detrandDenied maps stdlib package path -> function names whose results
+// are nondeterministic across runs or machines.
+var detrandDenied = map[string]map[string]bool{
+	"time":    {"Now": true, "Since": true, "Until": true, "Sleep": true},
+	"os":      {"Getenv": true, "Environ": true, "LookupEnv": true},
+	"runtime": {"NumCPU": true, "GOMAXPROCS": true, "NumGoroutine": true},
+}
+
+func init() {
+	Register(&Analyzer{
+		Name:     "detrand",
+		Doc:      "flags wall-clock/env/runtime reads whose values escape observability code on solver-reachable paths",
+		Severity: SeverityWarn,
+		Run:      runDetRand,
+	})
+}
+
+// runDetRand checks every function in a determinism-scoped package that is
+// reachable from the scope's exported API. A denylisted read is allowed
+// only while its value stays inside observability instrumentation: as an
+// argument to internal/obs calls, inside an obs composite literal, or
+// feeding another denylisted call (time.Since(start)). A read whose value
+// is stored is tracked by taint; the finding lands on the first escaping
+// use.
+func runDetRand(p *Pass) {
+	_, rel := splitModulePath(p.Pkg.Path)
+	if !detrandScope[rel] {
+		return
+	}
+	entries := p.Prog.Graph.ExportedFuncs(func(pkgPath string) bool {
+		_, r := splitModulePath(pkgPath)
+		return detrandScope[r]
+	})
+	reach := p.Prog.Graph.Reachable(entries)
+	for _, fi := range p.Inspector.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		fn, ok := p.Pkg.Info.Defs[fi.Decl.Name].(*types.Func)
+		if !ok || !reach[fn] {
+			continue
+		}
+		p.checkDetRandFunc(fi.Decl)
+	}
+}
+
+// checkDetRandFunc applies the detrand policy to one reachable declaration.
+func (p *Pass) checkDetRandFunc(fd *ast.FuncDecl) {
+	sanctioned := sanctionedRanges(p, fd.Body)
+	conduits := conduitRanges(fd.Body)
+	for _, call := range denylistedCalls(p, fd.Body) {
+		name := callDisplayName(p, call)
+		if inRanges(call.Pos(), sanctioned) {
+			continue
+		}
+		if !inRanges(call.Pos(), conduits) {
+			p.Reportf(call.Pos(), "nondeterministic %s on a solver-reachable path; thread the value in as a parameter or keep it inside obs instrumentation", name)
+			continue
+		}
+		// The read is stored in a variable: follow it and flag the first
+		// use that escapes both the sanctioned regions and plain copies.
+		taint := p.NewTaint(fd.Body)
+		src := call
+		taint.SeedSource(func(info *types.Info, e ast.Expr) bool { return e == src })
+		taint.Propagate()
+		p.reportEscapingUses(fd.Body, taint, sanctioned, conduits, name, src)
+	}
+}
+
+// reportEscapingUses flags identifier uses of tainted objects that sit
+// outside sanctioned regions and outside assignment conduits.
+func (p *Pass) reportEscapingUses(body *ast.BlockStmt, taint *Taint, sanctioned, conduits []posRange, name string, src *ast.CallExpr) {
+	srcLine := p.Fset.Position(src.Pos()).Line
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isUse := p.Pkg.Info.Uses[id]
+		if !isUse || !taint.Object(obj) {
+			return true
+		}
+		if inRanges(id.Pos(), sanctioned) || inRanges(id.Pos(), conduits) {
+			return true
+		}
+		p.Reportf(id.Pos(), "value of nondeterministic %s (line %d) escapes obs instrumentation on a solver-reachable path", name, srcLine)
+		return true
+	})
+}
+
+// posRange is a half-open source interval [from, to).
+type posRange struct{ from, to token.Pos }
+
+func inRanges(pos token.Pos, ranges []posRange) bool {
+	for _, r := range ranges {
+		if r.from <= pos && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// sanctionedRanges collects the regions where nondeterministic values are
+// acceptable: argument lists of calls into internal/obs, composite
+// literals of obs-declared types, and argument lists of other denylisted
+// calls (so time.Since(start) does not flag the use of start).
+func sanctionedRanges(p *Pass, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleeInObs(p, n) || isDenylisted(p, n) {
+				out = append(out, posRange{n.Lparen + 1, n.Rparen})
+			}
+		case *ast.CompositeLit:
+			if t := p.TypeOf(n); t != nil && namedInObs(t) {
+				out = append(out, posRange{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// conduitRanges collects the RHS of assignments and var initializers whose
+// targets are all plain identifiers — positions where a nondeterministic
+// value may be stored for tracking rather than used.
+func conduitRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if _, ok := unparen(l).(*ast.Ident); !ok {
+					return true
+				}
+			}
+			for _, r := range n.Rhs {
+				out = append(out, posRange{r.Pos(), r.End()})
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				out = append(out, posRange{v.Pos(), v.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// denylistedCalls returns the denylisted stdlib calls in body, in source
+// order.
+func denylistedCalls(p *Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isDenylisted(p, call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// callDisplayName renders a denylisted call as "time.Now()" for messages.
+func callDisplayName(p *Pass, call *ast.CallExpr) string {
+	fn := CalleeOf(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "call"
+	}
+	return fn.Pkg().Name() + "." + fn.Name() + "()"
+}
+
+// isDenylisted reports whether call resolves to a denylisted stdlib read.
+func isDenylisted(p *Pass, call *ast.CallExpr) bool {
+	fn := CalleeOf(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names := detrandDenied[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// calleeInObs reports whether call's static callee is declared in the
+// module's observability package.
+func calleeInObs(p *Pass, call *ast.CallExpr) bool {
+	fn := CalleeOf(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	_, rel := splitModulePath(fn.Pkg().Path())
+	return rel == "internal/obs"
+}
+
+// namedInObs reports whether t (or its pointee) is a named type declared
+// in the module's observability package.
+func namedInObs(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	_, rel := splitModulePath(named.Obj().Pkg().Path())
+	return rel == "internal/obs" || strings.HasSuffix(rel, "/obs")
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "errcode",
+		Doc:      "requires serve error responses to use registered code constants, not string literals",
+		Severity: SeverityError,
+		Run:      runErrCode,
+	})
+}
+
+// runErrCode enforces the machine-readable error contract of the serving
+// layer: the stable code in an API error must come from a named constant,
+// never an inline string literal. Literals drift — a typo'd or reworded
+// code is a silent API break for clients switching on it — while a
+// constant gives every code one definition site and a greppable inventory.
+//
+// Two sinks carry codes: calls to the package's errorf constructor
+// (second argument) and composite literals of APIError (the Code field).
+func runErrCode(p *Pass) {
+	_, rel := splitModulePath(p.Pkg.Path)
+	if rel != "internal/serve" {
+		return
+	}
+	for _, n := range p.Inspector.Nodes((*ast.CallExpr)(nil)) {
+		call := n.(*ast.CallExpr)
+		fn := CalleeOf(p.Pkg.Info, call)
+		if fn == nil || fn.Name() != "errorf" || fn.Pkg() != p.Pkg.Types {
+			continue
+		}
+		if len(call.Args) >= 2 && isStringLit(call.Args[1]) {
+			p.Reportf(call.Args[1].Pos(), "error code must be a registered Code constant, not a string literal")
+		}
+	}
+	for _, n := range p.Inspector.Nodes((*ast.CompositeLit)(nil)) {
+		lit := n.(*ast.CompositeLit)
+		if !isServeAPIError(p, lit) {
+			continue
+		}
+		if code := apiErrorCodeExpr(p, lit); code != nil && isStringLit(code) {
+			p.Reportf(code.Pos(), "APIError.Code must be a registered Code constant, not a string literal")
+		}
+	}
+}
+
+// isStringLit reports whether e is a string basic literal (after parens).
+func isStringLit(e ast.Expr) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// isServeAPIError reports whether lit builds the package's APIError type.
+func isServeAPIError(p *Pass, lit *ast.CompositeLit) bool {
+	t := p.TypeOf(lit)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "APIError" && named.Obj().Pkg() == p.Pkg.Types
+}
+
+// apiErrorCodeExpr extracts the expression assigned to the Code field of
+// an APIError composite literal, keyed or positional.
+func apiErrorCodeExpr(p *Pass, lit *ast.CompositeLit) ast.Expr {
+	st, ok := p.TypeOf(lit).Underlying().(*types.Struct)
+	if !ok {
+		if ptr, isPtr := p.TypeOf(lit).Underlying().(*types.Pointer); isPtr {
+			st, ok = ptr.Elem().Underlying().(*types.Struct)
+		}
+		if !ok {
+			return nil
+		}
+	}
+	codeIndex := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Code" {
+			codeIndex = i
+			break
+		}
+	}
+	if codeIndex < 0 {
+		return nil
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, isID := kv.Key.(*ast.Ident); isID && id.Name == "Code" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == codeIndex {
+			return elt
+		}
+	}
+	return nil
+}

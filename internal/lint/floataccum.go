@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "floataccum",
+		Doc:      "flags goroutines accumulating float values into captured variables in completion order",
+		Severity: SeverityError,
+		Run:      runFloatAccum,
+	})
+}
+
+// runFloatAccum enforces the par.Do reduction contract: concurrent workers
+// must write per-chunk partials indexed by chunk and leave the reduction
+// to the serial caller. A goroutine (or par.Do worker body) that folds
+// float values into a captured accumulator — even under a mutex — merges
+// in completion order, and float addition is not associative, so the
+// result's bit pattern varies run to run.
+//
+// Indexed writes (partials[chunk] = sum) and accumulators declared inside
+// the literal are clean.
+func runFloatAccum(p *Pass) {
+	for _, lit := range concurrentFuncLits(p) {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(lhs)
+			if obj == nil || DeclaredWithin(obj, lit) || !isFloat(obj.Type()) {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				p.Reportf(as.Pos(), "goroutine accumulates float into captured %s in completion order; write a chunk-indexed partial and reduce serially", lhs.Name)
+			case token.ASSIGN:
+				if mentionsObject(p, as.Rhs[0], obj) {
+					p.Reportf(as.Pos(), "goroutine accumulates float into captured %s in completion order; write a chunk-indexed partial and reduce serially", lhs.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// concurrentFuncLits returns the function literals that run concurrently:
+// go-statement bodies and worker functions handed to par.Do.
+func concurrentFuncLits(p *Pass) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	seen := map[*ast.FuncLit]bool{}
+	add := func(lit *ast.FuncLit) {
+		if lit != nil && !seen[lit] {
+			seen[lit] = true
+			out = append(out, lit)
+		}
+	}
+	for _, n := range p.Inspector.Nodes((*ast.GoStmt)(nil)) {
+		lit, _ := unparen(n.(*ast.GoStmt).Call.Fun).(*ast.FuncLit)
+		add(lit)
+	}
+	for _, n := range p.Inspector.Nodes((*ast.CallExpr)(nil)) {
+		call := n.(*ast.CallExpr)
+		if !isParDo(p, call) {
+			continue
+		}
+		for _, arg := range call.Args {
+			lit, _ := unparen(arg).(*ast.FuncLit)
+			add(lit)
+		}
+	}
+	return out
+}
+
+// isParDo reports whether call targets the module's parallel runner
+// (a function named Do declared in the internal/par package).
+func isParDo(p *Pass, call *ast.CallExpr) bool {
+	fn := CalleeOf(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Name() != "Do" {
+		return false
+	}
+	_, rel := splitModulePath(fn.Pkg().Path())
+	return rel == "internal/par"
+}

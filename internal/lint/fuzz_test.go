@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the suppression-comment parser: it must
+// never panic, never report a directive as both well-formed and
+// malformed, and parsing must be a fixed point under re-rendering —
+// rendering a parsed directive back to canonical form and reparsing it
+// yields the same check and reason.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore floatcmp epsilon compare is deliberate here")
+	f.Add("//lint:ignore detrand worker count affects speed only")
+	f.Add("//lint:ignore all grandfathered")
+	f.Add("//lint:ignore nocheck")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore  ")
+	f.Add("// just a comment")
+	f.Add("//lint:ignorefloatcmp smashed together")
+	f.Add("//lint:ignore\tcheck tab separated")
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, ok, malformed := parseIgnoreDirective(text)
+		if ok && malformed {
+			t.Fatalf("parse(%q) reported ok and malformed together", text)
+		}
+		if !ok {
+			if check != "" || reason != "" {
+				t.Fatalf("parse(%q) not ok but returned check=%q reason=%q", text, check, reason)
+			}
+			return
+		}
+		if check == "" || reason == "" {
+			t.Fatalf("parse(%q) ok with empty check=%q or reason=%q", text, check, reason)
+		}
+		if strings.ContainsAny(check, " ") {
+			t.Fatalf("parse(%q) check %q contains a space", text, check)
+		}
+		rendered := ignorePrefix + " " + check + " " + reason
+		check2, reason2, ok2, _ := parseIgnoreDirective(rendered)
+		if !ok2 || check2 != check || reason2 != reason {
+			t.Fatalf("reparse(%q) = (%q, %q, %v), want (%q, %q, true)",
+				rendered, check2, reason2, ok2, check, reason)
+		}
+	})
+}
+
+// FuzzLintBaseline hammers the baseline decoder: arbitrary bytes must
+// produce either an error or a validated baseline (correct version,
+// non-nil findings map) — never a panic and never a silently-empty gate —
+// and a decoded baseline must be a fixed point of encode∘decode.
+func FuzzLintBaseline(f *testing.F) {
+	good, err := NewBaseline("/repo", []Finding{
+		{File: "/repo/internal/core/greedy.go", Check: "maporder", Message: "float accumulation"},
+		{File: "/repo/internal/serve/codec.go", Check: "errcode", Message: "literal code"},
+	}, 1234, "2026-01-01T00:00:00Z", "seed corpus", []string{"maporder", "errcode"}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"version":"roadside-lint-baseline/v1","findings":{}}`))
+	f.Add([]byte(`{"version":"roadside-lint-baseline/v1"}`))
+	f.Add([]byte(`{"version":"something-else/v2","findings":{}}`))
+	f.Add([]byte(`{"findings":{"a|b|c":2}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBaseline(data)
+		if err != nil {
+			return
+		}
+		if b.Version != BaselineVersion {
+			t.Fatalf("decode accepted version %q", b.Version)
+		}
+		if b.Findings == nil {
+			t.Fatal("decode returned nil findings map")
+		}
+		enc1, err := b.Encode()
+		if err != nil {
+			t.Fatalf("encode(decode(data)): %v", err)
+		}
+		b2, err := DecodeBaseline(enc1)
+		if err != nil {
+			t.Fatalf("decode(encode(decode(data))): %v", err)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode∘decode not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

@@ -25,6 +25,24 @@ type ignoreDirective struct {
 // ignoreIndex maps file -> line -> directives active for that line.
 type ignoreIndex map[string]map[int][]ignoreDirective
 
+// parseIgnoreDirective splits a comment's text into the check name and
+// reason of an ignore directive. ok is false when the comment is not a
+// directive at all; malformed is true when it starts like one but lacks a
+// check or a reason — the caller turns those into "lintdirective" findings
+// rather than silently skipping them.
+func parseIgnoreDirective(text string) (check, reason string, ok, malformed bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return "", "", false, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	check, reason, _ = strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if check == "" || reason == "" {
+		return "", "", false, true
+	}
+	return check, reason, true, false
+}
+
 // buildIgnoreIndex scans all comments in the files for ignore directives.
 // Malformed directives (missing check or reason) are returned so the
 // runner can surface them as findings instead of silently ignoring them.
@@ -34,22 +52,20 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Fi
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := c.Text
-				if !strings.HasPrefix(text, ignorePrefix) {
+				check, reason, ok, malformed := parseIgnoreDirective(c.Text)
+				if !ok && !malformed {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-				check, reason, _ := strings.Cut(rest, " ")
-				reason = strings.TrimSpace(reason)
 				pos := fset.Position(c.Pos())
-				if check == "" || reason == "" {
+				if malformed {
 					bad = append(bad, Finding{
-						Pos:     pos,
-						File:    pos.Filename,
-						Line:    pos.Line,
-						Column:  pos.Column,
-						Check:   "lintdirective",
-						Message: "malformed ignore directive: want //lint:ignore <check> <reason>",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Check:    "lintdirective",
+						Severity: SeverityError,
+						Message:  "malformed ignore directive: want //lint:ignore <check> <reason>",
 					})
 					continue
 				}

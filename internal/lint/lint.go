@@ -23,14 +23,63 @@ import (
 	"sort"
 )
 
+// Severity grades a finding's gate weight. Severities are ordered
+// info < warn < error; the CLI's -severity flag drops findings below a
+// minimum before reporting or gating.
+type Severity string
+
+// The three severity levels, weakest first.
+const (
+	SeverityInfo  Severity = "info"
+	SeverityWarn  Severity = "warn"
+	SeverityError Severity = "error"
+)
+
+// Rank orders severities for filtering: info < warn < error. Unknown
+// severities rank below info so malformed data never out-gates real
+// findings.
+func (s Severity) Rank() int {
+	switch s {
+	case SeverityInfo:
+		return 1
+	case SeverityWarn:
+		return 2
+	case SeverityError:
+		return 3
+	}
+	return 0
+}
+
+// ParseSeverity validates a severity name from a flag or a JSON file.
+func ParseSeverity(s string) (Severity, error) {
+	switch Severity(s) {
+	case SeverityInfo, SeverityWarn, SeverityError:
+		return Severity(s), nil
+	}
+	return "", fmt.Errorf("lint: unknown severity %q (want info, warn, or error)", s)
+}
+
+// FilterSeverity returns the findings whose severity is at least min,
+// preserving order.
+func FilterSeverity(findings []Finding, min Severity) []Finding {
+	out := make([]Finding, 0, len(findings))
+	for _, f := range findings {
+		if f.Severity.Rank() >= min.Rank() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Finding is one rule violation at a source position.
 type Finding struct {
-	Pos     token.Position `json:"-"`
-	File    string         `json:"file"`
-	Line    int            `json:"line"`
-	Column  int            `json:"column"`
-	Check   string         `json:"check"`
-	Message string         `json:"message"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Check    string         `json:"check"`
+	Severity Severity       `json:"severity"`
+	Message  string         `json:"message"`
 }
 
 // String renders the canonical "file:line: [check] message" form.
@@ -55,14 +104,18 @@ type Package struct {
 }
 
 // Pass is the per-package view handed to each analyzer: the shared file
-// set, the package under analysis, the prebuilt AST index, and a Report
-// sink that applies //lint:ignore suppression before recording a finding.
+// set, the package under analysis, the prebuilt AST index, the module-wide
+// Program (call graph plus every loaded package, for interprocedural
+// checks), and a Report sink that applies //lint:ignore suppression before
+// recording a finding.
 type Pass struct {
 	Fset      *token.FileSet
 	Pkg       *Package
 	Inspector *Inspector
+	Prog      *Program
 
 	check    string
+	severity Severity
 	ignores  ignoreIndex
 	findings *[]Finding
 }
@@ -74,13 +127,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	if p.ignores.suppressed(p.check, position) {
 		return
 	}
+	sev := p.severity
+	if sev == "" {
+		sev = SeverityError
+	}
 	*p.findings = append(*p.findings, Finding{
-		Pos:     position,
-		File:    position.Filename,
-		Line:    position.Line,
-		Column:  position.Column,
-		Check:   p.check,
-		Message: fmt.Sprintf(format, args...),
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Check:    p.check,
+		Severity: sev,
+		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
@@ -101,6 +159,8 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by roadsidelint -list.
 	Doc string
+	// Severity grades the analyzer's findings; empty means SeverityError.
+	Severity Severity
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -112,6 +172,12 @@ var registry = map[string]*Analyzer{}
 func Register(a *Analyzer) {
 	if a == nil || a.Name == "" || a.Run == nil {
 		panic("lint: Register: analyzer must have a name and a Run function")
+	}
+	if a.Severity == "" {
+		a.Severity = SeverityError
+	}
+	if a.Severity.Rank() == 0 {
+		panic("lint: Register: analyzer " + a.Name + " has invalid severity " + string(a.Severity))
 	}
 	if _, dup := registry[a.Name]; dup {
 		panic("lint: Register: duplicate analyzer " + a.Name)

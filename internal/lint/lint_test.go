@@ -9,22 +9,33 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
 // loadFixtures loads the fixture module under testdata/src once per test
-// that needs it.
+// binary — the load is pure parse + type-check and nothing mutates the
+// packages, so every test can share it.
+var fixtureCache struct {
+	once   sync.Once
+	loader *Loader
+	pkgs   []*Package
+	err    error
+}
+
 func loadFixtures(t *testing.T) (*Loader, []*Package) {
 	t.Helper()
-	l := NewLoader(filepath.Join("testdata", "src"), "fixture")
-	pkgs, err := l.Load()
-	if err != nil {
-		t.Fatalf("load fixtures: %v", err)
+	fixtureCache.once.Do(func() {
+		fixtureCache.loader = NewLoader(filepath.Join("testdata", "src"), "fixture")
+		fixtureCache.pkgs, fixtureCache.err = fixtureCache.loader.Load()
+	})
+	if fixtureCache.err != nil {
+		t.Fatalf("load fixtures: %v", fixtureCache.err)
 	}
-	if len(pkgs) == 0 {
+	if len(fixtureCache.pkgs) == 0 {
 		t.Fatal("no fixture packages loaded")
 	}
-	return l, pkgs
+	return fixtureCache.loader, fixtureCache.pkgs
 }
 
 var wantMarker = regexp.MustCompile(`// want:([a-z]+)`)
@@ -121,9 +132,22 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, name := range []string{"floatcmp", "layering", "goroutineguard", "errdrop", "seededrand", "mutatearg"} {
+	for _, name := range []string{
+		"floatcmp", "layering", "goroutineguard", "errdrop", "seededrand", "mutatearg",
+		"maporder", "detrand", "floataccum", "atomicmix", "ctxflow", "errcode",
+	} {
 		if !names[name] {
 			t.Errorf("analyzer %s not registered", name)
+		}
+	}
+	// detrand is the advisory tier; everything else gates at error.
+	for _, a := range Analyzers() {
+		want := SeverityError
+		if a.Name == "detrand" {
+			want = SeverityWarn
+		}
+		if a.Severity != want {
+			t.Errorf("analyzer %s severity = %q, want %q", a.Name, a.Severity, want)
 		}
 	}
 	if Lookup("floatcmp") == nil {
@@ -226,5 +250,19 @@ func TestSelfClean(t *testing.T) {
 	findings := Run(l.Fset(), pkgs, nil)
 	for _, f := range findings {
 		t.Errorf("repository not lint-clean: %s", f)
+	}
+
+	// The checked-in ratchet baseline must parse, and — because the tree
+	// is clean — must not carry grandfathered findings: the ratchet gate
+	// and the self-clean gate are the same bar today.
+	b, err := ReadBaseline(filepath.Join(root, "results", "LINT_baseline.json"))
+	if err != nil {
+		t.Fatalf("checked-in baseline: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("checked-in baseline carries %d grandfathered findings; the tree should stay clean", len(b.Findings))
+	}
+	if unknown := b.Unknown(root, findings); len(unknown) != len(findings) {
+		t.Errorf("ratchet dropped findings a clean baseline should surface: %d of %d", len(unknown), len(findings))
 	}
 }

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "maporder",
+		Doc:      "flags map-range values flowing into order-sensitive output (float accumulation, unsorted slice appends)",
+		Severity: SeverityError,
+		Run:      runMapOrder,
+	})
+}
+
+// runMapOrder finds range statements over maps and taints the key/value
+// variables, then looks for two order-sensitive sinks inside the loop:
+//
+//  1. float accumulation into a variable declared outside the loop —
+//     float addition is not associative, so iteration order leaks into
+//     the result bit pattern;
+//  2. appends of tainted values to an outer slice that is never sorted
+//     afterwards — the slice inherits map-iteration order, which Go
+//     randomizes per run.
+//
+// Integer accumulation, map-to-map copies, and appends followed by a
+// sort/slices call on the same slice are all clean.
+func runMapOrder(p *Pass) {
+	for _, n := range p.Inspector.Nodes((*ast.RangeStmt)(nil)) {
+		rs := n.(*ast.RangeStmt)
+		if t := p.TypeOf(rs.X); t == nil {
+			continue
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		taint := p.NewTaint(rs.Body)
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := unparen(e).(*ast.Ident); e != nil && ok {
+				taint.SeedObject(p.ObjectOf(id))
+			}
+		}
+		taint.Propagate()
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			p.checkMapOrderAssign(rs, taint, as)
+			return true
+		})
+	}
+}
+
+// checkMapOrderAssign applies the two maporder sinks to one assignment
+// inside a map-range body.
+func (p *Pass) checkMapOrderAssign(rs *ast.RangeStmt, taint *Taint, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.ObjectOf(lhs)
+	if obj == nil || DeclaredWithin(obj, rs) {
+		return
+	}
+	rhs := as.Rhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(obj.Type()) && taint.Expr(rhs) {
+			p.Reportf(as.Pos(), "float accumulation into %s folds map-iteration order into the result; iterate sorted keys or reduce indexed partials", lhs.Name)
+		}
+	case token.ASSIGN:
+		if call, isAppend := appendCall(p, rhs); isAppend {
+			if anyTainted(taint, call.Args[1:]) && !sortedAfter(p, obj, rs) {
+				p.Reportf(as.Pos(), "%s collects map-range values in iteration order and is never sorted; sort it before use or iterate sorted keys", lhs.Name)
+			}
+			return
+		}
+		// Self-referential float update spelled x = x + v.
+		if isFloat(obj.Type()) && mentionsObject(p, rhs, obj) && taint.Expr(rhs) {
+			p.Reportf(as.Pos(), "float accumulation into %s folds map-iteration order into the result; iterate sorted keys or reduce indexed partials", lhs.Name)
+		}
+	}
+}
+
+// appendCall reports whether e is a call to the append builtin.
+func appendCall(p *Pass, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	_, isBuiltin := p.ObjectOf(id).(*types.Builtin)
+	return call, isBuiltin && id.Name == "append"
+}
+
+// anyTainted reports whether any expression in the list carries taint.
+func anyTainted(taint *Taint, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if taint.Expr(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether e contains an identifier resolving to obj.
+func mentionsObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether a sort or slices call taking obj as an
+// argument appears after the range statement in the same file — the
+// "collect then sort" idiom that restores a deterministic order.
+func sortedAfter(p *Pass, obj types.Object, rs *ast.RangeStmt) bool {
+	for _, n := range p.Inspector.Nodes((*ast.CallExpr)(nil)) {
+		call := n.(*ast.CallExpr)
+		if call.Pos() < rs.End() {
+			continue
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pn, ok := p.ObjectOf(firstIdent(sel.X)).(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p, arg, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstIdent unwraps parens around an identifier, returning nil otherwise.
+func firstIdent(e ast.Expr) *ast.Ident {
+	id, _ := unparen(e).(*ast.Ident)
+	return id
+}

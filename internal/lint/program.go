@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Program is the module-wide view shared by every pass: all loaded
+// packages plus the static call graph over them. Analyzers reach it via
+// Pass.Prog for interprocedural questions a single package cannot answer
+// (reachability from an API surface, one-level call summaries in the taint
+// engine).
+type Program struct {
+	Pkgs   []*Package
+	Graph  *CallGraph
+	byPath map[string]*Package
+}
+
+// NewProgram indexes the loaded packages and builds the call graph.
+func NewProgram(pkgs []*Package) *Program {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return &Program{Pkgs: pkgs, Graph: buildCallGraph(pkgs), byPath: byPath}
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// FuncDeclSite ties a module function object to the package and
+// declaration it came from, so interprocedural analyses can open the
+// callee's body with the right *types.Info.
+type FuncDeclSite struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// CallGraph is the module-wide static call graph: one node per function or
+// method declared in the module, one edge per syntactic call whose callee
+// resolves statically (direct calls and method calls through a concrete or
+// interface selection). Calls inside function literals are attributed to
+// the enclosing declaration — the literal runs on the declaration's
+// behalf. Dynamic calls through function values are not modeled; analyzers
+// using reachability must treat the graph as an under-approximation and
+// pick entry points generously.
+type CallGraph struct {
+	callees map[*types.Func][]*types.Func
+	decls   map[*types.Func]FuncDeclSite
+	funcs   []*types.Func // every module function, in load/source order
+}
+
+// buildCallGraph walks every declaration body once, resolving call targets
+// through the type checker's Uses and Selections records.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		callees: map[*types.Func][]*types.Func{},
+		decls:   map[*types.Func]FuncDeclSite{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[caller] = FuncDeclSite{Pkg: pkg, Decl: fd}
+				g.funcs = append(g.funcs, caller)
+				seen := map[*types.Func]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := CalleeOf(pkg.Info, call)
+					if callee != nil && !seen[callee] {
+						seen[callee] = true
+						g.callees[caller] = append(g.callees[caller], callee)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Decl returns the declaration site of a module function, or ok=false for
+// functions declared outside the module (stdlib, interface methods without
+// module bodies).
+func (g *CallGraph) Decl(fn *types.Func) (FuncDeclSite, bool) {
+	site, ok := g.decls[fn]
+	return site, ok
+}
+
+// Callees returns fn's direct static callees in first-call source order.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// Funcs returns every function and method declared in the module, in the
+// deterministic order the loader visited them.
+func (g *CallGraph) Funcs() []*types.Func { return g.funcs }
+
+// Reachable returns the set of functions reachable from the entry set by
+// following static call edges (entries included).
+func (g *CallGraph) Reachable(entries []*types.Func) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool, len(entries))
+	queue := append([]*types.Func(nil), entries...)
+	for _, fn := range queue {
+		reach[fn] = true
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.callees[fn] {
+			if !reach[callee] {
+				reach[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reach
+}
+
+// ExportedFuncs returns the exported functions and methods declared in
+// packages accepted by keep, in deterministic declaration order. It is the
+// standard entry set for reachability-based analyzers: everything a caller
+// outside the package can invoke.
+func (g *CallGraph) ExportedFuncs(keep func(pkgPath string) bool) []*types.Func {
+	var out []*types.Func
+	for _, fn := range g.funcs {
+		if !fn.Exported() || fn.Pkg() == nil {
+			continue
+		}
+		if keep == nil || keep(fn.Pkg().Path()) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// CalleeOf resolves the static callee of call using the type checker's
+// resolution records: direct calls via Uses, method calls (concrete and
+// interface) via Selections. Calls through plain function values return
+// nil — there is no static target.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

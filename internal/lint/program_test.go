@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// fixtureFunc finds a module function by package path and name in the
+// fixture program.
+func fixtureFunc(t *testing.T, prog *Program, pkgPath, name string) *types.Func {
+	t.Helper()
+	for _, fn := range prog.Graph.Funcs() {
+		if fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s.%s not in call graph", pkgPath, name)
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	_, pkgs := loadFixtures(t)
+	prog := NewProgram(pkgs)
+
+	labels := fixtureFunc(t, prog, "fixture/internal/mapiter", "Labels")
+	decorate := fixtureFunc(t, prog, "fixture/internal/mapiter", "decorate")
+
+	found := false
+	for _, callee := range prog.Graph.Callees(labels) {
+		if callee == decorate {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("call graph missing edge Labels -> decorate: %v", prog.Graph.Callees(labels))
+	}
+	if site, ok := prog.Graph.Decl(decorate); !ok || site.Decl.Name.Name != "decorate" {
+		t.Errorf("Decl(decorate) = %+v, %v", site, ok)
+	}
+
+	// Calls inside function literals are attributed to the enclosing
+	// declaration: fanout.SumWeights hands a literal to par.Do, and the
+	// literal's work counts as SumWeights'.
+	sumWeights := fixtureFunc(t, prog, "fixture/internal/fanout", "SumWeights")
+	parDo := fixtureFunc(t, prog, "fixture/internal/par", "Do")
+	found = false
+	for _, callee := range prog.Graph.Callees(sumWeights) {
+		if callee == parDo {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("call graph missing edge SumWeights -> par.Do")
+	}
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	_, pkgs := loadFixtures(t)
+	prog := NewProgram(pkgs)
+
+	entries := prog.Graph.ExportedFuncs(nil)
+	if len(entries) == 0 {
+		t.Fatal("no exported entry points in fixtures")
+	}
+	for _, fn := range entries {
+		if !fn.Exported() {
+			t.Errorf("ExportedFuncs returned unexported %s", fn.Name())
+		}
+	}
+	reach := prog.Graph.Reachable(entries)
+
+	// decorate is unexported but called from exported Labels.
+	if !reach[fixtureFunc(t, prog, "fixture/internal/mapiter", "decorate")] {
+		t.Error("decorate should be reachable through Labels")
+	}
+	// debugNow is unexported and never called.
+	if reach[fixtureFunc(t, prog, "fixture/internal/core", "debugNow")] {
+		t.Error("debugNow should be unreachable")
+	}
+
+	// Scoped entry sets respect the keep predicate.
+	scoped := prog.Graph.ExportedFuncs(func(pkgPath string) bool {
+		return pkgPath == "fixture/internal/mapiter"
+	})
+	for _, fn := range scoped {
+		if fn.Pkg().Path() != "fixture/internal/mapiter" {
+			t.Errorf("scoped entry from wrong package: %s", fn.Pkg().Path())
+		}
+	}
+}
+
+func TestProgramPackageLookup(t *testing.T) {
+	_, pkgs := loadFixtures(t)
+	prog := NewProgram(pkgs)
+	if prog.Package("fixture/internal/mapiter") == nil {
+		t.Error("Package(fixture/internal/mapiter) = nil")
+	}
+	if prog.Package("fixture/internal/nope") != nil {
+		t.Error("Package of unknown path should be nil")
+	}
+}
+
+// TestTaintPropagation seeds the map-range value of mapiter.SumScores and
+// checks the accumulator picks up the taint through the compound assign.
+func TestTaintPropagation(t *testing.T) {
+	l, pkgs := loadFixtures(t)
+	prog := NewProgram(pkgs)
+	fn := fixtureFunc(t, prog, "fixture/internal/mapiter", "SumScores")
+	site, ok := prog.Graph.Decl(fn)
+	if !ok {
+		t.Fatal("no decl for SumScores")
+	}
+	pass := &Pass{Fset: l.Fset(), Pkg: site.Pkg, Prog: prog}
+
+	var rs *ast.RangeStmt
+	ast.Inspect(site.Decl.Body, func(n ast.Node) bool {
+		if r, isRange := n.(*ast.RangeStmt); isRange && rs == nil {
+			rs = r
+		}
+		return rs == nil
+	})
+	if rs == nil {
+		t.Fatal("no range statement in SumScores")
+	}
+	taint := pass.NewTaint(site.Decl.Body)
+	taint.SeedObject(site.Pkg.Info.ObjectOf(rs.Value.(*ast.Ident)))
+	taint.Propagate()
+
+	total := objByName(t, site.Pkg.Info, site.Decl.Body, "total")
+	if !taint.Object(total) {
+		t.Error("total should be tainted by the range value through +=")
+	}
+	m := objByName(t, site.Pkg.Info, site.Decl, "m")
+	if taint.Object(m) {
+		t.Error("the map parameter itself should not become tainted")
+	}
+}
+
+// TestTaintCallSummary checks the one-level call summary: a source
+// expression inside decorate's body taints the call decorate(k) at the
+// caller.
+func TestTaintCallSummary(t *testing.T) {
+	l, pkgs := loadFixtures(t)
+	prog := NewProgram(pkgs)
+	fn := fixtureFunc(t, prog, "fixture/internal/mapiter", "Labels")
+	site, _ := prog.Graph.Decl(fn)
+	pass := &Pass{Fset: l.Fset(), Pkg: site.Pkg, Prog: prog}
+
+	taint := pass.NewTaint(site.Decl.Body)
+	// The source is the "v:" literal, which appears only inside decorate.
+	taint.SeedSource(func(info *types.Info, e ast.Expr) bool {
+		lit, isLit := e.(*ast.BasicLit)
+		return isLit && lit.Value == `"v:"`
+	})
+
+	var call *ast.CallExpr
+	ast.Inspect(site.Decl.Body, func(n ast.Node) bool {
+		if c, isCall := n.(*ast.CallExpr); isCall {
+			if id, isID := c.Fun.(*ast.Ident); isID && id.Name == "decorate" {
+				call = c
+			}
+		}
+		return call == nil
+	})
+	if call == nil {
+		t.Fatal("no decorate call in Labels")
+	}
+	if !taint.Expr(call) {
+		t.Error("decorate(k) should be tainted: its body returns a source-derived value")
+	}
+
+	// The same engine without summaries must not see through the call.
+	flat := pass.NewTaint(site.Decl.Body)
+	flat.summarize = false
+	flat.SeedSource(func(info *types.Info, e ast.Expr) bool {
+		lit, isLit := e.(*ast.BasicLit)
+		return isLit && lit.Value == `"v:"`
+	})
+	if flat.Expr(call) {
+		t.Error("without summaries the call should be opaque")
+	}
+}
+
+// objByName finds the declared object with the given name inside node.
+func objByName(t *testing.T, info *types.Info, node ast.Node, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if def := info.Defs[id]; def != nil {
+				obj = def
+			}
+		}
+		return obj == nil
+	})
+	if obj == nil {
+		t.Fatalf("no object named %s", name)
+	}
+	return obj
+}

@@ -14,6 +14,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding 
 	if analyzers == nil {
 		analyzers = Analyzers()
 	}
+	prog := NewProgram(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		ignores, bad := buildIgnoreIndex(fset, pkg.Files)
@@ -24,7 +25,9 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding 
 				Fset:      fset,
 				Pkg:       pkg,
 				Inspector: inspector,
+				Prog:      prog,
 				check:     a.Name,
+				severity:  a.Severity,
 				ignores:   ignores,
 				findings:  &findings,
 			}

@@ -1,0 +1,33 @@
+// Package atomics is a fixture for the atomicmix check.
+package atomics
+
+import "sync/atomic"
+
+// Hits mixes atomic and plain access to the same field (positive cases).
+type Hits struct {
+	n int64
+}
+
+// Inc records one hit atomically.
+func (h *Hits) Inc() { atomic.AddInt64(&h.n, 1) }
+
+// Read loads the counter with a plain read, racing Inc (positive).
+func (h *Hits) Read() int64 {
+	return h.n // want:atomicmix
+}
+
+// Reset stores with a plain write, racing Inc (positive).
+func (h *Hits) Reset() {
+	h.n = 0 // want:atomicmix
+}
+
+// Clean uses a typed atomic for every access (negative).
+type Clean struct {
+	n atomic.Int64
+}
+
+// Inc records one hit.
+func (c *Clean) Inc() { c.n.Add(1) }
+
+// Read loads the counter.
+func (c *Clean) Read() int64 { return c.n.Load() }

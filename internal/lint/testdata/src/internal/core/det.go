@@ -1,0 +1,28 @@
+// Fixture cases for the detrand check: core is a determinism-scoped
+// package, so API-reachable nondeterministic reads are findings unless
+// they stay inside obs instrumentation.
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// Workers derives a worker count from machine topology and returns it
+// straight to the caller (positive).
+func Workers() int {
+	return runtime.GOMAXPROCS(0) // want:detrand
+}
+
+// Stamp stores a wall-clock read and folds it into the result; the
+// finding lands on the escaping use (positive).
+func Stamp(base int64) int64 {
+	now := time.Now()
+	return base + now.UnixNano() // want:detrand
+}
+
+// debugNow reads the clock but is unreachable from any exported function,
+// so the reachability gate skips it (negative).
+func debugNow() int64 {
+	return time.Now().UnixNano()
+}

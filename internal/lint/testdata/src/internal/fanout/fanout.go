@@ -1,0 +1,57 @@
+// Package fanout is a fixture for the floataccum check.
+package fanout
+
+import (
+	"sync"
+
+	"fixture/internal/par"
+)
+
+// SumWeights folds worker partials into a captured float accumulator, so
+// the merge happens in completion order (positive).
+func SumWeights(w []float64, workers int) float64 {
+	total := 0.0
+	par.Do(len(w), workers, func(chunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += w[i] // want:floataccum
+		}
+	})
+	return total
+}
+
+// SumWeightsIndexed writes chunk-indexed partials and reduces serially —
+// the contract par.Do exists for (negative).
+func SumWeightsIndexed(w []float64, workers int) float64 {
+	partials := make([]float64, len(w))
+	par.Do(len(w), workers, func(chunk, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += w[i]
+		}
+		partials[chunk] = s
+	})
+	total := 0.0
+	for _, s := range partials {
+		total += s
+	}
+	return total
+}
+
+// SumGo accumulates under a mutex inside goroutines: race-free, but the
+// merge order still follows goroutine completion (positive).
+func SumGo(w []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0.0
+	for i := range w {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += x // want:floataccum
+			mu.Unlock()
+		}(w[i])
+	}
+	wg.Wait()
+	return total
+}

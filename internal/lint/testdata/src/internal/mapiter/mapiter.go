@@ -1,0 +1,64 @@
+// Package mapiter is a fixture for the maporder check.
+package mapiter
+
+import "sort"
+
+// SumScores folds map values into a float accumulator in iteration order
+// (positive: float addition is not associative).
+func SumScores(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want:maporder
+	}
+	return total
+}
+
+// CollectIDs returns keys in map-iteration order without sorting
+// (positive).
+func CollectIDs(m map[string]int) []string {
+	var ids []string
+	for k := range m {
+		ids = append(ids, k) // want:maporder
+	}
+	return ids
+}
+
+// Labels appends a value derived from the key through a helper call, so
+// the taint must survive the call (positive).
+func Labels(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, decorate(k)) // want:maporder
+	}
+	return out
+}
+
+func decorate(k string) string { return "v:" + k }
+
+// CollectSorted collects then sorts — the sanctioned idiom (negative).
+func CollectSorted(m map[string]int) []string {
+	var ids []string
+	for k := range m {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CountEntries accumulates an integer, which is associative (negative).
+func CountEntries(m map[string]float64) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}
+
+// Invert writes into a map, an unordered sink (negative).
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package obs is a fixture observability sink: the detrand check
+// sanctions nondeterministic reads whose values stay inside calls into
+// this package or composite literals of its types.
+package obs
+
+import "time"
+
+// Phase is one timed span.
+type Phase struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Emit records a phase. The fixture sink drops it.
+func Emit(p Phase) {}

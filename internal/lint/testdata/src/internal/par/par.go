@@ -1,0 +1,21 @@
+// Package par is a fixture parallel runner: the floataccum check treats
+// function literals handed to Do as concurrent, and the detrand check
+// covers this package — its wall-clock reads must stay inside obs
+// instrumentation (negative cases).
+package par
+
+import (
+	"time"
+
+	"fixture/internal/obs"
+)
+
+// Do invokes fn once per chunk. The fixture implementation is serial; the
+// timing reads feed only the obs sink, which detrand sanctions.
+func Do(n, workers int, fn func(chunk, lo, hi int)) {
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		fn(c, c, c+1)
+	}
+	obs.Emit(obs.Phase{Name: "par.do", Dur: time.Since(start)})
+}

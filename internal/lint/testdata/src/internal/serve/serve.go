@@ -1,0 +1,71 @@
+// Package serve is a fixture for the ctxflow and errcode checks.
+package serve
+
+import "context"
+
+// APIError is the machine-readable error envelope.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+// Registered stable error codes.
+const (
+	CodeBadJSON  = "bad_json"
+	CodeNotFound = "not_found"
+)
+
+// errorf builds an APIError from a registered code.
+func errorf(status int, code, message string) *APIError {
+	return &APIError{Status: status, Code: code, Message: message}
+}
+
+// Handle drops the request context for a fresh root and passes a literal
+// code (both positives).
+func Handle(ctx context.Context, raw string) error {
+	if raw == "" {
+		return errorf(400, "bad_json", "empty body") // want:errcode
+	}
+	sub := context.Background() // want:ctxflow
+	return run(sub, raw)
+}
+
+// HandleGood propagates the request context and uses the registered
+// constant (negatives).
+func HandleGood(ctx context.Context, raw string) error {
+	if raw == "" {
+		return errorf(400, CodeBadJSON, "empty body")
+	}
+	return run(ctx, raw)
+}
+
+// Lookup builds the error envelope with a literal code (positive).
+func Lookup(ctx context.Context, key string) error {
+	if key == "" {
+		return &APIError{Status: 404, Code: "not_found", Message: "no key"} // want:errcode
+	}
+	return run(ctx, key)
+}
+
+// LookupGood uses the registered constant (negative).
+func LookupGood(ctx context.Context, key string) error {
+	if key == "" {
+		return &APIError{Status: 404, Code: CodeNotFound, Message: "no key"}
+	}
+	return run(ctx, key)
+}
+
+// Setup runs before any request exists, so a root context is correct
+// here (negative).
+func Setup() context.Context {
+	return context.Background()
+}
+
+func run(ctx context.Context, raw string) error {
+	_ = raw
+	return ctx.Err()
+}

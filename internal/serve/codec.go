@@ -171,27 +171,27 @@ func errorf(status int, code, format string, args ...any) *APIError {
 // endpoint decoders above it).
 func decodeProblem(spec *ProblemSpec, k int) (*core.Problem, *APIError) {
 	if len(spec.Graph) == 0 {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_graph", "missing graph")
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadGraph, "missing graph")
 	}
 	if len(spec.Flows) == 0 {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "missing flows")
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadFlows, "missing flows")
 	}
 	g, err := graph.ReadJSON(bytes.NewReader(spec.Graph))
 	if err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_graph", "graph: %v", err)
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadGraph, "graph: %v", err)
 	}
 	flows, err := flow.ReadJSON(bytes.NewReader(spec.Flows))
 	if err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "flows: %v", err)
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadFlows, "flows: %v", err)
 	}
 	// Engine preprocessing walks every flow path, so paths must be real
 	// walks of this graph before they get near the arenas.
 	if err := flows.ValidateAll(g); err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_flows", "flows: %v", err)
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadFlows, "flows: %v", err)
 	}
 	u, err := utility.ByName(spec.Utility, spec.UtilityD)
 	if err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "unknown_utility",
+		return nil, errorf(http.StatusUnprocessableEntity, CodeUnknownUtility,
 			"utility %q (D=%g): %v", spec.Utility, spec.UtilityD, err)
 	}
 	p := &core.Problem{
@@ -204,7 +204,7 @@ func decodeProblem(spec *ProblemSpec, k int) (*core.Problem, *APIError) {
 		Candidates: append([]graph.NodeID(nil), spec.Candidates...),
 	}
 	if err := p.Validate(); err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_problem", "%v", err)
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadProblem, "%v", err)
 	}
 	return p, nil
 }
@@ -213,16 +213,16 @@ func decodeProblem(spec *ProblemSpec, k int) (*core.Problem, *APIError) {
 func decodePlaceRequest(body []byte) (*PlaceRequest, *core.Problem, *APIError) {
 	var req PlaceRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+		return nil, nil, errorf(http.StatusBadRequest, CodeBadJSON, "%v", err)
 	}
 	if req.K < 1 {
-		return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_budget", "k=%d, need k >= 1", req.K)
+		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadBudget, "k=%d, need k >= 1", req.K)
 	}
 	if req.Algo == "" {
 		req.Algo = "algorithm2"
 	}
 	if _, ok := solvers[req.Algo]; !ok {
-		return nil, nil, errorf(http.StatusUnprocessableEntity, "unknown_algo",
+		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeUnknownAlgo,
 			"algo %q (want algorithm1, algorithm2, combined, or lazy)", req.Algo)
 	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, req.K)
@@ -238,7 +238,7 @@ func decodePlaceRequest(body []byte) (*PlaceRequest, *core.Problem, *APIError) {
 func decodeEvaluateRequest(body []byte) (*EvaluateRequest, *core.Problem, *APIError) {
 	var req EvaluateRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+		return nil, nil, errorf(http.StatusBadRequest, CodeBadJSON, "%v", err)
 	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
 	if apiErr != nil {
@@ -246,7 +246,7 @@ func decodeEvaluateRequest(body []byte) (*EvaluateRequest, *core.Problem, *APIEr
 	}
 	for _, v := range req.Placement {
 		if !p.Graph.ValidNode(v) {
-			return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_placement",
+			return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadPlacement,
 				"placement node %d is not a node of the graph", v)
 		}
 	}
@@ -257,10 +257,10 @@ func decodeEvaluateRequest(body []byte) (*EvaluateRequest, *core.Problem, *APIEr
 func decodeDetourRequest(body []byte) (*DetourRequest, *core.Problem, *APIError) {
 	var req DetourRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, nil, errorf(http.StatusBadRequest, "bad_json", "%v", err)
+		return nil, nil, errorf(http.StatusBadRequest, CodeBadJSON, "%v", err)
 	}
 	if len(req.Nodes) == 0 {
-		return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_nodes", "empty node set")
+		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadNodes, "empty node set")
 	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
 	if apiErr != nil {
@@ -268,7 +268,7 @@ func decodeDetourRequest(body []byte) (*DetourRequest, *core.Problem, *APIError)
 	}
 	for _, v := range req.Nodes {
 		if !p.Graph.ValidNode(v) {
-			return nil, nil, errorf(http.StatusUnprocessableEntity, "bad_nodes",
+			return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadNodes,
 				"node %d is not a node of the graph", v)
 		}
 	}

@@ -1,0 +1,31 @@
+package serve
+
+// Stable machine-readable error codes. Clients switch on these, so each
+// code is part of the API: never reword one, only add. Every error
+// response must use a constant from this inventory — the errcode analyzer
+// rejects inline string literals, which gives each code exactly one
+// definition site.
+const (
+	// Request-shape errors (400/413/422).
+	CodeBadJSON      = "bad_json"
+	CodeBadGraph     = "bad_graph"
+	CodeBadFlows     = "bad_flows"
+	CodeBadProblem   = "bad_problem"
+	CodeBadBudget    = "bad_budget"
+	CodeBadPlacement = "bad_placement"
+	CodeBadNodes     = "bad_nodes"
+	CodeBodyTooLarge = "body_too_large"
+
+	// Unknown-name errors (422).
+	CodeUnknownAlgo    = "unknown_algo"
+	CodeUnknownUtility = "unknown_utility"
+
+	// Routing errors (404/405).
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+
+	// Lifecycle and execution errors (500/503/504).
+	CodeInternal         = "internal"
+	CodeShuttingDown     = "shutting_down"
+	CodeDeadlineExceeded = "deadline_exceeded"
+)

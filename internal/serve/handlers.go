@@ -32,7 +32,7 @@ func (s *Server) solveEndpoint(name string, h solveHandler) http.HandlerFunc {
 
 		if r.Method != http.MethodPost {
 			errorsC.Inc()
-			writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+			writeError(w, errorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 				"%s requires POST, got %s", r.URL.Path, r.Method))
 			return
 		}
@@ -40,7 +40,7 @@ func (s *Server) solveEndpoint(name string, h solveHandler) http.HandlerFunc {
 		// requests admitted before the flag flipped.
 		if s.draining.Load() {
 			errorsC.Inc()
-			writeError(w, errorf(http.StatusServiceUnavailable, "shutting_down",
+			writeError(w, errorf(http.StatusServiceUnavailable, CodeShuttingDown,
 				"server is draining"))
 			return
 		}
@@ -56,10 +56,10 @@ func (s *Server) solveEndpoint(name string, h solveHandler) http.HandlerFunc {
 			errorsC.Inc()
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				writeError(w, errorf(http.StatusRequestEntityTooLarge, "body_too_large",
+				writeError(w, errorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 					"request body exceeds %d bytes", s.cfg.MaxBody))
 			} else {
-				writeError(w, errorf(http.StatusBadRequest, "bad_json", "read body: %v", err))
+				writeError(w, errorf(http.StatusBadRequest, CodeBadJSON, "read body: %v", err))
 			}
 			return
 		}
@@ -77,7 +77,7 @@ func (s *Server) solveEndpoint(name string, h solveHandler) http.HandlerFunc {
 // disconnect surface as deadline_exceeded: from the solver's point of view
 // the request's time ran out either way.
 func ctxError(err error) *APIError {
-	return errorf(http.StatusGatewayTimeout, "deadline_exceeded", "%v", err)
+	return errorf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "%v", err)
 }
 
 // engineFor resolves the request problem to a cached (or freshly built)
@@ -99,7 +99,7 @@ func (s *Server) engineFor(ctx context.Context, p *core.Problem) (eng *core.Engi
 	}
 	digest, err := core.ProblemDigest(p)
 	if err != nil {
-		return nil, "", "", nil, errorf(http.StatusInternalServerError, "internal", "digest: %v", err)
+		return nil, "", "", nil, errorf(http.StatusInternalServerError, CodeInternal, "digest: %v", err)
 	}
 	if err := s.gate.Acquire(ctx); err != nil {
 		return nil, "", "", nil, ctxError(err)
@@ -112,7 +112,7 @@ func (s *Server) engineFor(ctx context.Context, p *core.Problem) (eng *core.Engi
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, "", "", nil, ctxError(err)
 		}
-		return nil, "", "", nil, errorf(http.StatusUnprocessableEntity, "bad_problem", "build engine: %v", err)
+		return nil, "", "", nil, errorf(http.StatusUnprocessableEntity, CodeBadProblem, "build engine: %v", err)
 	}
 	return eng, digest, outcome, s.gate.Release, nil
 }
@@ -131,11 +131,11 @@ func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
 	defer release()
 	budgeted, err := eng.WithBudget(req.K)
 	if err != nil {
-		return nil, errorf(http.StatusUnprocessableEntity, "bad_budget", "%v", err)
+		return nil, errorf(http.StatusUnprocessableEntity, CodeBadBudget, "%v", err)
 	}
 	pl, err := solvers[req.Algo](budgeted)
 	if err != nil {
-		return nil, errorf(http.StatusInternalServerError, "internal", "solve: %v", err)
+		return nil, errorf(http.StatusInternalServerError, CodeInternal, "solve: %v", err)
 	}
 	return &PlaceResponse{
 		Digest:    digest,
@@ -212,7 +212,7 @@ func (s *Server) handleDetour(r *http.Request, body []byte) (any, *APIError) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+		writeError(w, errorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			"/healthz requires GET, got %s", r.Method))
 		return
 	}
@@ -228,7 +228,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed",
+		writeError(w, errorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			"/metrics requires GET, got %s", r.Method))
 		return
 	}

@@ -117,7 +117,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, &APIError{Status: http.StatusNotFound, Code: "not_found",
+		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
 			Message: "unknown endpoint " + r.URL.Path})
 	})
 	return s

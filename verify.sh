@@ -25,14 +25,20 @@ go test -run '^$' -fuzz '^FuzzReproRoundTrip$' -fuzztime 10s ./internal/invarian
 echo "==> fuzz smoke: FuzzServeRequest (10s)"
 go test -run '^$' -fuzz '^FuzzServeRequest$' -fuzztime 10s ./internal/serve
 
+echo "==> fuzz smoke: FuzzIgnoreDirective (10s)"
+go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 10s ./internal/lint
+
+echo "==> fuzz smoke: FuzzLintBaseline (10s)"
+go test -run '^$' -fuzz '^FuzzLintBaseline$' -fuzztime 10s ./internal/lint
+
 echo "==> invariant soak (short: 25 instances, all registered invariants)"
 go run ./cmd/soak -instances 25 -seed 2015 -out /tmp/soak_artifacts -metrics \
     > /tmp/soak_verify.txt
 grep -q 'all invariants hold' /tmp/soak_verify.txt \
     || { echo "soak gate did not pass cleanly"; cat /tmp/soak_verify.txt; exit 1; }
 
-echo "==> roadsidelint"
-go run ./cmd/roadsidelint ./...
+echo "==> roadsidelint (ratchet gate against results/LINT_baseline.json)"
+go run ./cmd/roadsidelint -baseline results/LINT_baseline.json ./...
 
 echo "==> serverap load smoke (3s loopback, bit-identity checked per response)"
 go run ./cmd/serverap -load 3s -clients 4 -problems 3 \
