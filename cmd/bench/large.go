@@ -1,0 +1,239 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"roadside"
+	"roadside/internal/benchio"
+	"roadside/internal/graph"
+)
+
+// Large-graph benchmark mode (-large / -large-smoke).
+//
+// The standard suite measures the Dublin-scale fixture; this mode measures
+// the production-scale path the many-to-many subsystem exists for: a
+// mega-generated city with hub-pooled local flows, preprocessed through
+// ManyToManyGrouped and assembled into sharded arenas. Two things are
+// recorded:
+//
+//   - m2m_trees_fanout vs m2m_buckets on a mid-size many-destination
+//     fixture: the old cost of one full reverse Dijkstra per distinct
+//     destination against the pruned grouped searches, with the speedup
+//     column computed from the measured fan-out number.
+//   - one-shot wall-clock timings for mega city generation, local flow
+//     synthesis, and sharded engine construction (engine_construct_mega).
+//
+// -large runs the full 1M-node / 100k-flow instance and is CI-opt-in;
+// -large-smoke shrinks every knob so verify.sh can exercise the identical
+// code path in seconds.
+
+// largeParams sizes the large suite; the two presets share all code.
+type largeParams struct {
+	// m2m comparison fixture (iterated with testing.Benchmark).
+	m2mNodes  int
+	m2mDemand roadside.LocalDemandConfig
+	// one-shot mega instance.
+	megaNodes      int
+	megaDemand     roadside.LocalDemandConfig
+	maxShardVisits int
+	// minMegaNodes guards that the generator actually reached scale.
+	minMegaNodes int
+}
+
+func fullLargeParams() largeParams {
+	return largeParams{
+		m2mNodes: 60_000,
+		m2mDemand: roadside.LocalDemandConfig{
+			Flows: 4_000, Hubs: 96, MinHops: 8, MaxHops: 48,
+			VolumeMean: 3, Alpha: 1,
+		},
+		megaNodes:      1_000_000,
+		megaDemand:     roadside.DefaultLocalDemand(),
+		maxShardVisits: 1_000_000,
+		minMegaNodes:   1_000_000,
+	}
+}
+
+func smokeLargeParams() largeParams {
+	return largeParams{
+		m2mNodes: 8_000,
+		m2mDemand: roadside.LocalDemandConfig{
+			Flows: 800, Hubs: 32, MinHops: 6, MaxHops: 24,
+			VolumeMean: 3, Alpha: 1,
+		},
+		megaNodes:      10_000,
+		megaDemand:     roadside.LocalDemandConfig{Flows: 2_000, Hubs: 64, MinHops: 6, MaxHops: 24, VolumeMean: 3, Alpha: 1},
+		maxShardVisits: 8_000,
+		minMegaNodes:   10_000,
+	}
+}
+
+// destGroups pools flows by destination exactly as engine preprocessing
+// does: one group per distinct destination in first-appearance order, whose
+// sources are the sorted distinct path nodes of its member flows.
+func destGroups(flows []roadside.Flow) []graph.M2MGroup {
+	order := make(map[roadside.NodeID]int)
+	var sets []map[roadside.NodeID]struct{}
+	var dests []roadside.NodeID
+	for _, f := range flows {
+		gi, ok := order[f.Dest]
+		if !ok {
+			gi = len(sets)
+			order[f.Dest] = gi
+			sets = append(sets, make(map[roadside.NodeID]struct{}))
+			dests = append(dests, f.Dest)
+		}
+		for _, v := range f.Path {
+			sets[gi][v] = struct{}{}
+		}
+	}
+	groups := make([]graph.M2MGroup, len(sets))
+	for gi := range sets {
+		srcs := make([]roadside.NodeID, 0, len(sets[gi]))
+		for v := range sets[gi] {
+			srcs = append(srcs, v)
+		}
+		sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
+		groups[gi] = graph.M2MGroup{Target: dests[gi], Sources: srcs}
+	}
+	return groups
+}
+
+// runLarge executes the large-graph suite and writes the report. It
+// replaces the standard benchmark set for the invocation.
+func runLarge(w io.Writer, opt options) error {
+	params := fullLargeParams()
+	if opt.largeSmoke {
+		params = smokeLargeParams()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	report := benchio.New(opt.label, opt.largeSmoke)
+
+	// ---- Many-to-many preprocessing comparison ----
+	city, err := roadside.Mega(params.m2mNodes, 7)
+	if err != nil {
+		return fmt.Errorf("m2m fixture city: %w", err)
+	}
+	flows, err := roadside.GenerateLocalFlows(city, params.m2mDemand, 7)
+	if err != nil {
+		return fmt.Errorf("m2m fixture flows: %w", err)
+	}
+	groups := destGroups(flows)
+	var totalSources int
+	for _, g := range groups {
+		totalSources += len(g.Sources)
+	}
+	fmt.Fprintf(w, "bench: m2m fixture %d nodes, %d flows, %d destination groups, %d source slots\n",
+		city.Graph.NumNodes(), len(flows), len(groups), totalSources)
+
+	reqs := make([]graph.TreeReq, len(groups))
+	for i, g := range groups {
+		reqs[i] = graph.TreeReq{Root: g.Target, Reverse: true, DistOnly: true}
+	}
+	var sink float64
+	treesRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trees, err := city.Graph.Trees(reqs, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += trees[0].Dist(groups[0].Sources[0])
+		}
+	})
+	bucketsRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cols, err := city.Graph.ManyToManyGrouped(groups, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += cols[0][0]
+		}
+	})
+	if treesRes.N == 0 || bucketsRes.N == 0 {
+		return fmt.Errorf("m2m benchmarks failed to run (sink %v)", sink)
+	}
+	treesNs := float64(treesRes.T.Nanoseconds()) / float64(treesRes.N)
+	bucketsNs := float64(bucketsRes.T.Nanoseconds()) / float64(bucketsRes.N)
+	report.Add(benchio.Entry{
+		Name: "m2m_trees_fanout", NsPerOp: treesNs, Iterations: treesRes.N,
+		AllocsPerOp: treesRes.AllocsPerOp(), BytesPerOp: treesRes.AllocedBytesPerOp(),
+	})
+	report.Add(benchio.Entry{
+		Name: "m2m_buckets", NsPerOp: bucketsNs, Iterations: bucketsRes.N,
+		AllocsPerOp: bucketsRes.AllocsPerOp(), BytesPerOp: bucketsRes.AllocedBytesPerOp(),
+		BaselineNs: treesNs, Speedup: treesNs / bucketsNs,
+	})
+	fmt.Fprintf(w, "  %-24s %14.0f ns/op\n", "m2m_trees_fanout", treesNs)
+	fmt.Fprintf(w, "  %-24s %14.0f ns/op   %.2fx vs trees fan-out\n",
+		"m2m_buckets", bucketsNs, treesNs/bucketsNs)
+
+	// ---- One-shot mega instance ----
+	oneShot := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		report.Add(benchio.Entry{Name: name, NsPerOp: float64(elapsed.Nanoseconds()), Iterations: 1})
+		fmt.Fprintf(w, "  %-24s %14.0f ns/op   (%s, 1 shot)\n", name, float64(elapsed.Nanoseconds()), elapsed.Round(time.Millisecond))
+		return nil
+	}
+
+	var mega *roadside.City
+	if err := oneShot("citygen_mega", func() error {
+		mega, err = roadside.Mega(params.megaNodes, 1)
+		return err
+	}); err != nil {
+		return err
+	}
+	if n := mega.Graph.NumNodes(); n < params.minMegaNodes {
+		return fmt.Errorf("mega city has %d nodes, want >= %d", n, params.minMegaNodes)
+	}
+	fmt.Fprintf(w, "bench: mega city %d nodes, %d edges\n", mega.Graph.NumNodes(), mega.Graph.NumEdges())
+
+	var megaFlows []roadside.Flow
+	if err := oneShot("flows_local", func() error {
+		megaFlows, err = roadside.GenerateLocalFlows(mega, params.megaDemand, 2)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	flowSet, err := roadside.NewFlowSet(megaFlows)
+	if err != nil {
+		return fmt.Errorf("mega flow set: %w", err)
+	}
+	p := &roadside.Problem{
+		Graph:   mega.Graph,
+		Shop:    megaFlows[0].Dest,
+		Flows:   flowSet,
+		Utility: roadside.LinearUtility{D: 20_000},
+		K:       10,
+	}
+	var eng *roadside.Engine
+	if err := oneShot("engine_construct_mega", func() error {
+		eng, err = roadside.NewEngineMaxShard(p, workers, params.maxShardVisits)
+		return err
+	}); err != nil {
+		return err
+	}
+	if eng.NumShards() < 2 {
+		return fmt.Errorf("mega engine built %d shard(s); the sharded path should split at budget %d",
+			eng.NumShards(), params.maxShardVisits)
+	}
+	fmt.Fprintf(w, "bench: mega engine %d shards, %.1f MiB arenas (budget %d visits/shard)\n",
+		eng.NumShards(), float64(eng.ArenaBytes())/(1<<20), params.maxShardVisits)
+
+	if opt.out != "" {
+		if err := benchio.Write(opt.out, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench: report written to %s\n", opt.out)
+	}
+	return nil
+}

@@ -9,6 +9,8 @@
 //	go run ./cmd/bench [-quick] [-out results/BENCH_2.json] \
 //	    [-benchtime 300ms] [-baseline results/BENCH_baseline.json -check] \
 //	    [-metrics] [-trace trace.json] [-pprof :6060]
+//	go run ./cmd/bench -large -out results/BENCH_7.json   # 1M-node suite
+//	go run ./cmd/bench -large-smoke                       # CI-speed variant
 //
 // Each entry also reports a speedup against the recorded pre-optimization
 // ("seed") numbers where one exists, documenting what the CSR-arena engine
@@ -71,6 +73,8 @@ type options struct {
 	pprofAddr      string
 	checkObs       bool
 	maxObsOverhead float64
+	large          bool
+	largeSmoke     bool
 }
 
 func main() {
@@ -88,6 +92,8 @@ func main() {
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) during the run")
 	flag.BoolVar(&opt.checkObs, "check-obs", false, "exit nonzero if no-op-observer solver entries exceed -max-obs-overhead vs -baseline")
 	flag.Float64Var(&opt.maxObsOverhead, "max-obs-overhead", 1.02, "allowed solver_* ns/op ratio vs baseline before -check-obs fails")
+	flag.BoolVar(&opt.large, "large", false, "run the large-graph suite (1M-node mega city, sharded engine) instead of the standard set")
+	flag.BoolVar(&opt.largeSmoke, "large-smoke", false, "scaled-down large-graph suite; same code path, seconds instead of minutes")
 	flag.Parse()
 	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -133,6 +139,13 @@ func run(w io.Writer, opt options) error {
 		rec.Trace.SetMeta("bench.benchtime", opt.benchtime)
 		prev := obs.SetDefault(rec)
 		defer obs.SetDefault(prev)
+	}
+
+	if opt.large || opt.largeSmoke {
+		if err := runLarge(w, opt); err != nil {
+			return err
+		}
+		return writeObsOutputs(w, rec, opt.tracePath)
 	}
 
 	cases, digest, err := buildCases(opt.quick)
@@ -205,25 +218,32 @@ func run(w io.Writer, opt options) error {
 			}
 		}
 	}
-	if rec != nil {
-		fmt.Fprintln(w, "bench: metrics")
-		if err := rec.Metrics.WriteText(w); err != nil {
+	return writeObsOutputs(w, rec, opt.tracePath)
+}
+
+// writeObsOutputs prints the aggregated metrics and writes the trace file
+// when an instrumented run installed a recorder; it is a no-op otherwise.
+func writeObsOutputs(w io.Writer, rec *obs.Recorder, tracePath string) error {
+	if rec == nil {
+		return nil
+	}
+	fmt.Fprintln(w, "bench: metrics")
+	if err := rec.Metrics.WriteText(w); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
 			return err
 		}
-		if opt.tracePath != "" {
-			f, err := os.Create(opt.tracePath)
-			if err != nil {
-				return err
-			}
-			err = rec.Trace.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "bench: %d spans written to %s\n", rec.Trace.Len(), opt.tracePath)
+		err = rec.Trace.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench: %d spans written to %s\n", rec.Trace.Len(), tracePath)
 	}
 	return nil
 }

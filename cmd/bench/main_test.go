@@ -285,3 +285,45 @@ func TestRunCheckObsFlagValidation(t *testing.T) {
 		t.Fatalf("metrics+check-obs error, got %v", err)
 	}
 }
+
+// TestRunLargeSmoke drives the -large-smoke suite end to end: the
+// many-to-many comparison pair, the one-shot mega timings, the sharded
+// engine, and the report. The smoke preset is the same code path the
+// CI-opt-in -large run takes at 1M nodes.
+func TestRunLargeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_large.json")
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		out: out, label: "large-smoke", largeSmoke: true, benchtime: "5ms",
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	rep, err := benchio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"m2m_trees_fanout", "m2m_buckets",
+		"citygen_mega", "flows_local", "engine_construct_mega",
+	} {
+		e, ok := rep.Lookup(name)
+		if !ok {
+			t.Fatalf("entry %q missing from report", name)
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Fatalf("entry %q not measured: %+v", name, e)
+		}
+	}
+	buckets, _ := rep.Lookup("m2m_buckets")
+	if buckets.BaselineNs <= 0 || buckets.Speedup <= 0 {
+		t.Fatalf("m2m_buckets lacks the trees fan-out reference: %+v", buckets)
+	}
+	if !strings.Contains(buf.String(), "vs trees fan-out") ||
+		!strings.Contains(buf.String(), "shards") {
+		t.Fatalf("summary lines missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,178 @@
+package citygen
+
+import (
+	"fmt"
+	"math"
+
+	"roadside/internal/flow"
+	"roadside/internal/graph"
+	"roadside/internal/stats"
+)
+
+// Million-node city generation and hub-based local flow synthesis.
+//
+// The paper's city-scale generators (Dublin, Seattle) top out at a few
+// hundred intersections; the production-scale path needs OSM-sized
+// instances. MegaConfig scales the same irregular perturbed-lattice model
+// to arbitrary node counts, and GenerateLocalFlows replaces the
+// shortest-path route sampler (one full Dijkstra per route — unusable at
+// this scale) with bounded reverse BFS from a set of hub destinations:
+// every flow drives a real hop-shortest path into its hub, so flows pool
+// into at most Hubs distinct destinations and each destination's path
+// nodes stay geographically local. That locality is exactly what the
+// engine's many-to-many preprocessing prunes on, and the hub pooling is
+// what keeps the destination-group count at ~Hubs instead of ~Flows.
+
+// MegaConfig scales the Dublin-style irregular lattice to at least nodes
+// intersections (before SCC trimming; MinSCCFrac guards the yield). Street
+// spacing is a city-block-like 300 ft regardless of scale.
+func MegaConfig(nodes int) Config {
+	if nodes < 9 {
+		nodes = 9
+	}
+	// Oversample the lattice so the largest SCC still clears the target
+	// after drops and one-way conversions.
+	side := int(math.Ceil(math.Sqrt(float64(nodes) / 0.95)))
+	return Config{
+		Name:       fmt.Sprintf("mega-%d", nodes),
+		Rows:       side,
+		Cols:       side,
+		ExtentFeet: 300 * float64(side-1),
+		Jitter:     0.26,
+		DropProb:   0.08,
+		Diagonals:  side * side / 7,
+		OneWayProb: 0.05,
+		MinSCCFrac: 0.92,
+	}
+}
+
+// Mega generates an irregular city with at least nodes intersections
+// (post-trim count can exceed the request; it never falls below
+// MinSCCFrac of the oversampled lattice). Deterministic in seed.
+func Mega(nodes int, seed int64) (*City, error) {
+	return Generate(MegaConfig(nodes), seed)
+}
+
+// LocalDemandConfig parameterizes hub-based flow synthesis.
+type LocalDemandConfig struct {
+	// Flows is the number of traffic flows to create.
+	Flows int
+	// Hubs is the number of distinct destination nodes flows converge on.
+	// Engine preprocessing cost scales with distinct destinations, so this
+	// is the knob trading demand diversity against build time.
+	Hubs int
+	// MinHops and MaxHops bound each flow's path length in intersections
+	// (path node count, matching DemandConfig.MinHops semantics).
+	MinHops, MaxHops int
+	// VolumeMean is the mean daily driver volume per flow (Poisson, at
+	// least 1).
+	VolumeMean float64
+	// Alpha is the per-flow detour-sensitivity factor in [0, 1].
+	Alpha float64
+}
+
+// DefaultLocalDemand is the 100k-flow configuration the large benchmark
+// instance uses.
+func DefaultLocalDemand() LocalDemandConfig {
+	return LocalDemandConfig{
+		Flows:      100_000,
+		Hubs:       2048,
+		MinHops:    8,
+		MaxHops:    48,
+		VolumeMean: 3,
+		Alpha:      1,
+	}
+}
+
+// GenerateLocalFlows samples cfg.Flows hub-bound flows over the city,
+// deterministic in seed. Each flow's path is the hop-shortest path from a
+// sampled origin to its hub, found by one bounded reverse BFS per hub;
+// hubs are processed in order and flows emitted in their original index
+// order, so the output never depends on timing.
+func GenerateLocalFlows(c *City, cfg LocalDemandConfig, seed int64) ([]flow.Flow, error) {
+	if cfg.Flows < 1 || cfg.Hubs < 1 {
+		return nil, fmt.Errorf("%w: flows=%d hubs=%d", ErrBadConfig, cfg.Flows, cfg.Hubs)
+	}
+	if cfg.MinHops < 2 || cfg.MaxHops < cfg.MinHops {
+		return nil, fmt.Errorf("%w: hops [%d,%d]", ErrBadConfig, cfg.MinHops, cfg.MaxHops)
+	}
+	if cfg.VolumeMean < 1 || cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("%w: volume mean %v alpha %v", ErrBadConfig, cfg.VolumeMean, cfg.Alpha)
+	}
+	g := c.Graph
+	n := g.NumNodes()
+	rng := stats.NewRand(seed, 0)
+
+	// Hub nodes, then the hub each flow converges on — both drawn up front
+	// so the per-hub processing below cannot perturb the assignment.
+	hubs := make([]graph.NodeID, cfg.Hubs)
+	for i := range hubs {
+		hubs[i] = graph.NodeID(rng.Intn(n))
+	}
+	flowHub := make([]int, cfg.Flows)
+	hubFlows := make([][]int, cfg.Hubs)
+	for i := range flowHub {
+		h := rng.Intn(cfg.Hubs)
+		flowHub[i] = h
+		hubFlows[h] = append(hubFlows[h], i)
+	}
+
+	// Per-hub bounded reverse BFS scratch, epoch-stamped so the arrays are
+	// reinitialized O(1) per hub instead of O(n).
+	stampEpoch := uint32(0)
+	stamp := make([]uint32, n)
+	next := make([]graph.NodeID, n) // next hop toward the hub
+	flows := make([]flow.Flow, cfg.Flows)
+	var queue []graph.NodeID
+	for h, hub := range hubs {
+		if len(hubFlows[h]) == 0 {
+			continue
+		}
+		stampEpoch++
+		stamp[hub] = stampEpoch
+		queue = append(queue[:0], hub)
+		// eligible holds nodes whose hop-shortest path to the hub has
+		// between MinHops and MaxHops nodes, in BFS discovery order.
+		var eligible []graph.NodeID
+		depth := 0
+		for len(queue) > 0 && depth+1 < cfg.MaxHops {
+			depth++
+			var frontier []graph.NodeID
+			for _, u := range queue {
+				g.ForEachIn(u, func(v graph.NodeID, _ float64) bool {
+					if stamp[v] != stampEpoch {
+						stamp[v] = stampEpoch
+						next[v] = u
+						frontier = append(frontier, v)
+						if depth+1 >= cfg.MinHops {
+							eligible = append(eligible, v)
+						}
+					}
+					return true
+				})
+			}
+			queue = frontier
+		}
+		if len(eligible) == 0 {
+			return nil, fmt.Errorf("%w: hub %d has no origins with %d..%d-hop paths",
+				ErrTooSparse, hub, cfg.MinHops, cfg.MaxHops)
+		}
+		for _, fi := range hubFlows[h] {
+			origin := eligible[rng.Intn(len(eligible))]
+			var path []graph.NodeID
+			for v := origin; ; v = next[v] {
+				path = append(path, v)
+				if v == hub {
+					break
+				}
+			}
+			volume := float64(1 + stats.Poisson(rng, cfg.VolumeMean-1))
+			f, err := flow.New(fmt.Sprintf("local-%d", fi), path, volume, cfg.Alpha)
+			if err != nil {
+				return nil, fmt.Errorf("citygen: flow %d: %w", fi, err)
+			}
+			flows[fi] = f
+		}
+	}
+	return flows, nil
+}

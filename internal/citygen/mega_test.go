@@ -1,0 +1,119 @@
+package citygen
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+// megaCity builds a small instance of the mega family (the generator is
+// scale-free; tests exercise it at a few thousand nodes).
+func megaCity(t *testing.T, nodes int, seed int64) *City {
+	t.Helper()
+	c, err := Mega(nodes, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMegaGeneratesRequestedScale(t *testing.T) {
+	c := megaCity(t, 2000, 11)
+	cfg := MegaConfig(2000)
+	if min := int(cfg.MinSCCFrac * float64(cfg.Rows*cfg.Cols)); c.Graph.NumNodes() < min {
+		t.Fatalf("only %d nodes, want >= %d", c.Graph.NumNodes(), min)
+	}
+	// Determinism in seed.
+	c2 := megaCity(t, 2000, 11)
+	if c.Graph.NumNodes() != c2.Graph.NumNodes() || c.Graph.NumEdges() != c2.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if megaCity(t, 2000, 12).Graph.NumEdges() == c.Graph.NumEdges() {
+		t.Log("different seeds coincidentally matched edge counts (unlikely but legal)")
+	}
+}
+
+func TestMegaConfigFloorsTinyRequests(t *testing.T) {
+	cfg := MegaConfig(1)
+	if cfg.Rows < 3 || cfg.Cols < 3 {
+		t.Fatalf("config %dx%d below Generate's minimum lattice", cfg.Rows, cfg.Cols)
+	}
+}
+
+func TestGenerateLocalFlows(t *testing.T) {
+	c := megaCity(t, 1500, 7)
+	cfg := LocalDemandConfig{
+		Flows:      400,
+		Hubs:       32,
+		MinHops:    4,
+		MaxHops:    20,
+		VolumeMean: 3,
+		Alpha:      1,
+	}
+	flows, err := GenerateLocalFlows(c, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != cfg.Flows {
+		t.Fatalf("got %d flows, want %d", len(flows), cfg.Flows)
+	}
+	dests := map[graph.NodeID]bool{}
+	for i, f := range flows {
+		if err := f.Validate(c.Graph); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+		if len(f.Path) < cfg.MinHops || len(f.Path) > cfg.MaxHops {
+			t.Fatalf("flow %d: path has %d nodes, want [%d,%d]",
+				i, len(f.Path), cfg.MinHops, cfg.MaxHops)
+		}
+		if f.Volume < 1 {
+			t.Fatalf("flow %d: volume %v < 1", i, f.Volume)
+		}
+		dests[f.Dest] = true
+	}
+	if len(dests) > cfg.Hubs {
+		t.Fatalf("%d distinct destinations exceed %d hubs", len(dests), cfg.Hubs)
+	}
+	// Hub pooling is the point: destinations must collapse well below the
+	// flow count.
+	if len(dests) >= cfg.Flows/2 {
+		t.Fatalf("destinations barely pooled: %d for %d flows", len(dests), cfg.Flows)
+	}
+
+	// Determinism in seed.
+	again, err := GenerateLocalFlows(c, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flows, again) {
+		t.Fatal("same seed produced different flows")
+	}
+}
+
+func TestGenerateLocalFlowsConfigErrors(t *testing.T) {
+	c := megaCity(t, 1000, 3)
+	bad := []LocalDemandConfig{
+		{Flows: 0, Hubs: 4, MinHops: 4, MaxHops: 10, VolumeMean: 2},
+		{Flows: 10, Hubs: 0, MinHops: 4, MaxHops: 10, VolumeMean: 2},
+		{Flows: 10, Hubs: 4, MinHops: 1, MaxHops: 10, VolumeMean: 2},
+		{Flows: 10, Hubs: 4, MinHops: 8, MaxHops: 4, VolumeMean: 2},
+		{Flows: 10, Hubs: 4, MinHops: 4, MaxHops: 10, VolumeMean: 0.5},
+		{Flows: 10, Hubs: 4, MinHops: 4, MaxHops: 10, VolumeMean: 2, Alpha: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateLocalFlows(c, cfg, 1); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestDefaultLocalDemandIsValid(t *testing.T) {
+	cfg := DefaultLocalDemand()
+	if cfg.Flows < 1 || cfg.Hubs < 1 || cfg.MinHops < 2 ||
+		cfg.MaxHops < cfg.MinHops || cfg.VolumeMean < 1 ||
+		cfg.Alpha < 0 || cfg.Alpha > 1 {
+		t.Fatalf("default config fails its own validation: %+v", cfg)
+	}
+}

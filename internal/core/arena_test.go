@@ -75,10 +75,11 @@ func TestDetourBinarySearchMatchesLinearScan(t *testing.T) {
 		}
 		// Linear-scan reference over the flow arena.
 		naive := func(f int, v graph.NodeID) float64 {
-			lo, hi := int(e.flowOff[f]), int(e.flowOff[f+1])
+			sh := e.shardForFlow(f)
+			lo, hi := sh.flowRange(f)
 			for i := lo; i < hi; i++ {
-				if e.flowNode[i] == v {
-					return e.flowDetour[i]
+				if sh.flowNode[i] == v {
+					return sh.flowDetour[i]
 				}
 			}
 			return math.Inf(1)

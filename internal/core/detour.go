@@ -6,11 +6,9 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"time"
 
 	"roadside/internal/graph"
 	"roadside/internal/obs"
-	"roadside/internal/par"
 )
 
 // Engine precomputes detour distances for a problem instance and evaluates
@@ -31,20 +29,12 @@ import (
 type Engine struct {
 	p *Problem
 
-	// Visit arena, indexed by node: the flows through node v occupy
-	// positions visitOff[v]..visitOff[v+1] of the packed arrays, ordered by
-	// ascending flow index.
-	visitOff    []int32
-	visitFlow   []int32   // flow index of each visit
-	visitDetour []float64 // detour distance at the node for that flow
-	visitGain   []float64 // Utility.Prob(detour, alpha) * Volume, precomputed
-
-	// Flow arena, indexed by flow: the distinct nodes of flow f's path
-	// occupy positions flowOff[f]..flowOff[f+1], sorted by ascending node
-	// ID so per-flow lookups binary-search instead of scanning the path.
-	flowOff    []int32
-	flowNode   []graph.NodeID
-	flowDetour []float64
+	// shards hold the CSR arenas, partitioned by contiguous global flow
+	// ranges (see shard.go). One shard is the common case; instances whose
+	// visit count exceeds the construction budget split into several, each
+	// with its own int32 offsets. Per-node scans walk the shards in order,
+	// which is ascending flow order — bit-identical to the old flat layout.
+	shards []arenaShard
 
 	// cands is the effective candidate list; candLo/candSpan describe the
 	// ID range it occupies, sizing the flat placed-sets the greedy scans
@@ -80,155 +70,11 @@ func NewEngine(p *Problem) (*Engine, error) {
 }
 
 // newEngine is NewEngine with an explicit worker count; workers <= 1 is the
-// serial reference path used by the determinism tests.
+// serial reference path used by the determinism tests. The MaxInt32 shard
+// budget yields a single shard for every instance the old flat arenas could
+// hold; larger instances split automatically (see shard.go).
 func newEngine(p *Problem, workers int) (*Engine, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	o := obs.Default()
-	g := p.Graph
-	shops := append([]graph.NodeID{p.Shop}, p.ExtraShops...)
-
-	// Batch every tree the construction needs: per shop the reverse tree
-	// d' = dist(v, shop) and forward tree d'' = dist(shop, dest), then one
-	// reverse tree d''' = dist(v, dest) per distinct destination in
-	// first-appearance order.
-	reqs := make([]graph.TreeReq, 0, 2*len(shops))
-	for _, s := range shops {
-		reqs = append(reqs,
-			graph.TreeReq{Root: s, Reverse: true},
-			graph.TreeReq{Root: s, Reverse: false})
-	}
-	destIdx := make(map[graph.NodeID]int)
-	for i := 0; i < p.Flows.Len(); i++ {
-		dest := p.Flows.At(i).Dest
-		if _, ok := destIdx[dest]; ok {
-			continue
-		}
-		if !g.ValidNode(dest) {
-			return nil, fmt.Errorf("core: dest tree %d: %w", dest, graph.ErrNodeRange)
-		}
-		destIdx[dest] = len(reqs)
-		reqs = append(reqs, graph.TreeReq{Root: dest, Reverse: true})
-	}
-	treeStart := time.Now()
-	trees, err := g.Trees(reqs, workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: preprocessing trees: %w", err)
-	}
-	o.Phase(obs.Phase{
-		Component: "core.engine", Name: "trees",
-		Items: len(reqs), Workers: workers,
-		Start: treeStart, Duration: time.Since(treeStart),
-	})
-	toShops := make([]*graph.Tree, len(shops))
-	fromShops := make([]*graph.Tree, len(shops))
-	for i := range shops {
-		toShops[i] = trees[2*i]
-		fromShops[i] = trees[2*i+1]
-	}
-
-	// Per-flow detour lists: independent across flows, so they fan across
-	// the pool too. Each list is sorted by node ID for the flow arena; a
-	// flow visits each node at most once, so the sort keys are unique and
-	// the order is deterministic.
-	type flowVisit struct {
-		node   graph.NodeID
-		detour float64
-		gain   float64
-	}
-	lists := make([][]flowVisit, p.Flows.Len())
-	u := p.Utility
-	detourStart := time.Now()
-	par.Do(p.Flows.Len(), workers, func(i int) {
-		f := p.Flows.At(i)
-		toDest := trees[destIdx[f.Dest]]
-		seen := make(map[graph.NodeID]bool, len(f.Path))
-		nodes := make([]flowVisit, 0, len(f.Path))
-		for _, v := range f.Path {
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			d := detourAt(toShops, fromShops, toDest, v, f.Dest)
-			nodes = append(nodes, flowVisit{
-				node:   v,
-				detour: d,
-				gain:   u.Prob(d, f.Alpha) * f.Volume,
-			})
-		}
-		sort.Slice(nodes, func(a, b int) bool { return nodes[a].node < nodes[b].node })
-		lists[i] = nodes
-	})
-	o.Phase(obs.Phase{
-		Component: "core.engine", Name: "detours",
-		Items: p.Flows.Len(), Workers: workers,
-		Start: detourStart, Duration: time.Since(detourStart),
-	})
-
-	// Serial assembly into the CSR arenas, iterating flows in index order
-	// so the visit arena's per-node buckets are ordered by flow.
-	asmStart := time.Now()
-	n := g.NumNodes()
-	e := &Engine{
-		p:        p,
-		visitOff: make([]int32, n+1),
-		cands:    p.candidateList(),
-		obs:      o,
-	}
-	if len(e.cands) > 0 {
-		lo, hi := e.cands[0], e.cands[0]
-		for _, v := range e.cands {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		e.candLo, e.candSpan = lo, int(hi-lo)+1
-	}
-	lens := make([]int, len(lists))
-	for i, list := range lists {
-		lens[i] = len(list)
-	}
-	flowOff, total, err := flowOffsets(lens)
-	if err != nil {
-		return nil, err
-	}
-	e.flowOff = flowOff
-	for _, list := range lists {
-		for _, fv := range list {
-			e.visitOff[fv.node+1]++
-		}
-	}
-	for v := 0; v < n; v++ {
-		e.visitOff[v+1] += e.visitOff[v]
-	}
-	e.visitFlow = make([]int32, total)
-	e.visitDetour = make([]float64, total)
-	e.visitGain = make([]float64, total)
-	e.flowNode = make([]graph.NodeID, total)
-	e.flowDetour = make([]float64, total)
-	cursor := make([]int32, n)
-	for i, list := range lists {
-		base := int(e.flowOff[i])
-		for j, fv := range list {
-			e.flowNode[base+j] = fv.node
-			e.flowDetour[base+j] = fv.detour
-			at := e.visitOff[fv.node] + cursor[fv.node]
-			cursor[fv.node]++
-			e.visitFlow[at] = int32(i)
-			e.visitDetour[at] = fv.detour
-			e.visitGain[at] = fv.gain
-		}
-	}
-	o.Phase(obs.Phase{
-		Component: "core.engine", Name: "assemble",
-		Items: total, Workers: 1,
-		Start: asmStart, Duration: time.Since(asmStart),
-	})
-	return e, nil
+	return buildEngine(p, workers, math.MaxInt32)
 }
 
 // ErrArenaOverflow reports a problem whose total visit count exceeds the
@@ -277,13 +123,13 @@ func (e *Engine) WithObserver(o obs.StepObserver) *Engine {
 	return &cp
 }
 
-// detourAt computes the paper's detour distance d = d' + d” - d”' for a
-// driver receiving the advertisement at node v while heading to dest. With
-// multiple shops the driver detours to the one minimizing d' + d” (the
+// detourValue computes the paper's detour distance d = d' + d” - d”' for a
+// driver receiving the advertisement at node v while heading to dest, given
+// dTriplePrime = dist(v, dest) from the destination's many-to-many column.
+// With multiple shops the driver detours to the one minimizing d' + d” (the
 // paper's multi-shop extension). If no shop is reachable in both
 // directions, no detour exists and the result is +Inf.
-func detourAt(toShops, fromShops []*graph.Tree, toDest *graph.Tree, v, dest graph.NodeID) float64 {
-	dTriplePrime := toDest.Dist(v) // v -> dest
+func detourValue(toShops, fromShops []*graph.Tree, v, dest graph.NodeID, dTriplePrime float64) float64 {
 	if math.IsInf(dTriplePrime, 1) {
 		return math.Inf(1)
 	}
@@ -314,26 +160,17 @@ func (e *Engine) Problem() *Problem { return e.p }
 // must not be modified.
 func (e *Engine) Candidates() []graph.NodeID { return e.cands }
 
-// visitRange returns the visit-arena bounds for node v; nodes outside the
-// graph have an empty range, matching the old map semantics where unknown
-// nodes simply had no visits.
-func (e *Engine) visitRange(v graph.NodeID) (int32, int32) {
-	if v < 0 || int(v)+1 >= len(e.visitOff) {
-		return 0, 0
-	}
-	return e.visitOff[v], e.visitOff[v+1]
-}
-
 // Detour returns the detour distance a driver of flow f incurs when
 // receiving the advertisement at node v, or +Inf if v is not on the flow's
 // path (no advertisement is received there). The lookup binary-searches the
-// flow's sorted node list instead of scanning the path.
+// flow's sorted node list in its owning shard instead of scanning the path.
 func (e *Engine) Detour(f int, v graph.NodeID) float64 {
-	lo, hi := int(e.flowOff[f]), int(e.flowOff[f+1])
-	nodes := e.flowNode[lo:hi]
+	sh := e.shardForFlow(f)
+	lo, hi := sh.flowRange(f)
+	nodes := sh.flowNode[lo:hi]
 	i := sort.Search(len(nodes), func(i int) bool { return nodes[i] >= v })
 	if i < len(nodes) && nodes[i] == v {
-		return e.flowDetour[lo+i]
+		return sh.flowDetour[lo+i]
 	}
 	return math.Inf(1)
 }
@@ -350,12 +187,21 @@ type FlowVisit struct {
 }
 
 // VisitsAt returns the flows passing through node v with their detours,
-// ordered by ascending flow index.
+// ordered by ascending flow index (shards are walked in flow order).
 func (e *Engine) VisitsAt(v graph.NodeID) []FlowVisit {
-	lo, hi := e.visitRange(v)
-	out := make([]FlowVisit, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, FlowVisit{Flow: int(e.visitFlow[i]), Detour: e.visitDetour[i]})
+	var out []FlowVisit
+	for si := range e.shards {
+		sh := &e.shards[si]
+		lo, hi := sh.visitRange(v)
+		if out == nil && hi > lo {
+			out = make([]FlowVisit, 0, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			out = append(out, FlowVisit{Flow: int(sh.visitFlow[i]), Detour: sh.visitDetour[i]})
+		}
+	}
+	if out == nil {
+		out = []FlowVisit{}
 	}
 	return out
 }
@@ -404,10 +250,13 @@ func (e *Engine) EvaluatePrefixes(nodes []graph.NodeID) []float64 {
 // v. Used by the MaxCustomers baseline and by upper bounds in the
 // exhaustive solver.
 func (e *Engine) StandaloneGain(v graph.NodeID) float64 {
-	lo, hi := e.visitRange(v)
 	var total float64
-	for i := lo; i < hi; i++ {
-		total += e.visitGain[i]
+	for si := range e.shards {
+		sh := &e.shards[si]
+		lo, hi := sh.visitRange(v)
+		for i := lo; i < hi; i++ {
+			total += sh.visitGain[i]
+		}
 	}
 	return total
 }
@@ -434,14 +283,17 @@ func (e *Engine) newDetourState() *detourState {
 
 // place updates the state with a RAP at v.
 func (s *detourState) place(e *Engine, v graph.NodeID) {
-	lo, hi := e.visitRange(v)
-	flows := e.visitFlow[lo:hi]
-	dets := e.visitDetour[lo:hi]
-	gains := e.visitGain[lo:hi]
-	for i, f := range flows {
-		if d := dets[i]; d < s.cur[f] {
-			s.cur[f] = d
-			s.gain[f] = gains[i]
+	for si := range e.shards {
+		sh := &e.shards[si]
+		lo, hi := sh.visitRange(v)
+		flows := sh.visitFlow[lo:hi]
+		dets := sh.visitDetour[lo:hi]
+		gains := sh.visitGain[lo:hi]
+		for i, f := range flows {
+			if d := dets[i]; d < s.cur[f] {
+				s.cur[f] = d
+				s.gain[f] = gains[i]
+			}
 		}
 	}
 }
@@ -463,23 +315,27 @@ func (s *detourState) total() float64 {
 // two candidate objectives of Algorithm 2. The loop touches only the
 // precomputed visit arena: no utility calls, no map lookups.
 func (s *detourState) marginalGain(e *Engine, v graph.NodeID) (uncovered, covered float64) {
-	lo, hi := e.visitRange(v)
-	// Narrow the arenas to this node's bucket so the loop indexes small
-	// equal-length slices; the node's visits are the hottest data in every
-	// greedy scan.
-	flows := e.visitFlow[lo:hi]
-	dets := e.visitDetour[lo:hi]
-	gains := e.visitGain[lo:hi]
 	cur, bank := s.cur, s.gain
-	for i, f := range flows {
-		curD := cur[f]
-		if dets[i] >= curD {
-			continue
-		}
-		if math.IsInf(curD, 1) {
-			uncovered += gains[i]
-		} else {
-			covered += gains[i] - bank[f]
+	for si := range e.shards {
+		sh := &e.shards[si]
+		lo, hi := sh.visitRange(v)
+		// Narrow the arenas to this node's bucket so the loop indexes small
+		// equal-length slices; the node's visits are the hottest data in
+		// every greedy scan. Shard order is flow order, so the accumulation
+		// order matches the old flat arena bit for bit.
+		flows := sh.visitFlow[lo:hi]
+		dets := sh.visitDetour[lo:hi]
+		gains := sh.visitGain[lo:hi]
+		for i, f := range flows {
+			curD := cur[f]
+			if dets[i] >= curD {
+				continue
+			}
+			if math.IsInf(curD, 1) {
+				uncovered += gains[i]
+			} else {
+				covered += gains[i] - bank[f]
+			}
 		}
 	}
 	return uncovered, covered

@@ -101,12 +101,16 @@ func (e *Engine) ArenaBytes() int64 {
 		f64Size  = 8 // float64 detours and gains
 		nodeSize = 4 // graph.NodeID is int32
 	)
-	return int64(len(e.visitOff))*i32Size +
-		int64(len(e.visitFlow))*i32Size +
-		int64(len(e.visitDetour))*f64Size +
-		int64(len(e.visitGain))*f64Size +
-		int64(len(e.flowOff))*i32Size +
-		int64(len(e.flowNode))*nodeSize +
-		int64(len(e.flowDetour))*f64Size +
-		int64(len(e.cands))*nodeSize
+	var total int64
+	for si := range e.shards {
+		sh := &e.shards[si]
+		total += int64(len(sh.visitOff))*i32Size +
+			int64(len(sh.visitFlow))*i32Size +
+			int64(len(sh.visitDetour))*f64Size +
+			int64(len(sh.visitGain))*f64Size +
+			int64(len(sh.flowOff))*i32Size +
+			int64(len(sh.flowNode))*nodeSize +
+			int64(len(sh.flowDetour))*f64Size
+	}
+	return total + int64(len(e.cands))*nodeSize
 }

@@ -140,10 +140,15 @@ func TestArenaBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := int64(len(e.visitOff))*4 + int64(len(e.visitFlow))*4 +
-		int64(len(e.visitDetour))*8 + int64(len(e.visitGain))*8 +
-		int64(len(e.flowOff))*4 + int64(len(e.flowNode))*4 +
-		int64(len(e.flowDetour))*8 + int64(len(e.cands))*4
+	var want int64
+	for si := range e.shards {
+		sh := &e.shards[si]
+		want += int64(len(sh.visitOff))*4 + int64(len(sh.visitFlow))*4 +
+			int64(len(sh.visitDetour))*8 + int64(len(sh.visitGain))*8 +
+			int64(len(sh.flowOff))*4 + int64(len(sh.flowNode))*4 +
+			int64(len(sh.flowDetour))*8
+	}
+	want += int64(len(e.cands)) * 4
 	if got := e.ArenaBytes(); got != want || got <= 0 {
 		t.Fatalf("ArenaBytes = %d, want %d (> 0)", got, want)
 	}

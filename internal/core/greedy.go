@@ -47,11 +47,14 @@ func algorithm1(e *Engine, workers int) (*Placement, error) {
 		StepGains: make([]float64, 0, p.K),
 	}
 	coverageGain := func(v graph.NodeID) (float64, float64) {
-		lo, hi := e.visitRange(v)
 		var gain float64
-		for i := lo; i < hi; i++ {
-			if !covered[e.visitFlow[i]] {
-				gain += e.visitGain[i]
+		for si := range e.shards {
+			sh := &e.shards[si]
+			lo, hi := sh.visitRange(v)
+			for i := lo; i < hi; i++ {
+				if !covered[sh.visitFlow[i]] {
+					gain += sh.visitGain[i]
+				}
 			}
 		}
 		return gain, 0
@@ -66,10 +69,13 @@ func algorithm1(e *Engine, workers int) (*Placement, error) {
 		placed.add(best.node)
 		result.Nodes = append(result.Nodes, best.node)
 		result.StepGains = append(result.StepGains, best.u)
-		lo, hi := e.visitRange(best.node)
-		for i := lo; i < hi; i++ {
-			if e.visitGain[i] > 0 {
-				covered[e.visitFlow[i]] = true
+		for si := range e.shards {
+			sh := &e.shards[si]
+			lo, hi := sh.visitRange(best.node)
+			for i := lo; i < hi; i++ {
+				if sh.visitGain[i] > 0 {
+					covered[sh.visitFlow[i]] = true
+				}
 			}
 		}
 		o.SolverStep(obs.SolverStep{

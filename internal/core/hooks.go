@@ -22,6 +22,15 @@ func NewEngineWorkers(p *Problem, workers int) (*Engine, error) {
 	return newEngine(p, workers)
 }
 
+// NewEngineMaxShard is NewEngine with explicit worker count and per-shard
+// visit budget. Shrinking the budget forces the arenas to split into
+// multiple shards; the audit contract is that every query and placement is
+// bit-identical at any budget (and the single-shard layout is byte-equal to
+// the historical flat arenas — Fingerprint pins this).
+func NewEngineMaxShard(p *Problem, workers, maxShardVisits int) (*Engine, error) {
+	return buildEngine(p, workers, maxShardVisits)
+}
+
 // Algorithm1Workers is Algorithm1 with an explicit scan worker count.
 func Algorithm1Workers(e *Engine, workers int) (*Placement, error) {
 	return algorithm1(e, workers)
@@ -53,26 +62,29 @@ func (e *Engine) Fingerprint() uint64 {
 		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
 		_, _ = h.Write(buf[:])
 	}
-	for _, o := range e.visitOff {
-		w64(uint64(o))
-	}
-	for _, f := range e.visitFlow {
-		w64(uint64(f))
-	}
-	for _, d := range e.visitDetour {
-		w64(math.Float64bits(d))
-	}
-	for _, g := range e.visitGain {
-		w64(math.Float64bits(g))
-	}
-	for _, o := range e.flowOff {
-		w64(uint64(o))
-	}
-	for _, n := range e.flowNode {
-		w64(uint64(n))
-	}
-	for _, d := range e.flowDetour {
-		w64(math.Float64bits(d))
+	for si := range e.shards {
+		sh := &e.shards[si]
+		for _, o := range sh.visitOff {
+			w64(uint64(o))
+		}
+		for _, f := range sh.visitFlow {
+			w64(uint64(f))
+		}
+		for _, d := range sh.visitDetour {
+			w64(math.Float64bits(d))
+		}
+		for _, g := range sh.visitGain {
+			w64(math.Float64bits(g))
+		}
+		for _, o := range sh.flowOff {
+			w64(uint64(o))
+		}
+		for _, n := range sh.flowNode {
+			w64(uint64(n))
+		}
+		for _, d := range sh.flowDetour {
+			w64(math.Float64bits(d))
+		}
 	}
 	return h.Sum64()
 }

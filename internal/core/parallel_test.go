@@ -42,24 +42,35 @@ func TestNewEngineParallelBitIdentical(t *testing.T) {
 
 func assertEnginesEqual(t *testing.T, a, b *Engine, nodes, workers int) {
 	t.Helper()
+	if len(a.shards) != len(b.shards) {
+		t.Fatalf("nodes=%d workers=%d: shard count %d differs from serial %d",
+			nodes, workers, len(b.shards), len(a.shards))
+	}
 	type arena struct {
 		name string
 		x, y interface{}
 	}
-	for _, ar := range []arena{
-		{"visitOff", a.visitOff, b.visitOff},
-		{"visitFlow", a.visitFlow, b.visitFlow},
-		{"visitDetour", a.visitDetour, b.visitDetour},
-		{"visitGain", a.visitGain, b.visitGain},
-		{"flowOff", a.flowOff, b.flowOff},
-		{"flowNode", a.flowNode, b.flowNode},
-		{"flowDetour", a.flowDetour, b.flowDetour},
-		{"cands", a.cands, b.cands},
-	} {
-		if !reflect.DeepEqual(ar.x, ar.y) {
-			t.Fatalf("nodes=%d workers=%d: arena %s differs from serial build",
-				nodes, workers, ar.name)
+	for si := range a.shards {
+		x, y := &a.shards[si], &b.shards[si]
+		for _, ar := range []arena{
+			{"flowLo", x.flowLo, y.flowLo},
+			{"flowHi", x.flowHi, y.flowHi},
+			{"visitOff", x.visitOff, y.visitOff},
+			{"visitFlow", x.visitFlow, y.visitFlow},
+			{"visitDetour", x.visitDetour, y.visitDetour},
+			{"visitGain", x.visitGain, y.visitGain},
+			{"flowOff", x.flowOff, y.flowOff},
+			{"flowNode", x.flowNode, y.flowNode},
+			{"flowDetour", x.flowDetour, y.flowDetour},
+		} {
+			if !reflect.DeepEqual(ar.x, ar.y) {
+				t.Fatalf("nodes=%d workers=%d: shard %d arena %s differs from serial build",
+					nodes, workers, si, ar.name)
+			}
 		}
+	}
+	if !reflect.DeepEqual(a.cands, b.cands) {
+		t.Fatalf("nodes=%d workers=%d: cands differ from serial build", nodes, workers)
 	}
 }
 

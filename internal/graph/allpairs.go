@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,6 +14,17 @@ import (
 // O(1e5) feet, so 1e-6 relative error is far below any street length.
 const distEpsilon = 1e-6
 
+// ErrAllPairsTooLarge reports a graph whose dense n x n distance matrix
+// would exceed the byte budget (or overflow entirely). The dense matrix is
+// a city-scale tool; million-node graphs must use ManyToMany, which only
+// materializes the (source x target) rectangle a caller asks for.
+var ErrAllPairsTooLarge = errors.New("graph: all-pairs matrix exceeds byte budget")
+
+// DefaultAllPairsBytes is the byte budget NewAllPairs allows for the dense
+// matrix: 2 GiB, i.e. up to ~16k nodes — an order of magnitude above the
+// paper's city graphs, far below the streamed many-to-many scale.
+const DefaultAllPairsBytes = 2 << 30
+
 // AllPairs stores the full shortest-path distance matrix of a graph. For
 // the city-scale graphs of the paper (hundreds to a few thousand
 // intersections) the dense matrix is small and O(1) lookups dominate the
@@ -24,9 +36,22 @@ type AllPairs struct {
 }
 
 // NewAllPairs computes shortest-path distances between every ordered pair
-// of nodes by running Dijkstra from each source in parallel.
-func NewAllPairs(g *Graph) *AllPairs {
+// of nodes by running Dijkstra from each source in parallel. It returns
+// ErrAllPairsTooLarge instead of attempting the n*n allocation when the
+// dense matrix would exceed DefaultAllPairsBytes.
+func NewAllPairs(g *Graph) (*AllPairs, error) {
+	return NewAllPairsBudget(g, DefaultAllPairsBytes)
+}
+
+// NewAllPairsBudget is NewAllPairs with an explicit byte budget for the
+// dense matrix, checked before allocating anything.
+func NewAllPairsBudget(g *Graph, maxBytes int64) (*AllPairs, error) {
 	n := g.NumNodes()
+	bytes := int64(n) * int64(n) * 8
+	if bytes < 0 || bytes > maxBytes {
+		return nil, fmt.Errorf("%w: %d nodes need %d bytes, budget %d (use ManyToMany for sparse rectangles)",
+			ErrAllPairsTooLarge, n, bytes, maxBytes)
+	}
 	ap := &AllPairs{n: n, dist: make([]float64, n*n)}
 	// Each Dijkstra writes its own row, so the worker count changes
 	// speed, not output (TestAllPairsParallelConsistency pins this).
@@ -35,7 +60,7 @@ func NewAllPairs(g *Graph) *AllPairs {
 		dist, _ := g.dijkstra(NodeID(src), false)
 		copy(ap.dist[src*n:(src+1)*n], dist)
 	})
-	return ap
+	return ap, nil
 }
 
 // NumNodes returns the matrix dimension.

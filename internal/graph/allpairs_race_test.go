@@ -31,7 +31,7 @@ func TestAllPairsParallelConsistency(t *testing.T) {
 	}
 
 	for round := 0; round < 3; round++ {
-		ap := NewAllPairs(g)
+		ap := mustAllPairs(t, g)
 		for u := 0; u < g.NumNodes(); u++ {
 			for v := 0; v < g.NumNodes(); v++ {
 				got := ap.Dist(NodeID(u), NodeID(v))

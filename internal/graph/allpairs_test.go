@@ -40,10 +40,21 @@ func gridGraph(tb testing.TB, n int, spacing float64) *Graph {
 	return g
 }
 
+// mustAllPairs builds the dense matrix, failing the test on budget errors
+// (all test graphs are far below DefaultAllPairsBytes).
+func mustAllPairs(tb testing.TB, g *Graph) *AllPairs {
+	tb.Helper()
+	ap, err := NewAllPairs(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ap
+}
+
 func TestAllPairsMatchesDijkstra(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	g := randomConnected(rng, 80, 200)
-	ap := NewAllPairs(g)
+	ap := mustAllPairs(t, g)
 	if ap.NumNodes() != 80 {
 		t.Fatalf("n = %d", ap.NumNodes())
 	}
@@ -66,7 +77,7 @@ func TestAllPairsMatchesDijkstra(t *testing.T) {
 func TestAllPairsGridIsManhattan(t *testing.T) {
 	const n = 7
 	g := gridGraph(t, n, 100)
-	ap := NewAllPairs(g)
+	ap := mustAllPairs(t, g)
 	for u := 0; u < n*n; u++ {
 		for v := 0; v < n*n; v++ {
 			want := g.Point(NodeID(u)).Manhattan(g.Point(NodeID(v)))
@@ -81,7 +92,7 @@ func TestAllPairsGridIsManhattan(t *testing.T) {
 func TestOnShortestPathGrid(t *testing.T) {
 	const n = 5
 	g := gridGraph(t, n, 1)
-	ap := NewAllPairs(g)
+	ap := mustAllPairs(t, g)
 	id := func(r, c int) NodeID { return NodeID(r*n + c) }
 	// From (0,0) to (2,2): exactly the nodes in the 3x3 monotone rectangle
 	// lie on some shortest path.
@@ -112,7 +123,7 @@ func TestOnShortestPathUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap := NewAllPairs(g)
+	ap := mustAllPairs(t, g)
 	if ap.OnShortestPath(a, c, d) {
 		t.Error("unreachable dst should never be on a shortest path")
 	}
@@ -123,7 +134,7 @@ func TestOnShortestPathUnreachable(t *testing.T) {
 
 func TestEccentricity(t *testing.T) {
 	g := line(t, 5)
-	ap := NewAllPairs(g)
+	ap := mustAllPairs(t, g)
 	if e := ap.Eccentricity(0); e != 4 {
 		t.Errorf("ecc(0) = %v", e)
 	}
@@ -136,6 +147,6 @@ func BenchmarkAllPairs(b *testing.B) {
 	g := gridGraph(b, 20, 100) // 400 nodes
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewAllPairs(g)
+		_, _ = NewAllPairs(g)
 	}
 }

@@ -72,6 +72,39 @@ func (g *Graph) dijkstra(root NodeID, reverse bool) ([]float64, []NodeID) {
 	return dist, parent
 }
 
+// dijkstraDist is dijkstra without the parent array: same relaxation order,
+// bit-identical distances, 8 instead of 12 bytes of output per node. Used
+// for DistOnly tree requests where callers never walk paths.
+func (g *Graph) dijkstraDist(root NodeID, reverse bool) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	h := newDistHeap(n)
+	h.push(root, 0)
+	for h.len() > 0 {
+		u, d := h.pop()
+		if d > dist[u] {
+			continue // stale entry
+		}
+		relax := func(v NodeID, w float64) bool {
+			if nd := d + w; nd < dist[v] {
+				dist[v] = nd
+				h.push(v, nd)
+			}
+			return true
+		}
+		if reverse {
+			g.ForEachIn(u, relax)
+		} else {
+			g.ForEachOut(u, relax)
+		}
+	}
+	return dist
+}
+
 // Root returns the tree's source (or destination for a reverse tree).
 func (t *Tree) Root() NodeID { return t.root }
 
@@ -85,14 +118,25 @@ func (t *Tree) Dist(v NodeID) float64 { return t.dist[v] }
 func (t *Tree) Reachable(v NodeID) bool { return !math.IsInf(t.dist[v], 1) }
 
 // Parent returns the predecessor of v in the shortest-path tree (the next
-// hop toward the root for a reverse tree), or Invalid for the root and for
-// unreachable nodes.
-func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
+// hop toward the root for a reverse tree), or Invalid for the root, for
+// unreachable nodes, and for every node of a DistOnly tree.
+func (t *Tree) Parent(v NodeID) NodeID {
+	if t.parent == nil {
+		return Invalid
+	}
+	return t.parent[v]
+}
+
+// DistOnly reports whether the tree was built without parent pointers.
+func (t *Tree) DistOnly() bool { return t.parent == nil }
 
 // Path returns the shortest path linking v and the root: root..v for a
 // forward tree, v..root for a reverse tree. It returns ErrUnreachable if no
-// path exists.
+// path exists and ErrDistOnly for trees built without parent pointers.
 func (t *Tree) Path(v NodeID) ([]NodeID, error) {
+	if t.parent == nil {
+		return nil, fmt.Errorf("%w: tree rooted at %d", ErrDistOnly, t.root)
+	}
 	if !t.Reachable(v) {
 		return nil, fmt.Errorf("%w: %d and %d", ErrUnreachable, t.root, v)
 	}

@@ -34,6 +34,8 @@ var (
 	ErrDuplicate   = errors.New("graph: duplicate edge")
 	ErrSelfLoop    = errors.New("graph: self loop")
 	ErrUnreachable = errors.New("graph: no path between nodes")
+	ErrDistOnly    = errors.New("graph: tree was built distance-only, no parent pointers")
+	ErrTooManyNode = errors.New("graph: node count exceeds int32 id space")
 )
 
 type edge struct {
@@ -119,6 +121,15 @@ func (b *Builder) AddEuclideanStreet(u, v NodeID) error {
 	return b.AddEuclideanEdge(v, u)
 }
 
+// checkNodeCount guards the int-to-NodeID (int32) conversion: a runaway
+// generator must fail loudly instead of silently truncating IDs.
+func checkNodeCount(n int) error {
+	if int64(n) > math.MaxInt32 {
+		return fmt.Errorf("%w: %d nodes", ErrTooManyNode, n)
+	}
+	return nil
+}
+
 // Build freezes the builder into an immutable Graph. Duplicate parallel
 // edges are collapsed to the minimum weight. It returns ErrNoNodes for an
 // empty builder.
@@ -126,6 +137,9 @@ func (b *Builder) Build() (*Graph, error) {
 	n := len(b.pts)
 	if n == 0 {
 		return nil, ErrNoNodes
+	}
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
 	}
 	// Sort and dedupe edges (keep minimum weight for parallels).
 	es := append([]edge(nil), b.edges...)

@@ -29,7 +29,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		}
 	}
 	// Distances must be identical.
-	a1, a2 := NewAllPairs(g), NewAllPairs(g2)
+	a1, a2 := mustAllPairs(t, g), mustAllPairs(t, g2)
 	for u := 0; u < g.NumNodes(); u++ {
 		for v := 0; v < g.NumNodes(); v++ {
 			if math.Abs(a1.Dist(NodeID(u), NodeID(v))-a2.Dist(NodeID(u), NodeID(v))) > 1e-12 {

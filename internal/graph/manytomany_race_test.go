@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestManyToManyParallelIdentity is the race-regression test for the
+// many-to-many fan-out: with GOMAXPROCS forced above one, the rectangle
+// must be Float64bits-identical across worker counts 1, 2 and 8 — the
+// chunked per-worker scratch means scheduling can change speed, never bits.
+// Run under -race this also shakes out any sharing between worker scratches.
+func TestManyToManyParallelIdentity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 6; trial++ {
+		n := 40 + rng.Intn(80)
+		g := randomConnected(rng, n, 2*n+rng.Intn(2*n))
+		sources := sampleNodes(rng, n, n/2)
+		targets := sampleNodes(rng, n, n/3)
+
+		ref, err := g.ManyToMany(sources, targets, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			r, err := g.ManyToMany(sources, targets, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < ref.NumSources(); i++ {
+				for j := 0; j < ref.NumTargets(); j++ {
+					if math.Float64bits(r.Dist(i, j)) != math.Float64bits(ref.Dist(i, j)) {
+						t.Fatalf("trial %d workers %d: dist(%d,%d) = %v, serial %v",
+							trial, workers, i, j, r.Dist(i, j), ref.Dist(i, j))
+					}
+				}
+			}
+		}
+	}
+}

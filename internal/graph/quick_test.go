@@ -111,7 +111,7 @@ func TestBuildOrderInvariance(t *testing.T) {
 		if g1.NumEdges() != g2.NumEdges() {
 			t.Fatalf("trial %d: edge counts differ", trial)
 		}
-		a1, a2 := NewAllPairs(g1), NewAllPairs(g2)
+		a1, a2 := mustAllPairs(t, g1), mustAllPairs(t, g2)
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {
 				if a1.Dist(NodeID(u), NodeID(v)) != a2.Dist(NodeID(u), NodeID(v)) {

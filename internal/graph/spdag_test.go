@@ -114,7 +114,7 @@ func TestViaPathAgreesWithPredicate(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 10; trial++ {
 		g := randomConnected(rng, 40, 80)
-		ap := NewAllPairs(g)
+		ap := mustAllPairs(t, g)
 		src := NodeID(rng.Intn(40))
 		d, err := NewSPDAG(g, src)
 		if err != nil {

@@ -14,6 +14,13 @@ import (
 type TreeReq struct {
 	Root    NodeID
 	Reverse bool
+	// DistOnly skips the parent array entirely, shrinking the tree from 12
+	// to 8 bytes per node (NodeID is already int32, so distances are the
+	// remaining bulk). Parent reports Invalid and Path errors for such
+	// trees; distances are identical either way. Tree-heavy preprocessing
+	// that only reads Dist — the placement engine's shop trees — should set
+	// this.
+	DistOnly bool
 }
 
 // Trees computes one shortest-path tree per request, fanning the
@@ -36,7 +43,11 @@ func (g *Graph) Trees(reqs []TreeReq, workers int) ([]*Tree, error) {
 	par.Do(len(reqs), workers, func(i int) {
 		r := reqs[i]
 		t := &Tree{root: r.Root, reverse: r.Reverse}
-		t.dist, t.parent = g.dijkstra(r.Root, r.Reverse)
+		if r.DistOnly {
+			t.dist = g.dijkstraDist(r.Root, r.Reverse)
+		} else {
+			t.dist, t.parent = g.dijkstra(r.Root, r.Reverse)
+		}
 		out[i] = t
 	})
 	obs.Default().Phase(obs.Phase{

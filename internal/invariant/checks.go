@@ -56,6 +56,9 @@ func init() {
 	register(Invariant{Name: "sim-convergence",
 		Doc:   "at zero radio range the simulator's expectation equals Evaluate and its mean lands within 6 standard errors",
 		Check: checkSimConvergence})
+	register(Invariant{Name: "many-to-many-identity",
+		Doc:   "ManyToMany rectangles are Float64bits-identical to per-destination Dijkstra on instance-seeded query sets",
+		Check: checkManyToManyIdentity})
 }
 
 // samplePlacement draws m distinct effective candidates of the instance.
@@ -587,6 +590,72 @@ func checkSimConvergence(inst *Instance) error {
 	if diff := math.Abs(res.MeanCustomers - res.Expected); diff > 6*se+1e-9 {
 		return fmt.Errorf("simulated mean %v is %v away from expectation %v (allowed %v)",
 			res.MeanCustomers, diff, res.Expected, 6*se+1e-9)
+	}
+	return nil
+}
+
+func checkManyToManyIdentity(inst *Instance) error {
+	g := inst.Problem.Graph
+	n := g.NumNodes()
+	r := stats.NewRand(inst.Seed, 31)
+	sources := make([]graph.NodeID, 1+r.Intn(n))
+	for i := range sources {
+		sources[i] = graph.NodeID(r.Intn(n))
+	}
+	targets := make([]graph.NodeID, 1+r.Intn(1+n/2))
+	for i := range targets {
+		targets[i] = graph.NodeID(r.Intn(n))
+	}
+	rect, err := g.ManyToMany(sources, targets, 1)
+	if err != nil {
+		return err
+	}
+	for j, tgt := range targets {
+		tree, err := g.ShortestTo(tgt)
+		if err != nil {
+			return err
+		}
+		for i, s := range sources {
+			got, want := rect.Dist(i, j), tree.Dist(s)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("m2m dist(%d->%d) = %v, Dijkstra %v", s, tgt, got, want)
+			}
+		}
+	}
+	// Parallel identity: the fan-out may change speed, never bits.
+	for _, workers := range []int{2, 8} {
+		pr, err := g.ManyToMany(sources, targets, workers)
+		if err != nil {
+			return err
+		}
+		for i := range sources {
+			for j := range targets {
+				if math.Float64bits(pr.Dist(i, j)) != math.Float64bits(rect.Dist(i, j)) {
+					return fmt.Errorf("m2m workers=%d: dist(%d,%d) differs from serial", workers, i, j)
+				}
+			}
+		}
+	}
+	// Grouped form, as the engine consumes it: per-target source subsets.
+	groups := make([]graph.M2MGroup, len(targets))
+	for gi, tgt := range targets {
+		k := 1 + r.Intn(len(sources))
+		groups[gi] = graph.M2MGroup{Target: tgt, Sources: sources[:k]}
+	}
+	cols, err := g.ManyToManyGrouped(groups, 4)
+	if err != nil {
+		return err
+	}
+	for gi, grp := range groups {
+		for k, s := range grp.Sources {
+			// The rectangle already verified against Dijkstra above; the
+			// grouped answer must match it bit-for-bit.
+			si := k // sources[:k'] keeps original positions
+			if math.Float64bits(cols[gi][k]) != math.Float64bits(rect.Dist(si, gi)) {
+				return fmt.Errorf("grouped m2m group %d source %d = %v, rect %v",
+					gi, s, cols[gi][k], rect.Dist(si, gi))
+			}
+		}
 	}
 	return nil
 }

@@ -90,7 +90,10 @@ func TestEndpoints(t *testing.T) {
 // on-some-shortest-path predicate of the underlying grid graph.
 func TestShortestPathNodesMatchesPredicate(t *testing.T) {
 	s := mustScenario(t, 7, 1)
-	ap := graph.NewAllPairs(s.Graph())
+	ap, err := graph.NewAllPairs(s.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(5))
 	sides := []BoundarySide{West, East, North, South}
 	for trial := 0; trial < 40; trial++ {

@@ -85,8 +85,17 @@ type AllPairs = graph.AllPairs
 // NewGraphBuilder returns a builder with capacity hints.
 func NewGraphBuilder(nodes, edges int) *GraphBuilder { return graph.NewBuilder(nodes, edges) }
 
-// NewAllPairs computes all-pairs shortest distances in parallel.
-func NewAllPairs(g *Graph) *AllPairs { return graph.NewAllPairs(g) }
+// NewAllPairs computes all-pairs shortest distances in parallel. It returns
+// a descriptive error when the dense n x n matrix would exceed the byte
+// budget; million-node graphs should use ManyToMany instead.
+func NewAllPairs(g *Graph) (*AllPairs, error) { return graph.NewAllPairs(g) }
+
+// ManyToManyDistances computes the dense (sources x targets) shortest-path
+// rectangle without materializing full trees, bit-identical to running one
+// reverse Dijkstra per target.
+func ManyToManyDistances(g *Graph, sources, targets []NodeID, workers int) (*graph.Rect, error) {
+	return g.ManyToMany(sources, targets, workers)
+}
 
 // ---- Utility functions ----
 
@@ -137,6 +146,14 @@ type Engine = core.Engine
 
 // NewEngine validates a problem and precomputes all detour distances.
 func NewEngine(p *Problem) (*Engine, error) { return core.NewEngine(p) }
+
+// NewEngineMaxShard builds an engine whose visit arenas are split into
+// shards of at most maxShardVisits entries each, bounding peak transient
+// memory during construction. Query results are bit-identical to the
+// default single-shard build.
+func NewEngineMaxShard(p *Problem, workers, maxShardVisits int) (*Engine, error) {
+	return core.NewEngineMaxShard(p, workers, maxShardVisits)
+}
 
 // DigestVersion prefixes every problem digest; it changes whenever the
 // canonical encoding changes.
@@ -264,6 +281,24 @@ func Dublin(seed int64) (*City, error) { return citygen.Dublin(seed) }
 
 // Seattle generates the Seattle-like partial-grid city (10,000 ft extent).
 func Seattle(seed int64) (*City, error) { return citygen.Seattle(seed) }
+
+// Mega generates a Dublin-style irregular city with at least the requested
+// number of intersections — the OSM-scale path (million-node instances).
+func Mega(nodes int, seed int64) (*City, error) { return citygen.Mega(nodes, seed) }
+
+// LocalDemandConfig parameterizes hub-based local flow synthesis for
+// mega-scale cities.
+type LocalDemandConfig = citygen.LocalDemandConfig
+
+// DefaultLocalDemand is the 100k-flow demand used by the large benchmark.
+func DefaultLocalDemand() LocalDemandConfig { return citygen.DefaultLocalDemand() }
+
+// GenerateLocalFlows samples hub-bound flows over a city; flows pool into
+// at most cfg.Hubs distinct destinations, which keeps engine preprocessing
+// tractable at mega scale.
+func GenerateLocalFlows(c *City, cfg LocalDemandConfig, seed int64) ([]Flow, error) {
+	return citygen.GenerateLocalFlows(c, cfg, seed)
+}
 
 // BusRoute is a generated journey pattern.
 type BusRoute = citygen.Route

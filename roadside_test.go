@@ -133,7 +133,10 @@ func TestPublicAPISubstrates(t *testing.T) {
 	if city.Graph.NumNodes() == 0 {
 		t.Fatal("empty city")
 	}
-	ap := NewAllPairs(city.Graph)
+	ap, err := NewAllPairs(city.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ap.NumNodes() != city.Graph.NumNodes() {
 		t.Error("AllPairs dimension mismatch")
 	}

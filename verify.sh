@@ -58,4 +58,11 @@ go run ./cmd/bench -quick -benchtime 20ms -metrics -trace /tmp/bench_trace.json 
 grep -q 'core.solver.combined.steps' /tmp/bench_metrics.txt \
     || { echo "bench -metrics output missing solver counters"; exit 1; }
 
+echo "==> large-graph smoke (mega citygen, many-to-many, sharded engine)"
+# Same code path as the CI-opt-in 1M-node -large run, shrunk to seconds.
+go run ./cmd/bench -large-smoke -benchtime 20ms -out /tmp/bench_large_smoke.json \
+    > /tmp/bench_large_smoke.txt
+grep -q 'vs trees fan-out' /tmp/bench_large_smoke.txt \
+    || { echo "large smoke missing m2m comparison"; cat /tmp/bench_large_smoke.txt; exit 1; }
+
 echo "verify: all gates passed"
