@@ -11,6 +11,7 @@
 //	    [-metrics] [-trace trace.json] [-pprof :6060]
 //	go run ./cmd/bench -large -out results/BENCH_7.json   # 1M-node suite
 //	go run ./cmd/bench -large-smoke                       # CI-speed variant
+//	go run ./cmd/bench -delta -out results/BENCH_8.json   # update-vs-rebuild suite
 //
 // Each entry also reports a speedup against the recorded pre-optimization
 // ("seed") numbers where one exists, documenting what the CSR-arena engine
@@ -75,6 +76,7 @@ type options struct {
 	maxObsOverhead float64
 	large          bool
 	largeSmoke     bool
+	delta          bool
 }
 
 func main() {
@@ -94,6 +96,7 @@ func main() {
 	flag.Float64Var(&opt.maxObsOverhead, "max-obs-overhead", 1.02, "allowed solver_* ns/op ratio vs baseline before -check-obs fails")
 	flag.BoolVar(&opt.large, "large", false, "run the large-graph suite (1M-node mega city, sharded engine) instead of the standard set")
 	flag.BoolVar(&opt.largeSmoke, "large-smoke", false, "scaled-down large-graph suite; same code path, seconds instead of minutes")
+	flag.BoolVar(&opt.delta, "delta", false, "run the delta suite (update-vs-rebuild on drift cycles) instead of the standard set")
 	flag.Parse()
 	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -143,6 +146,12 @@ func run(w io.Writer, opt options) error {
 
 	if opt.large || opt.largeSmoke {
 		if err := runLarge(w, opt); err != nil {
+			return err
+		}
+		return writeObsOutputs(w, rec, opt.tracePath)
+	}
+	if opt.delta {
+		if err := runDelta(w, opt); err != nil {
 			return err
 		}
 		return writeObsOutputs(w, rec, opt.tracePath)

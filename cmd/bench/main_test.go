@@ -273,6 +273,54 @@ func TestRunFullIncludesFigures(t *testing.T) {
 	}
 }
 
+// TestRunDelta drives the -delta suite: the rebuild/delta entry pairs for
+// both drift shapes, the raw in-place apply entry, and the >=10x
+// volume-drift gate (which doubles as pinning that the gate passes — the
+// delta path skipping engine preprocessing entirely makes the margin wide
+// enough that a tiny benchtime cannot flake it).
+func TestRunDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_delta.json")
+	var buf bytes.Buffer
+	err := run(&buf, options{out: out, label: "delta", delta: true, benchtime: "5ms"})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	rep, err := benchio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"rebuild_volume_drift", "delta_volume_drift",
+		"rebuild_add_remove", "delta_add_remove",
+		"apply_inplace_volume",
+	} {
+		e, ok := rep.Lookup(name)
+		if !ok {
+			t.Fatalf("entry %q missing from report", name)
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Fatalf("entry %q not measured: %+v", name, e)
+		}
+	}
+	for _, name := range []string{"delta_volume_drift", "delta_add_remove"} {
+		e, _ := rep.Lookup(name)
+		if e.BaselineNs <= 0 || e.Speedup <= 0 {
+			t.Fatalf("%s lacks the rebuild reference: %+v", name, e)
+		}
+	}
+	vol, _ := rep.Lookup("delta_volume_drift")
+	if vol.Speedup < 10 {
+		t.Fatalf("volume-drift speedup %.1fx under the gate", vol.Speedup)
+	}
+	if !strings.Contains(buf.String(), "vs rebuild") ||
+		!strings.Contains(buf.String(), "update-vs-rebuild") {
+		t.Fatalf("summary lines missing:\n%s", buf.String())
+	}
+}
+
 // TestRunCheckObsFlagValidation pins the gate's precondition errors.
 func TestRunCheckObsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"roadside/internal/core"
+	"roadside/internal/graph"
 	"roadside/internal/invariant"
 	"roadside/internal/serve"
 )
@@ -118,6 +119,35 @@ type loadProblem struct {
 	wantNodes []core.Placement
 }
 
+// loadLineage is the evolving problem of the -load update mix: one client
+// drives POST /v1/update flipping flow 0's volume between two values, so
+// the lineage's sequence parity determines the engine's exact contents.
+// Readers resolve by reference and must match the parity-class oracle
+// bit-for-bit — old-or-new is fine (the digest says which), a torn mix of
+// two sequences is a failure.
+type loadLineage struct {
+	base       string
+	k          int
+	volA, volB float64
+	evalNodes  []graph.NodeID
+	// Indexed by parity class: 0 = original volumes (seq 0), 1 = volA
+	// (odd seq), 2 = volB (even seq > 0).
+	wantPl  [3]*core.Placement
+	wantObj [3]float64
+}
+
+// classOf maps a lineage sequence onto its oracle index.
+func classOf(seq int) int {
+	switch {
+	case seq == 0:
+		return 0
+	case seq%2 == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
 // runLoad starts the server on a loopback listener and hammers it.
 func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int64, metricsOut string) error {
 	if clients < 1 || problems < 1 {
@@ -174,13 +204,50 @@ func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int6
 	)
 	deadline := time.Now().Add(d)
 	client := &http.Client{Timeout: cfg.Timeout + 10*time.Second}
+
+	// The update mix: a dedicated lineage problem is seeded with one
+	// full-problem place, then a single updater client keeps flipping a
+	// flow volume through /v1/update while every reader client folds
+	// by-reference place/evaluate queries against the lineage into its
+	// loop. The digest in each response names the sequence the answer came
+	// from, so each read is checked against the exact oracle for that
+	// sequence's parity — the zero-mismatch gate for delta consistency.
+	lineage, err := seedLineage(client, base, seed+int64(problems))
+	if err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := 0
+		for time.Now().Before(deadline) {
+			next, err := fireUpdate(client, base, lineage, seq)
+			if err != nil {
+				failures.Add(1)
+				fmt.Fprintf(os.Stderr, "serverap load: updater: %v\n", err)
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			if next != seq+1 {
+				failures.Add(1)
+				fmt.Fprintf(os.Stderr, "serverap load: updater: seq %d -> %d, want %d\n", seq, next, seq+1)
+			}
+			seq = next
+			requests.Add(1)
+		}
+	}()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
-				p := &pool[(c+i)%len(pool)]
-				if err := fireOnce(client, base, p); err != nil {
+				var err error
+				if i%3 == 2 {
+					err = fireLineageRead(client, base, lineage, (c+i)%2 == 0)
+				} else {
+					err = fireOnce(client, base, &pool[(c+i)%len(pool)])
+				}
+				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "serverap load: client %d: %v\n", c, err)
 				}
@@ -206,8 +273,9 @@ func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int6
 
 	builds := s.Metrics().Counter("serve.engine.builds").Value()
 	hits := s.Metrics().Counter("serve.cache.hit").Value()
-	fmt.Printf("serverap load: %d requests, %d failures, %d engine builds, %d cache hits\n",
-		requests.Load(), failures.Load(), builds, hits)
+	updates := s.Metrics().Counter("serve.cache.updates").Value()
+	fmt.Printf("serverap load: %d requests, %d failures, %d engine builds, %d cache hits, %d updates\n",
+		requests.Load(), failures.Load(), builds, hits, updates)
 	if metricsOut != "" {
 		if err := os.WriteFile(metricsOut, metrics, 0o644); err != nil {
 			return err
@@ -219,8 +287,178 @@ func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int6
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures.Load(), requests.Load())
 	}
-	if builds > int64(len(pool)) {
-		return fmt.Errorf("%d engine builds for %d distinct problems (coalescing broken)", builds, len(pool))
+	if builds > int64(len(pool))+1 {
+		return fmt.Errorf("%d engine builds for %d distinct problems (coalescing broken)", builds, len(pool)+1)
+	}
+	return nil
+}
+
+// seedLineage generates the update-mix problem, establishes its lineage
+// with one full-problem place, and precomputes the three parity-class
+// oracles every by-reference read is checked against.
+func seedLineage(client *http.Client, base string, seed int64) (*loadLineage, error) {
+	inst, err := invariant.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	p := inst.Problem
+	spec, err := serve.ProblemSpecOf(p)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(serve.PlaceRequest{ProblemSpec: spec, K: p.K, Algo: "lazy"})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("seed lineage place: status %d: %s", resp.StatusCode, data)
+	}
+	var pr serve.PlaceResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return nil, err
+	}
+
+	l := &loadLineage{base: pr.Digest, k: p.K, volA: 33, volB: 77}
+	variants := [3]*core.Problem{p, nil, nil}
+	for class, vol := range map[int]float64{1: l.volA, 2: l.volB} {
+		vp, err := core.ApplyToProblem(p, []core.FlowUpdate{{Op: core.OpSetVolume, Flow: 0, Volume: vol}})
+		if err != nil {
+			return nil, err
+		}
+		variants[class] = vp
+	}
+	for class, vp := range variants {
+		eng, err := core.NewEngineWorkers(vp, 1)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := core.GreedyLazy(eng)
+		if err != nil {
+			return nil, err
+		}
+		l.wantPl[class] = pl
+		if class == 0 {
+			l.evalNodes = pl.Nodes
+			if len(l.evalNodes) == 0 {
+				l.evalNodes = []graph.NodeID{0}
+			}
+		}
+		l.wantObj[class] = eng.Evaluate(l.evalNodes)
+	}
+	return l, nil
+}
+
+// fireUpdate advances the lineage one sequence, setting flow 0's volume by
+// the parity the *next* sequence will have, and returns the new sequence.
+func fireUpdate(client *http.Client, base string, l *loadLineage, seq int) (int, error) {
+	vol := l.volA
+	if classOf(seq+1) == 2 {
+		vol = l.volB
+	}
+	body, err := json.Marshal(serve.UpdateRequest{
+		Digest:  l.base,
+		Updates: []serve.FlowUpdateSpec{{Op: "set_volume", Flow: 0, Volume: vol}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("update: status %d: %s", resp.StatusCode, data)
+	}
+	var up serve.UpdateResponse
+	if err := json.Unmarshal(data, &up); err != nil {
+		return 0, err
+	}
+	return up.Seq, nil
+}
+
+// fireLineageRead resolves the lineage by reference — place or evaluate —
+// and checks the answer bit-for-bit against the oracle of the sequence the
+// response's digest names.
+func fireLineageRead(client *http.Client, base string, l *loadLineage, place bool) error {
+	var body []byte
+	var err error
+	if place {
+		body, err = json.Marshal(serve.PlaceRequest{Digest: l.base, K: l.k, Algo: "lazy"})
+	} else {
+		body, err = json.Marshal(serve.EvaluateRequest{Digest: l.base, Placement: l.evalNodes})
+	}
+	if err != nil {
+		return err
+	}
+	path := "/v1/evaluate"
+	if place {
+		path = "/v1/place"
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("lineage %s: status %d: %s", path, resp.StatusCode, data)
+	}
+	if place {
+		var pr serve.PlaceResponse
+		if err := json.Unmarshal(data, &pr); err != nil {
+			return err
+		}
+		_, seq, err := core.SplitDigest(pr.Digest)
+		if err != nil {
+			return fmt.Errorf("lineage place digest %q: %v", pr.Digest, err)
+		}
+		want := l.wantPl[classOf(seq)]
+		if len(pr.Nodes) != len(want.Nodes) {
+			return fmt.Errorf("lineage place seq %d: %v, oracle %v", seq, pr.Nodes, want.Nodes)
+		}
+		for i := range pr.Nodes {
+			if pr.Nodes[i] != want.Nodes[i] {
+				return fmt.Errorf("lineage place seq %d: %v, oracle %v", seq, pr.Nodes, want.Nodes)
+			}
+		}
+		if math.Float64bits(pr.Attracted) != math.Float64bits(want.Attracted) {
+			return fmt.Errorf("lineage place seq %d: attracted %v, oracle %v (torn)", seq, pr.Attracted, want.Attracted)
+		}
+		return nil
+	}
+	var ev serve.EvaluateResponse
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return err
+	}
+	_, seq, err := core.SplitDigest(ev.Digest)
+	if err != nil {
+		return fmt.Errorf("lineage evaluate digest %q: %v", ev.Digest, err)
+	}
+	if want := l.wantObj[classOf(seq)]; math.Float64bits(ev.Objective) != math.Float64bits(want) {
+		return fmt.Errorf("lineage evaluate seq %d: objective %v, oracle %v (torn)", seq, ev.Objective, want)
 	}
 	return nil
 }

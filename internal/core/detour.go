@@ -25,7 +25,11 @@ import (
 // evaluation and marginal-gain scans are branch-light float loops with no
 // utility-interface dispatch.
 //
-// An Engine is immutable after construction and safe for concurrent use.
+// An Engine is immutable after construction and safe for concurrent use,
+// with one exception: Apply mutates the arenas in place and requires
+// exclusive ownership for its duration. ApplyCopy is the concurrent-safe
+// variant — it leaves the receiver untouched and returns a derived engine
+// sharing every unmodified arena (see delta.go).
 type Engine struct {
 	p *Problem
 
@@ -48,6 +52,15 @@ type Engine struct {
 	// a recorder is installed) and never nil afterwards; WithObserver
 	// derives an engine reporting elsewhere.
 	obs obs.StepObserver
+
+	// Delta-layer state (see delta.go). The shop trees are retained so an
+	// added flow's detour rows can be computed without re-running
+	// preprocessing — the graph and shops never change under flow updates,
+	// so these are bit-identical to what a fresh build would recompute.
+	// maxShardVisits is the construction budget, needed to keep the shard
+	// partition of a mutated engine equal to a fresh build's.
+	toShops, fromShops []*graph.Tree
+	maxShardVisits     int
 }
 
 // defaultWorkers is the worker count used by the exported entry points.

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // DigestVersion prefixes every problem digest. Bump it on any change to
@@ -69,6 +71,33 @@ func ProblemDigest(p *Problem) (string, error) {
 		w64(uint64(c))
 	}
 	return DigestVersion + "-" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DeriveDigest returns the lineage digest identifying the seq-th update
+// applied to the problem digested as base: "base@seq". Sequence 0 is the
+// base itself. The query server keys its evolving engines by these, so one
+// LRU slot tracks a drifting problem instead of accumulating stale
+// siblings.
+func DeriveDigest(base string, seq int) string {
+	if seq <= 0 {
+		return base
+	}
+	return base + "@" + strconv.Itoa(seq)
+}
+
+// SplitDigest splits a possibly-derived digest reference into its base
+// digest and update sequence number. References without an "@seq" suffix
+// report sequence 0.
+func SplitDigest(ref string) (base string, seq int, err error) {
+	at := strings.IndexByte(ref, '@')
+	if at < 0 {
+		return ref, 0, nil
+	}
+	seq, err = strconv.Atoi(ref[at+1:])
+	if err != nil || seq < 0 {
+		return "", 0, fmt.Errorf("core: bad digest sequence in %q", ref)
+	}
+	return ref[:at], seq, nil
 }
 
 // WithBudget returns an engine solving for budget k instead of the budget

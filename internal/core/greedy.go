@@ -206,6 +206,15 @@ func greedyCombined(e *Engine, workers int) (*Placement, error) {
 // instead of placing zero-gain RAPs — the same zero-gain termination the
 // eager solvers apply at their scans.
 func GreedyLazy(e *Engine) (*Placement, error) {
+	return greedyLazy(e, nil)
+}
+
+// greedyLazy is the shared body of GreedyLazy and GreedyLazyWarm. initGain
+// supplies each candidate's step-0 upper bound by position in e.cands; nil
+// means compute it from an empty state, which is exactly what a Warm cache
+// holds — the two paths push bit-identical bounds in identical order, so
+// the placements coincide bit for bit (greedy_test pins this).
+func greedyLazy(e *Engine, initGain func(i int) float64) (*Placement, error) {
 	p := e.p
 	state := e.newDetourState()
 	result := &Placement{
@@ -256,9 +265,15 @@ func GreedyLazy(e *Engine) (*Placement, error) {
 	}
 	o := e.observer()
 	initStart := time.Now()
-	for _, v := range e.cands {
-		u, c := state.marginalGain(e, v)
-		if b := u + c; b > 0 {
+	for i, v := range e.cands {
+		var b float64
+		if initGain != nil {
+			b = initGain(i)
+		} else {
+			u, c := state.marginalGain(e, v)
+			b = u + c
+		}
+		if b > 0 {
 			push(entry{node: v, bound: b, step: 0})
 		}
 	}

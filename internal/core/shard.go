@@ -225,10 +225,13 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 
 	n := g.NumNodes()
 	e := &Engine{
-		p:      p,
-		shards: make([]arenaShard, len(bounds)),
-		cands:  p.candidateList(),
-		obs:    o,
+		p:              p,
+		shards:         make([]arenaShard, len(bounds)),
+		cands:          p.candidateList(),
+		obs:            o,
+		toShops:        toShops,
+		fromShops:      fromShops,
+		maxShardVisits: maxShardVisits,
 	}
 	if len(e.cands) > 0 {
 		lo, hi := e.cands[0], e.cands[0]

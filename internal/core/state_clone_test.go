@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"roadside/internal/utility"
+)
+
+// TestCloneFieldCoverage guards State.Clone against silent staleness: as
+// delta bookkeeping grows detourState, a field Clone forgets to copy would
+// alias or zero out in the copy and quietly break warm-start ≡ fresh. The
+// test fills every detourState field with non-zero sentinels by
+// reflection, clones, and demands (a) deep equality and (b) no sharing of
+// mutable backing storage — so it fails the moment a new field lands
+// without a matching Clone line.
+func TestCloneFieldCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomProblem(t, rng, 15, 5, 2, utility.Linear{D: 50})
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.NewState()
+	st.Place(eng.Candidates()[0])
+
+	// Fill every field of the inner detourState with distinct sentinels.
+	inner := reflect.ValueOf(st.s).Elem()
+	typ := inner.Type()
+	for i := 0; i < inner.NumField(); i++ {
+		fillSentinel(t, typ.Field(i).Name, settable(inner.Field(i)), float64(i+3))
+	}
+
+	cp := st.Clone()
+	if cp.e != st.e {
+		t.Fatal("Clone dropped the engine reference")
+	}
+	cpInner := reflect.ValueOf(cp.s).Elem()
+	for i := 0; i < inner.NumField(); i++ {
+		name := typ.Field(i).Name
+		a, b := inner.Field(i), cpInner.Field(i)
+		if !reflect.DeepEqual(valueOf(a), valueOf(b)) {
+			t.Fatalf("detourState.%s not copied by Clone: %v vs %v — update State.Clone",
+				name, valueOf(a), valueOf(b))
+		}
+		// Mutable reference fields must not alias the original.
+		switch a.Kind() {
+		case reflect.Slice, reflect.Map, reflect.Pointer:
+			if !a.IsNil() && a.Pointer() == b.Pointer() {
+				t.Fatalf("detourState.%s aliases the original after Clone — update State.Clone", name)
+			}
+		}
+	}
+}
+
+// fillSentinel writes a recognizable non-zero value into v so a field the
+// clone skips shows up as a mismatch. New field kinds added to detourState
+// must be taught here, which is the point: the test fails loudly instead
+// of silently ignoring them.
+func fillSentinel(t *testing.T, name string, v reflect.Value, seed float64) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.IsNil() || v.Len() == 0 {
+			t.Fatalf("detourState.%s is empty in a placed state; extend the fixture", name)
+		}
+		switch v.Type().Elem().Kind() {
+		case reflect.Float64:
+			v.Index(0).SetFloat(seed)
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			v.Index(0).SetInt(int64(seed))
+		default:
+			t.Fatalf("detourState.%s: unhandled slice kind %s — teach fillSentinel and State.Clone about it",
+				name, v.Type().Elem().Kind())
+		}
+	case reflect.Float64:
+		v.SetFloat(seed)
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(seed))
+	case reflect.Bool:
+		v.SetBool(true)
+	default:
+		t.Fatalf("detourState.%s: unhandled kind %s — teach fillSentinel and State.Clone about it",
+			name, v.Kind())
+	}
+}
+
+// settable returns a writable view of a (possibly unexported) struct
+// field. Test-only: production code never reflects into detourState.
+func settable(v reflect.Value) reflect.Value {
+	return reflect.NewAt(v.Type(), unsafe.Pointer(v.UnsafeAddr())).Elem()
+}
+
+// valueOf unwraps a reflect value for DeepEqual without requiring
+// exported fields.
+func valueOf(v reflect.Value) any {
+	switch v.Kind() {
+	case reflect.Slice:
+		out := make([]any, v.Len())
+		for i := range out {
+			out[i] = valueOf(v.Index(i))
+		}
+		return out
+	case reflect.Float64:
+		return v.Float()
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		return v.Int()
+	case reflect.Bool:
+		return v.Bool()
+	default:
+		return v.Interface()
+	}
+}

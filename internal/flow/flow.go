@@ -126,6 +126,37 @@ func NewSet(flows []Flow) (*Set, error) {
 	return s, nil
 }
 
+// NewSetSharedIndex builds a set over flows reusing base's node-incidence
+// index instead of rebuilding it. The index depends only on flow paths, so
+// the caller must pass flows whose paths equal base's at every index —
+// only scalar fields (volume, alpha, ID) may differ. It is the
+// volume-drift fast path of the engine delta layer: O(flows) validation
+// with no per-node map work. Path equality is spot-checked (count, length,
+// endpoints); full equality is the caller's contract. Flows are copied;
+// the index is shared, which is safe because sets are immutable.
+func NewSetSharedIndex(base *Set, flows []Flow) (*Set, error) {
+	if len(flows) != len(base.flows) {
+		return nil, fmt.Errorf("%w: shared-index set has %d flows, base %d",
+			ErrBadPath, len(flows), len(base.flows))
+	}
+	for i, f := range flows {
+		b := base.flows[i]
+		if len(f.Path) != len(b.Path) || f.Origin != b.Origin || f.Dest != b.Dest {
+			return nil, fmt.Errorf("%w: flow %d path differs from base", ErrBadPath, i)
+		}
+		if f.Volume <= 0 || math.IsNaN(f.Volume) || f.Volume > 1e18 {
+			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadVolume, i, f.Volume)
+		}
+		if f.Alpha < 0 || f.Alpha > 1 || math.IsNaN(f.Alpha) {
+			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadAlpha, i, f.Alpha)
+		}
+	}
+	return &Set{
+		flows:  append([]Flow(nil), flows...),
+		byNode: base.byNode,
+	}, nil
+}
+
 // Len returns the number of flows.
 func (s *Set) Len() int { return len(s.flows) }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"roadside/internal/core"
 	"roadside/internal/obs"
@@ -259,5 +260,138 @@ func TestCacheConcurrentMixedDigests(t *testing.T) {
 	}
 	if builds := counter(reg, "serve.engine.builds"); builds != int64(len(digests)) {
 		t.Fatalf("builds = %d, want exactly %d (one per digest)", builds, len(digests))
+	}
+}
+
+// TestCacheLeaderDetachedBuild pins the detach fix: a leader whose context
+// expires mid-build gets its context error back, but the build it started
+// keeps running, serves the waiters that coalesced onto it, and lands in
+// the cache for everyone after. Before the fix the build ran on the
+// leader's call stack, so an impatient leader still paid for the whole
+// build before learning its deadline had passed.
+func TestCacheLeaderDetachedBuild(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newEngineCache(1<<30, reg)
+	eng := testEngine(t)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	leader := make(chan error, 1)
+	go func() {
+		_, outcome, err := c.Get(ctx, "slow", func() (*core.Engine, error) {
+			close(entered)
+			<-release
+			return eng, nil
+		})
+		if outcome != CacheMiss {
+			t.Errorf("abandoning leader outcome = %q, want miss", outcome)
+		}
+		leader <- err
+	}()
+	<-entered
+	if err := <-leader; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader err = %v, want deadline exceeded", err)
+	}
+
+	// A patient waiter arriving after the leader gave up still coalesces
+	// onto the orphaned flight and is served by it.
+	waiter := make(chan error, 1)
+	go func() {
+		got, outcome, err := c.Get(context.Background(), "slow", nil)
+		if err == nil && (got != eng || outcome != CacheCoalesced) {
+			t.Errorf("waiter got engine %p outcome %q, want coalesced %p", got, outcome, eng)
+		}
+		waiter <- err
+	}()
+	waitFor(t, "waiter to coalesce", func() bool {
+		return counter(reg, "serve.cache.coalesced") == 1
+	})
+	close(release)
+	if err := <-waiter; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "detached build to land", func() bool {
+		return counter(reg, "serve.engine.builds") == 1
+	})
+	if _, o, err := c.Get(context.Background(), "slow", nil); err != nil || o != CacheHit {
+		t.Fatalf("Get after detached build = %q err %v, want hit", o, err)
+	}
+	// The abandoned leader was still this digest's miss.
+	if got := counter(reg, "serve.cache.miss"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// TestCacheCounterConservation pins the accounting contract: every Get
+// lands in exactly one of hit/miss/coalesced — including Gets whose build
+// fails, which a previous version never counted as misses — and every miss
+// produces exactly one build attempt (success or error).
+func TestCacheCounterConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newEngineCache(1<<30, reg)
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	ok := func() (*core.Engine, error) { return eng, nil }
+	boom := errors.New("boom")
+	fail := func() (*core.Engine, error) { return nil, boom }
+
+	calls := 0
+	get := func(digest string, build func() (*core.Engine, error)) {
+		calls++
+		//lint:ignore errdrop failures are part of the accounting under test
+		_, _, _ = c.Get(ctx, digest, build)
+	}
+	get("a", ok)   // miss, built
+	get("a", ok)   // hit
+	get("b", fail) // miss, build error — must still count as a miss
+	get("b", fail) // miss again: errors are never cached
+	get("b", ok)   // miss, built
+	get("a", ok)   // hit
+
+	// One coalesced pair: leader blocks until the waiter has joined.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{}, 2)
+	go func() {
+		//lint:ignore errdrop accounting test
+		_, _, _ = c.Get(ctx, "c", func() (*core.Engine, error) {
+			close(entered)
+			<-release
+			return eng, nil
+		})
+		done <- struct{}{}
+	}()
+	<-entered
+	go func() {
+		//lint:ignore errdrop accounting test
+		_, _, _ = c.Get(ctx, "c", nil)
+		done <- struct{}{}
+	}()
+	waitFor(t, "waiter to coalesce", func() bool {
+		return counter(reg, "serve.cache.coalesced") == 1
+	})
+	close(release)
+	<-done
+	<-done
+	calls += 2
+
+	hits := counter(reg, "serve.cache.hit")
+	misses := counter(reg, "serve.cache.miss")
+	coalesced := counter(reg, "serve.cache.coalesced")
+	if hits+misses+coalesced != int64(calls) {
+		t.Fatalf("hit %d + miss %d + coalesced %d = %d, want every Get counted once (%d)",
+			hits, misses, coalesced, hits+misses+coalesced, calls)
+	}
+	if hits != 2 || misses != 5 || coalesced != 1 {
+		t.Errorf("hit/miss/coalesced = %d/%d/%d, want 2/5/1 (a, b x3, c leader)", hits, misses, coalesced)
+	}
+	builds := counter(reg, "serve.engine.builds")
+	buildErrors := counter(reg, "serve.engine.build_errors")
+	if builds+buildErrors != misses {
+		t.Fatalf("builds %d + build_errors %d != misses %d: a miss escaped without a build attempt",
+			builds, buildErrors, misses)
 	}
 }

@@ -61,6 +61,12 @@ type PlaceRequest struct {
 	// Algo selects the solver: algorithm1, algorithm2 (default), combined,
 	// or lazy.
 	Algo string `json:"algo,omitempty"`
+	// Digest addresses a cached engine by reference instead of shipping the
+	// problem: a base digest from an earlier response (resolving to the
+	// lineage's latest sequence) or an explicit "base@seq" pin. When set,
+	// the problem fields are ignored and an unknown digest is not_found —
+	// the server never rebuilds from a reference.
+	Digest string `json:"digest,omitempty"`
 	// TimeoutMS optionally lowers the per-request deadline below the
 	// server's ceiling.
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
@@ -78,10 +84,12 @@ type PlaceResponse struct {
 	StepKinds []string       `json:"step_kinds,omitempty"`
 }
 
-// EvaluateRequest scores a given placement.
+// EvaluateRequest scores a given placement. Digest addresses a cached
+// engine by reference exactly as in PlaceRequest.
 type EvaluateRequest struct {
 	ProblemSpec
 	Placement []graph.NodeID `json:"placement"`
+	Digest    string         `json:"digest,omitempty"`
 	TimeoutMS float64        `json:"timeout_ms,omitempty"`
 }
 
@@ -107,9 +115,11 @@ type EvaluateResponse struct {
 }
 
 // DetourRequest asks for the detour structure at a set of intersections.
+// Digest addresses a cached engine by reference exactly as in PlaceRequest.
 type DetourRequest struct {
 	ProblemSpec
 	Nodes     []graph.NodeID `json:"nodes"`
+	Digest    string         `json:"digest,omitempty"`
 	TimeoutMS float64        `json:"timeout_ms,omitempty"`
 }
 
@@ -135,6 +145,42 @@ type DetourResponse struct {
 	Digest string        `json:"digest"`
 	Cache  string        `json:"cache"`
 	Nodes  []NodeDetours `json:"nodes"`
+}
+
+// FlowUpdateSpec is one wire flow update. Op selects the mutation:
+// "set_volume" (Flow + Volume), "remove" (Flow), or "add" (ID, Path,
+// Volume, Alpha describing the new flow).
+type FlowUpdateSpec struct {
+	Op     string         `json:"op"`
+	Flow   int            `json:"flow,omitempty"`
+	Volume float64        `json:"volume,omitempty"`
+	ID     string         `json:"id,omitempty"`
+	Path   []graph.NodeID `json:"path,omitempty"`
+	Alpha  float64        `json:"alpha,omitempty"`
+}
+
+// UpdateRequest evolves a cached engine in place of a full rebuild. Digest
+// is required: a base digest updates the lineage's latest sequence, an
+// explicit "base@seq" is a compare-and-swap that fails with stale_digest
+// when the lineage has already moved past seq. The batch is atomic —
+// either every update applies and the lineage advances one sequence, or
+// none do.
+type UpdateRequest struct {
+	Digest    string           `json:"digest"`
+	Updates   []FlowUpdateSpec `json:"updates"`
+	TimeoutMS float64          `json:"timeout_ms,omitempty"`
+}
+
+// UpdateResponse reports the lineage's new head. Digest is the derived
+// "base@seq" reference that pins this exact revision in later place /
+// evaluate / detour / update calls; Base addresses the latest revision
+// whatever it is by then.
+type UpdateResponse struct {
+	Digest       string `json:"digest"`
+	Base         string `json:"base"`
+	Seq          int    `json:"seq"`
+	Flows        int    `json:"flows"`         // flow count after the batch
+	TouchedNodes int    `json:"touched_nodes"` // distinct intersections whose gains changed
 }
 
 // HealthResponse answers GET /healthz.
@@ -210,6 +256,8 @@ func decodeProblem(spec *ProblemSpec, k int) (*core.Problem, *APIError) {
 }
 
 // decodePlaceRequest parses and structurally validates a /v1/place body.
+// With a digest reference the problem fields stay undecoded and p is nil;
+// the handler resolves the engine from the cache instead.
 func decodePlaceRequest(body []byte) (*PlaceRequest, *core.Problem, *APIError) {
 	var req PlaceRequest
 	if err := json.Unmarshal(body, &req); err != nil {
@@ -225,11 +273,27 @@ func decodePlaceRequest(body []byte) (*PlaceRequest, *core.Problem, *APIError) {
 		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeUnknownAlgo,
 			"algo %q (want algorithm1, algorithm2, combined, or lazy)", req.Algo)
 	}
+	if req.Digest != "" {
+		return &req, nil, nil
+	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, req.K)
 	if apiErr != nil {
 		return nil, nil, apiErr
 	}
 	return &req, p, nil
+}
+
+// validNodes checks that every node exists in g, reporting failures under
+// the given code. It runs at decode time for full-problem requests and
+// after cache resolution for by-reference ones.
+func validNodes(g *graph.Graph, nodes []graph.NodeID, code, what string) *APIError {
+	for _, v := range nodes {
+		if !g.ValidNode(v) {
+			return errorf(http.StatusUnprocessableEntity, code,
+				"%s node %d is not a node of the graph", what, v)
+		}
+	}
+	return nil
 }
 
 // decodeEvaluateRequest parses and validates a /v1/evaluate body. The
@@ -240,15 +304,15 @@ func decodeEvaluateRequest(body []byte) (*EvaluateRequest, *core.Problem, *APIEr
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, nil, errorf(http.StatusBadRequest, CodeBadJSON, "%v", err)
 	}
+	if req.Digest != "" {
+		return &req, nil, nil
+	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
 	if apiErr != nil {
 		return nil, nil, apiErr
 	}
-	for _, v := range req.Placement {
-		if !p.Graph.ValidNode(v) {
-			return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadPlacement,
-				"placement node %d is not a node of the graph", v)
-		}
+	if apiErr := validNodes(p.Graph, req.Placement, CodeBadPlacement, "placement"); apiErr != nil {
+		return nil, nil, apiErr
 	}
 	return &req, p, nil
 }
@@ -262,17 +326,57 @@ func decodeDetourRequest(body []byte) (*DetourRequest, *core.Problem, *APIError)
 	if len(req.Nodes) == 0 {
 		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadNodes, "empty node set")
 	}
+	if req.Digest != "" {
+		return &req, nil, nil
+	}
 	p, apiErr := decodeProblem(&req.ProblemSpec, 1)
 	if apiErr != nil {
 		return nil, nil, apiErr
 	}
-	for _, v := range req.Nodes {
-		if !p.Graph.ValidNode(v) {
-			return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadNodes,
-				"node %d is not a node of the graph", v)
-		}
+	if apiErr := validNodes(p.Graph, req.Nodes, CodeBadNodes, "queried"); apiErr != nil {
+		return nil, nil, apiErr
 	}
 	return &req, p, nil
+}
+
+// decodeUpdateRequest parses a /v1/update body and lowers the wire ops
+// onto core.FlowUpdate. Structural validation of each op (volume range,
+// path is a walk of the engine's graph, flow index in range) happens
+// inside ApplyCopy against the resolved engine; here only the op names and
+// the added flows' self-contained shape are checked, so every failure
+// beyond this point is bad_update with the lineage untouched.
+func decodeUpdateRequest(body []byte) (*UpdateRequest, []core.FlowUpdate, *APIError) {
+	var req UpdateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, errorf(http.StatusBadRequest, CodeBadJSON, "%v", err)
+	}
+	if req.Digest == "" {
+		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadUpdate,
+			"missing digest: updates address a cached engine by reference")
+	}
+	if len(req.Updates) == 0 {
+		return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadUpdate, "empty update batch")
+	}
+	ops := make([]core.FlowUpdate, len(req.Updates))
+	for i, spec := range req.Updates {
+		switch spec.Op {
+		case "set_volume":
+			ops[i] = core.FlowUpdate{Op: core.OpSetVolume, Flow: spec.Flow, Volume: spec.Volume}
+		case "remove":
+			ops[i] = core.FlowUpdate{Op: core.OpRemoveFlow, Flow: spec.Flow}
+		case "add":
+			f, err := flow.New(spec.ID, spec.Path, spec.Volume, spec.Alpha)
+			if err != nil {
+				return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadUpdate,
+					"update %d: add: %v", i, err)
+			}
+			ops[i] = core.FlowUpdate{Op: core.OpAddFlow, Add: f}
+		default:
+			return nil, nil, errorf(http.StatusUnprocessableEntity, CodeBadUpdate,
+				"update %d: op %q (want set_volume, remove, or add)", i, spec.Op)
+		}
+	}
+	return &req, ops, nil
 }
 
 // solvers maps wire algo names onto the core solvers.

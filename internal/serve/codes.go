@@ -14,7 +14,14 @@ const (
 	CodeBadBudget    = "bad_budget"
 	CodeBadPlacement = "bad_placement"
 	CodeBadNodes     = "bad_nodes"
+	CodeBadUpdate    = "bad_update"
 	CodeBodyTooLarge = "body_too_large"
+
+	// Digest-lineage errors (404/409): the by-reference path has no problem
+	// body to build from, so an unknown base digest is not found, and a
+	// request pinning "base@seq" when the lineage has moved on is stale.
+	CodeUnknownDigest = "unknown_digest"
+	CodeStaleDigest   = "stale_digest"
 
 	// Unknown-name errors (422).
 	CodeUnknownAlgo    = "unknown_algo"

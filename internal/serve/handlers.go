@@ -117,6 +117,27 @@ func (s *Server) engineFor(ctx context.Context, p *core.Problem) (eng *core.Engi
 	return eng, digest, outcome, s.gate.Release, nil
 }
 
+// engineByRef resolves a digest reference to a cached engine (and its
+// lineage's Warm cache, when one exists) under the concurrency gate. Like
+// engineFor, release covers the solve that follows and is nil on error.
+func (s *Server) engineByRef(ctx context.Context, ref string) (eng *core.Engine, warm *core.Warm, digest string, release func(), apiErr *APIError) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, "", nil, ctxError(err)
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return nil, nil, "", nil, ctxError(context.DeadlineExceeded)
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		return nil, nil, "", nil, ctxError(err)
+	}
+	eng, warm, digest, apiErr = s.cache.Resolve(ref)
+	if apiErr != nil {
+		s.gate.Release()
+		return nil, nil, "", nil, apiErr
+	}
+	return eng, warm, digest, s.gate.Release, nil
+}
+
 func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
 	req, p, apiErr := decodePlaceRequest(body)
 	if apiErr != nil {
@@ -124,7 +145,18 @@ func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	var (
+		eng             *core.Engine
+		warm            *core.Warm
+		digest, outcome string
+		release         func()
+	)
+	if req.Digest != "" {
+		eng, warm, digest, release, apiErr = s.engineByRef(ctx, req.Digest)
+		outcome = CacheHit
+	} else {
+		eng, digest, outcome, release, apiErr = s.engineFor(ctx, p)
+	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -133,7 +165,16 @@ func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
 	if err != nil {
 		return nil, errorf(http.StatusUnprocessableEntity, CodeBadBudget, "%v", err)
 	}
-	pl, err := solvers[req.Algo](budgeted)
+	// A lineage that has been updated carries a Warm cache current for its
+	// engine; the lazy solver seeded from it returns the bit-identical
+	// placement while skipping the full init scan (budgets share arenas, and
+	// the cached bounds do not depend on K).
+	var pl *core.Placement
+	if req.Algo == "lazy" && warm != nil {
+		pl, err = core.GreedyLazyWarm(budgeted, warm)
+	} else {
+		pl, err = solvers[req.Algo](budgeted)
+	}
 	if err != nil {
 		return nil, errorf(http.StatusInternalServerError, CodeInternal, "solve: %v", err)
 	}
@@ -156,7 +197,24 @@ func (s *Server) handleEvaluate(r *http.Request, body []byte) (any, *APIError) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	var (
+		eng             *core.Engine
+		digest, outcome string
+		release         func()
+	)
+	if req.Digest != "" {
+		eng, _, digest, release, apiErr = s.engineByRef(ctx, req.Digest)
+		outcome = CacheHit
+		if apiErr == nil {
+			p = eng.Problem()
+			if vErr := validNodes(p.Graph, req.Placement, CodeBadPlacement, "placement"); vErr != nil {
+				release()
+				return nil, vErr
+			}
+		}
+	} else {
+		eng, digest, outcome, release, apiErr = s.engineFor(ctx, p)
+	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -188,7 +246,23 @@ func (s *Server) handleDetour(r *http.Request, body []byte) (any, *APIError) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	eng, digest, outcome, release, apiErr := s.engineFor(ctx, p)
+	var (
+		eng             *core.Engine
+		digest, outcome string
+		release         func()
+	)
+	if req.Digest != "" {
+		eng, _, digest, release, apiErr = s.engineByRef(ctx, req.Digest)
+		outcome = CacheHit
+		if apiErr == nil {
+			if vErr := validNodes(eng.Problem().Graph, req.Nodes, CodeBadNodes, "queried"); vErr != nil {
+				release()
+				return nil, vErr
+			}
+		}
+	} else {
+		eng, digest, outcome, release, apiErr = s.engineFor(ctx, p)
+	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -208,6 +282,41 @@ func (s *Server) handleDetour(r *http.Request, body []byte) (any, *APIError) {
 		nodes[i] = nd
 	}
 	return &DetourResponse{Digest: digest, Cache: outcome, Nodes: nodes}, nil
+}
+
+// handleUpdate evolves a cached engine: the batch applies atomically via
+// core.ApplyCopy (in-flight solves on the superseded engine are untouched)
+// and the lineage advances one sequence, re-keyed in the cache under its
+// derived digest. The gate slot covers the apply, which does at most one
+// pruned shortest-path group per added flow — far below a rebuild.
+func (s *Server) handleUpdate(r *http.Request, body []byte) (any, *APIError) {
+	req, ops, apiErr := decodeUpdateRequest(body)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, ctxError(err)
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return nil, ctxError(context.DeadlineExceeded)
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		return nil, ctxError(err)
+	}
+	defer s.gate.Release()
+	ent, touched, apiErr := s.cache.Update(req.Digest, ops)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return &UpdateResponse{
+		Digest:       ent.digest,
+		Base:         ent.base,
+		Seq:          ent.seq,
+		Flows:        ent.eng.Problem().Flows.Len(),
+		TouchedNodes: len(touched),
+	}, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

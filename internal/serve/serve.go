@@ -11,8 +11,17 @@
 //	POST /v1/place     problem + k + algo    -> placement (nodes, objective, step gains)
 //	POST /v1/evaluate  problem + placement   -> objective + per-flow attraction
 //	POST /v1/detour    problem + node set    -> per-node flow visits and detours
+//	POST /v1/update    digest + flow updates -> new lineage digest ("base@seq")
 //	GET  /healthz                            -> liveness + cache occupancy
 //	GET  /metrics                            -> text export of the server's obs registry
+//
+// /v1/update is the delta path: instead of re-sending a whole problem per
+// traffic drift, a client ships the volume changes / flow adds / removes
+// against a digest it got from an earlier response. The cached engine
+// absorbs them in place (core.ApplyCopy, orders of magnitude below a
+// rebuild) and the lineage advances to a derived digest base@seq; place,
+// evaluate, and detour accept either the base (latest revision) or a
+// pinned base@seq by reference, with no problem body at all.
 //
 // Contracts the tests pin:
 //
@@ -114,6 +123,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/place", s.solveEndpoint("place", s.handlePlace))
 	s.mux.HandleFunc("/v1/evaluate", s.solveEndpoint("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/detour", s.solveEndpoint("detour", s.handleDetour))
+	s.mux.HandleFunc("/v1/update", s.solveEndpoint("update", s.handleUpdate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

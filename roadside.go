@@ -180,6 +180,41 @@ func GreedyCombined(e *Engine) (*Placement, error) { return core.GreedyCombined(
 // GreedyLazy is a lazy-evaluation combined greedy (ablation).
 func GreedyLazy(e *Engine) (*Placement, error) { return core.GreedyLazy(e) }
 
+// UpdateOp selects what a FlowUpdate does.
+type UpdateOp = core.UpdateOp
+
+// The delta operations: set a flow's daily volume, remove a flow (later
+// indices shift down), append a new flow.
+const (
+	OpSetVolume  = core.OpSetVolume
+	OpRemoveFlow = core.OpRemoveFlow
+	OpAddFlow    = core.OpAddFlow
+)
+
+// FlowUpdate is one element of a delta batch; see Engine.Apply.
+type FlowUpdate = core.FlowUpdate
+
+// ApplyToProblem returns a new problem with the update batch applied to
+// the flow set — the build-from-scratch oracle for Engine.Apply.
+func ApplyToProblem(p *Problem, ops []FlowUpdate) (*Problem, error) {
+	return core.ApplyToProblem(p, ops)
+}
+
+// Warm carries reusable lazy-greedy state across deltas; see
+// Engine.NewWarm, Warm.Refresh, and GreedyLazyWarm.
+type Warm = core.Warm
+
+// GreedyLazyWarm is GreedyLazy seeded from warm-start state, bit-identical
+// to the cold solver.
+func GreedyLazyWarm(e *Engine, w *Warm) (*Placement, error) { return core.GreedyLazyWarm(e, w) }
+
+// DeriveDigest names revision seq of the lineage rooted at base
+// ("base@seq"); seq 0 is base itself.
+func DeriveDigest(base string, seq int) string { return core.DeriveDigest(base, seq) }
+
+// SplitDigest parses a digest reference into its base and revision.
+func SplitDigest(ref string) (string, int, error) { return core.SplitDigest(ref) }
+
 // Exhaustive returns an optimal placement within a combination budget.
 func Exhaustive(e *Engine, budget int64) (*Placement, error) {
 	return opt.Exhaustive(e, opt.Options{Budget: budget})

@@ -65,4 +65,11 @@ go run ./cmd/bench -large-smoke -benchtime 20ms -out /tmp/bench_large_smoke.json
 grep -q 'vs trees fan-out' /tmp/bench_large_smoke.txt \
     || { echo "large smoke missing m2m comparison"; cat /tmp/bench_large_smoke.txt; exit 1; }
 
+echo "==> delta smoke (update-vs-rebuild drift cycles, >=10x gate built in)"
+# Short benchtime; the command itself fails if delta/fresh bit-identity
+# breaks or the volume-drift speedup falls under the 10x gate.
+go run ./cmd/bench -delta -benchtime 20ms -out /tmp/bench_delta_smoke.json \
+    > /tmp/bench_delta_smoke.txt \
+    || { echo "delta smoke failed"; cat /tmp/bench_delta_smoke.txt; exit 1; }
+
 echo "verify: all gates passed"
