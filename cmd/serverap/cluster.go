@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"roadside/internal/serve"
+)
+
+// shardCluster is a scale-out serving deployment in one process: N shard
+// workers on loopback listeners behind a consistent-hash router. Worker i
+// is named "w<i>" and mints job IDs with the "w<i>-" prefix so the router
+// can route job polls back to the owner.
+type shardCluster struct {
+	servers []*serve.Server
+	workers []*http.Server
+	lns     []net.Listener
+	router  *serve.Router
+	client  *http.Client
+}
+
+// startCluster launches n shard workers, each with its own engine cache
+// budgeted at cfg.CacheBytes, and returns the router wired over them. The
+// caller serves router.Handler() on whatever listener it wants.
+func startCluster(cfg serve.Config, n int) (*shardCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster needs at least 1 shard, got %d", n)
+	}
+	c := &shardCluster{}
+	backends := make([]serve.Backend, n)
+	for i := 0; i < n; i++ {
+		wcfg := cfg
+		wcfg.JobIDPrefix = fmt.Sprintf("w%d-", i)
+		s := serve.New(wcfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("shard w%d: %w", i, err)
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		//lint:ignore goroutineguard the serve loop ends when drain calls srv.Shutdown, which waits for it
+		go func() {
+			//lint:ignore errdrop Serve always returns non-nil on Shutdown; real failures surface as request errors
+			_ = srv.Serve(ln)
+		}()
+		c.servers = append(c.servers, s)
+		c.workers = append(c.workers, srv)
+		c.lns = append(c.lns, ln)
+		backends[i] = serve.Backend{Name: fmt.Sprintf("w%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	// The router gets a dedicated transport so drain can close its pooled
+	// connections: the transport's dial race can park a connection on a
+	// worker before any request bytes are sent, and http.Server.Shutdown
+	// stalls five seconds before it treats such a StateNew connection as
+	// idle. Closing the client side first makes worker shutdown immediate.
+	c.client = &http.Client{
+		Transport: http.DefaultTransport.(*http.Transport).Clone(),
+		Timeout:   serve.DefaultTimeout + 10*time.Second,
+	}
+	router, err := serve.NewRouter(serve.RouterConfig{Backends: backends, MaxBody: cfg.MaxBody, Client: c.client})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.router = router
+	return c, nil
+}
+
+// counterTotal sums a named counter across every shard.
+func (c *shardCluster) counterTotal(name string) int64 {
+	var total int64
+	for _, s := range c.servers {
+		total += s.Metrics().Counter(name).Value()
+	}
+	return total
+}
+
+// drain gracefully drains every shard worker (in-flight solves and
+// accepted jobs complete) and shuts the worker listeners down.
+func (c *shardCluster) drain(ctx context.Context) error {
+	var firstErr error
+	for i, s := range c.servers {
+		if err := s.Drain(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("drain shard w%d: %w", i, err)
+		}
+	}
+	c.client.CloseIdleConnections()
+	for i, srv := range c.workers {
+		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shutdown shard w%d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// close tears listeners down without draining (startup-failure path).
+func (c *shardCluster) close() {
+	for _, ln := range c.lns {
+		//lint:ignore errdrop best-effort teardown on the startup-failure path
+		_ = ln.Close()
+	}
+}

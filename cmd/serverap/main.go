@@ -1,42 +1,48 @@
 // Command serverap runs the placement engine as a long-lived JSON query
-// service (placement-as-a-service). It serves POST /v1/place, /v1/evaluate
-// and /v1/detour plus GET /healthz and /metrics, with an LRU engine cache,
-// request coalescing, bounded concurrency, and graceful drain on SIGINT or
-// SIGTERM.
+// service (placement-as-a-service). It serves POST /v1/place, /v1/evaluate,
+// /v1/detour, /v1/update, /v1/batch and /v1/jobs plus GET /healthz and
+// /metrics, with an LRU engine cache, request coalescing, bounded
+// concurrency, async job queues with backpressure, and graceful drain on
+// SIGINT or SIGTERM.
 //
 // Usage:
 //
 //	serverap -addr :8080
-//	serverap -load 30s -clients 8 -problems 4 -metrics-out metrics.txt
+//	serverap -addr :8080 -shards 4
+//	serverap -load 30s -clients 8 -problems 4 -shards 4 -metrics-out metrics.txt
+//	serverap -compare-shards 4 -load 20s -bench-out results/BENCH_9.json
 //
-// The second form is a self-contained loopback load run: the server is
-// started on an ephemeral local port and hammered by concurrent clients
-// with generated problem instances, every placement response is checked
-// bit-for-bit against a direct single-threaded engine solve, and the
-// final /metrics export is written out. CI uses it as a mini soak.
+// With -shards N > 1 the process runs N shard workers on loopback
+// listeners behind a consistent-hash router that owns the public address:
+// requests are routed by problem digest so each engine lives on exactly
+// one worker, and the aggregate cache capacity is N times one worker's.
+//
+// The -load form is a self-contained loopback soak: a cluster is started
+// on ephemeral local ports and hammered by concurrent clients with a mixed
+// place / evaluate / batch / async-job / delta-update workload under
+// zipf-distributed problem popularity. Every answer is checked bit-for-bit
+// against a direct single-worker engine solve, client-side latency
+// histograms are kept per endpoint, and the final metrics export is
+// written out. CI uses it as a mini soak.
+//
+// The -compare-shards form runs the same capacity-constrained workload
+// against 1 shard and then N shards and writes a benchio report with the
+// throughput trajectory; it exits non-zero if the N-shard deployment is
+// not at least -min-speedup times faster.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"roadside/internal/core"
-	"roadside/internal/graph"
-	"roadside/internal/invariant"
 	"roadside/internal/serve"
 )
 
@@ -51,16 +57,21 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("serverap", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
-		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "engine cache budget in arena bytes")
+		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "engine cache budget in arena bytes (per shard)")
 		maxBody    = fs.Int64("max-body", serve.DefaultMaxBody, "request body size limit in bytes")
 		maxInFl    = fs.Int("max-inflight", 0, "max concurrent engine builds+solves (0 = 2*GOMAXPROCS)")
 		timeout    = fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline ceiling")
 		drainWait  = fs.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		shards     = fs.Int("shards", 1, "shard workers behind the consistent-hash router")
 		load       = fs.Duration("load", 0, "run a loopback load test for this duration instead of serving")
 		clients    = fs.Int("clients", 8, "concurrent clients in -load mode")
 		problems   = fs.Int("problems", 4, "distinct generated problems in -load mode")
 		seed       = fs.Int64("seed", 1, "instance-generator seed in -load mode")
-		metricsOut = fs.String("metrics-out", "", "write the final /metrics export to this file in -load mode")
+		zipfS      = fs.Float64("zipf", 1.1, "zipf skew of problem popularity in -load mode (> 1)")
+		metricsOut = fs.String("metrics-out", "", "write the final metrics export to this file in -load mode")
+		compare    = fs.Int("compare-shards", 0, "compare 1-shard vs N-shard throughput on a capacity-constrained workload")
+		benchOut   = fs.String("bench-out", "", "write the -compare-shards benchio report to this file")
+		minSpeedup = fs.Float64("min-speedup", 2.0, "fail -compare-shards below this N-shard/1-shard throughput ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,16 +82,60 @@ func run(args []string) error {
 		MaxInFlight: *maxInFl,
 		Timeout:     *timeout,
 	}
-	if *load > 0 {
-		return runLoad(cfg, *load, *clients, *problems, *seed, *metricsOut)
+	if *compare > 0 {
+		dur := *load
+		if dur <= 0 {
+			dur = 20 * time.Second
+		}
+		return runCompare(cfg, compareOpts{
+			shards:     *compare,
+			dur:        dur,
+			clients:    *clients,
+			problems:   *problems,
+			seed:       *seed,
+			benchOut:   *benchOut,
+			minSpeedup: *minSpeedup,
+		})
 	}
-	return runServe(cfg, *addr, *drainWait)
+	if *load > 0 {
+		_, err := runLoad(cfg, loadOpts{
+			dur:          *load,
+			clients:      *clients,
+			problems:     *problems,
+			seed:         *seed,
+			shards:       *shards,
+			zipfS:        *zipfS,
+			coalesceGate: true,
+			metricsOut:   *metricsOut,
+		})
+		return err
+	}
+	return runServe(cfg, *addr, *shards, *drainWait)
 }
 
-// runServe is the production mode: listen, serve, drain on signal.
-func runServe(cfg serve.Config, addr string, drainWait time.Duration) error {
-	s := serve.New(cfg)
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+// runServe is the production mode: listen, serve, drain on signal. With
+// shards > 1 the public address serves the consistent-hash router over
+// loopback shard workers; with 1 shard the server handles requests
+// directly with no proxy hop.
+func runServe(cfg serve.Config, addr string, shards int, drainWait time.Duration) error {
+	var (
+		handler http.Handler
+		drain   func(context.Context) error
+	)
+	if shards > 1 {
+		cluster, err := startCluster(cfg, shards)
+		if err != nil {
+			return err
+		}
+		handler = cluster.router.Handler()
+		drain = cluster.drain
+		fmt.Printf("serverap: %d shard workers behind the router\n", shards)
+	} else {
+		s := serve.New(cfg)
+		handler = s.Handler()
+		drain = s.Drain
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -103,419 +158,13 @@ func runServe(cfg serve.Config, addr string, drainWait time.Duration) error {
 	fmt.Println("serverap: draining in-flight requests")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
-	if err := s.Drain(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "serverap: drain: %v\n", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return <-errc
-}
-
-// loadProblem is one generated instance plus the oracle answer every served
-// placement must match bit-for-bit.
-type loadProblem struct {
-	body      []byte
-	wantNodes []core.Placement
-}
-
-// loadLineage is the evolving problem of the -load update mix: one client
-// drives POST /v1/update flipping flow 0's volume between two values, so
-// the lineage's sequence parity determines the engine's exact contents.
-// Readers resolve by reference and must match the parity-class oracle
-// bit-for-bit — old-or-new is fine (the digest says which), a torn mix of
-// two sequences is a failure.
-type loadLineage struct {
-	base       string
-	k          int
-	volA, volB float64
-	evalNodes  []graph.NodeID
-	// Indexed by parity class: 0 = original volumes (seq 0), 1 = volA
-	// (odd seq), 2 = volB (even seq > 0).
-	wantPl  [3]*core.Placement
-	wantObj [3]float64
-}
-
-// classOf maps a lineage sequence onto its oracle index.
-func classOf(seq int) int {
-	switch {
-	case seq == 0:
-		return 0
-	case seq%2 == 1:
-		return 1
-	default:
-		return 2
-	}
-}
-
-// runLoad starts the server on a loopback listener and hammers it.
-func runLoad(cfg serve.Config, d time.Duration, clients, problems int, seed int64, metricsOut string) error {
-	if clients < 1 || problems < 1 {
-		return fmt.Errorf("-clients and -problems must be >= 1")
-	}
-	s := serve.New(cfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	httpSrv := &http.Server{Handler: s.Handler()}
-	go func() {
-		//lint:ignore errdrop Serve always returns non-nil on Shutdown; real failures surface as request errors below
-		_ = httpSrv.Serve(ln)
-	}()
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("serverap load: %v, %d clients, %d problems, loopback %s\n", d, clients, problems, base)
-
-	// Generate the problem pool and solve each one directly (single
-	// worker) for the bit-identity oracle.
-	algos := []string{"algorithm1", "algorithm2", "combined", "lazy"}
-	pool := make([]loadProblem, problems)
-	for i := range pool {
-		inst, err := invariant.Generate(seed + int64(i))
-		if err != nil {
-			return err
-		}
-		spec, err := serve.ProblemSpecOf(inst.Problem)
-		if err != nil {
-			return err
-		}
-		body, err := json.Marshal(serve.PlaceRequest{
-			ProblemSpec: spec,
-			K:           inst.Problem.K,
-			Algo:        algos[i%len(algos)],
-		})
-		if err != nil {
-			return err
-		}
-		eng, err := core.NewEngineWorkers(inst.Problem, 1)
-		if err != nil {
-			return err
-		}
-		pl, err := solveWorkers(algos[i%len(algos)], eng)
-		if err != nil {
-			return err
-		}
-		pool[i] = loadProblem{body: body, wantNodes: []core.Placement{*pl}}
-	}
-
-	var (
-		requests, failures atomic.Int64
-		wg                 sync.WaitGroup
-	)
-	deadline := time.Now().Add(d)
-	client := &http.Client{Timeout: cfg.Timeout + 10*time.Second}
-
-	// The update mix: a dedicated lineage problem is seeded with one
-	// full-problem place, then a single updater client keeps flipping a
-	// flow volume through /v1/update while every reader client folds
-	// by-reference place/evaluate queries against the lineage into its
-	// loop. The digest in each response names the sequence the answer came
-	// from, so each read is checked against the exact oracle for that
-	// sequence's parity — the zero-mismatch gate for delta consistency.
-	lineage, err := seedLineage(client, base, seed+int64(problems))
-	if err != nil {
-		return err
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		seq := 0
-		for time.Now().Before(deadline) {
-			next, err := fireUpdate(client, base, lineage, seq)
-			if err != nil {
-				failures.Add(1)
-				fmt.Fprintf(os.Stderr, "serverap load: updater: %v\n", err)
-				time.Sleep(10 * time.Millisecond)
-				continue
-			}
-			if next != seq+1 {
-				failures.Add(1)
-				fmt.Fprintf(os.Stderr, "serverap load: updater: seq %d -> %d, want %d\n", seq, next, seq+1)
-			}
-			seq = next
-			requests.Add(1)
-		}
-	}()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for i := 0; time.Now().Before(deadline); i++ {
-				var err error
-				if i%3 == 2 {
-					err = fireLineageRead(client, base, lineage, (c+i)%2 == 0)
-				} else {
-					err = fireOnce(client, base, &pool[(c+i)%len(pool)])
-				}
-				if err != nil {
-					failures.Add(1)
-					fmt.Fprintf(os.Stderr, "serverap load: client %d: %v\n", c, err)
-				}
-				requests.Add(1)
-			}
-		}(c)
-	}
-	wg.Wait()
-
-	// Snapshot /metrics before shutting the listener down.
-	metrics, err := fetch(client, base+"/metrics")
-	if err != nil {
-		return err
-	}
-	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := s.Drain(drainCtx); err != nil {
-		return fmt.Errorf("drain: %w", err)
-	}
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
-	}
-
-	builds := s.Metrics().Counter("serve.engine.builds").Value()
-	hits := s.Metrics().Counter("serve.cache.hit").Value()
-	updates := s.Metrics().Counter("serve.cache.updates").Value()
-	fmt.Printf("serverap load: %d requests, %d failures, %d engine builds, %d cache hits, %d updates\n",
-		requests.Load(), failures.Load(), builds, hits, updates)
-	if metricsOut != "" {
-		if err := os.WriteFile(metricsOut, metrics, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("serverap load: metrics written to %s\n", metricsOut)
-	} else {
-		fmt.Print(string(metrics))
-	}
-	if failures.Load() > 0 {
-		return fmt.Errorf("%d of %d requests failed", failures.Load(), requests.Load())
-	}
-	if builds > int64(len(pool))+1 {
-		return fmt.Errorf("%d engine builds for %d distinct problems (coalescing broken)", builds, len(pool)+1)
-	}
-	return nil
-}
-
-// seedLineage generates the update-mix problem, establishes its lineage
-// with one full-problem place, and precomputes the three parity-class
-// oracles every by-reference read is checked against.
-func seedLineage(client *http.Client, base string, seed int64) (*loadLineage, error) {
-	inst, err := invariant.Generate(seed)
-	if err != nil {
-		return nil, err
-	}
-	p := inst.Problem
-	spec, err := serve.ProblemSpecOf(p)
-	if err != nil {
-		return nil, err
-	}
-	body, err := json.Marshal(serve.PlaceRequest{ProblemSpec: spec, K: p.K, Algo: "lazy"})
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	data, err := io.ReadAll(resp.Body)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("seed lineage place: status %d: %s", resp.StatusCode, data)
-	}
-	var pr serve.PlaceResponse
-	if err := json.Unmarshal(data, &pr); err != nil {
-		return nil, err
-	}
-
-	l := &loadLineage{base: pr.Digest, k: p.K, volA: 33, volB: 77}
-	variants := [3]*core.Problem{p, nil, nil}
-	for class, vol := range map[int]float64{1: l.volA, 2: l.volB} {
-		vp, err := core.ApplyToProblem(p, []core.FlowUpdate{{Op: core.OpSetVolume, Flow: 0, Volume: vol}})
-		if err != nil {
-			return nil, err
-		}
-		variants[class] = vp
-	}
-	for class, vp := range variants {
-		eng, err := core.NewEngineWorkers(vp, 1)
-		if err != nil {
-			return nil, err
-		}
-		pl, err := core.GreedyLazy(eng)
-		if err != nil {
-			return nil, err
-		}
-		l.wantPl[class] = pl
-		if class == 0 {
-			l.evalNodes = pl.Nodes
-			if len(l.evalNodes) == 0 {
-				l.evalNodes = []graph.NodeID{0}
-			}
-		}
-		l.wantObj[class] = eng.Evaluate(l.evalNodes)
-	}
-	return l, nil
-}
-
-// fireUpdate advances the lineage one sequence, setting flow 0's volume by
-// the parity the *next* sequence will have, and returns the new sequence.
-func fireUpdate(client *http.Client, base string, l *loadLineage, seq int) (int, error) {
-	vol := l.volA
-	if classOf(seq+1) == 2 {
-		vol = l.volB
-	}
-	body, err := json.Marshal(serve.UpdateRequest{
-		Digest:  l.base,
-		Updates: []serve.FlowUpdateSpec{{Op: "set_volume", Flow: 0, Volume: vol}},
-	})
-	if err != nil {
-		return 0, err
-	}
-	resp, err := client.Post(base+"/v1/update", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	data, err := io.ReadAll(resp.Body)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return 0, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("update: status %d: %s", resp.StatusCode, data)
-	}
-	var up serve.UpdateResponse
-	if err := json.Unmarshal(data, &up); err != nil {
-		return 0, err
-	}
-	return up.Seq, nil
-}
-
-// fireLineageRead resolves the lineage by reference — place or evaluate —
-// and checks the answer bit-for-bit against the oracle of the sequence the
-// response's digest names.
-func fireLineageRead(client *http.Client, base string, l *loadLineage, place bool) error {
-	var body []byte
-	var err error
-	if place {
-		body, err = json.Marshal(serve.PlaceRequest{Digest: l.base, K: l.k, Algo: "lazy"})
-	} else {
-		body, err = json.Marshal(serve.EvaluateRequest{Digest: l.base, Placement: l.evalNodes})
-	}
-	if err != nil {
-		return err
-	}
-	path := "/v1/evaluate"
-	if place {
-		path = "/v1/place"
-	}
-	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	data, err := io.ReadAll(resp.Body)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("lineage %s: status %d: %s", path, resp.StatusCode, data)
-	}
-	if place {
-		var pr serve.PlaceResponse
-		if err := json.Unmarshal(data, &pr); err != nil {
-			return err
-		}
-		_, seq, err := core.SplitDigest(pr.Digest)
-		if err != nil {
-			return fmt.Errorf("lineage place digest %q: %v", pr.Digest, err)
-		}
-		want := l.wantPl[classOf(seq)]
-		if len(pr.Nodes) != len(want.Nodes) {
-			return fmt.Errorf("lineage place seq %d: %v, oracle %v", seq, pr.Nodes, want.Nodes)
-		}
-		for i := range pr.Nodes {
-			if pr.Nodes[i] != want.Nodes[i] {
-				return fmt.Errorf("lineage place seq %d: %v, oracle %v", seq, pr.Nodes, want.Nodes)
-			}
-		}
-		if math.Float64bits(pr.Attracted) != math.Float64bits(want.Attracted) {
-			return fmt.Errorf("lineage place seq %d: attracted %v, oracle %v (torn)", seq, pr.Attracted, want.Attracted)
-		}
-		return nil
-	}
-	var ev serve.EvaluateResponse
-	if err := json.Unmarshal(data, &ev); err != nil {
-		return err
-	}
-	_, seq, err := core.SplitDigest(ev.Digest)
-	if err != nil {
-		return fmt.Errorf("lineage evaluate digest %q: %v", ev.Digest, err)
-	}
-	if want := l.wantObj[classOf(seq)]; math.Float64bits(ev.Objective) != math.Float64bits(want) {
-		return fmt.Errorf("lineage evaluate seq %d: objective %v, oracle %v (torn)", seq, ev.Objective, want)
-	}
-	return nil
-}
-
-// fireOnce POSTs one place request and checks the response against the
-// precomputed single-threaded oracle.
-func fireOnce(client *http.Client, base string, p *loadProblem) error {
-	resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(p.body))
-	if err != nil {
-		return err
-	}
-	body, err := io.ReadAll(resp.Body)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
-	}
-	var got serve.PlaceResponse
-	if err := json.Unmarshal(body, &got); err != nil {
-		return err
-	}
-	want := &p.wantNodes[0]
-	if len(got.Nodes) != len(want.Nodes) {
-		return fmt.Errorf("served %v, oracle %v", got.Nodes, want.Nodes)
-	}
-	for i := range got.Nodes {
-		if got.Nodes[i] != want.Nodes[i] {
-			return fmt.Errorf("served %v, oracle %v", got.Nodes, want.Nodes)
-		}
-	}
-	if math.Float64bits(got.Attracted) != math.Float64bits(want.Attracted) {
-		return fmt.Errorf("served attracted %v, oracle %v (not bit-identical)", got.Attracted, want.Attracted)
-	}
-	return nil
-}
-
-// fetch GETs url and returns the body.
-func fetch(client *http.Client, url string) ([]byte, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	body, err := io.ReadAll(resp.Body)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
-	}
-	return body, nil
 }
 
 // solveWorkers runs the named solver on a single-worker engine: the oracle

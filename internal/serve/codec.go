@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"roadside/internal/core"
 	"roadside/internal/flow"
@@ -193,11 +194,14 @@ type HealthResponse struct {
 }
 
 // APIError is a machine-readable request failure: Code is stable and
-// asserted by the e2e battery, Message is human context.
+// asserted by the e2e battery, Message is human context. RetryAfterS, when
+// positive, becomes a Retry-After header on the response — the backpressure
+// contract of the async job queue.
 type APIError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status      int    `json:"-"`
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"-"`
 }
 
 func (e *APIError) Error() string { return e.Code + ": " + e.Message }
@@ -401,5 +405,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError writes the uniform machine-readable error shape.
 func writeError(w http.ResponseWriter, e *APIError) {
+	if e.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterS))
+	}
 	writeJSON(w, e.Status, ErrorResponse{Err: *e})
 }

@@ -27,6 +27,26 @@ const (
 	CodeUnknownAlgo    = "unknown_algo"
 	CodeUnknownUtility = "unknown_utility"
 
+	// Batch errors (422): the batch envelope itself is malformed. Failures
+	// of an individual item never use this — they are isolated into that
+	// item's error slot with the ordinary per-request codes.
+	CodeBadBatch = "bad_batch"
+
+	// Async-job errors (404/410/422/429). queue_full is the backpressure
+	// signal: the bounded job queue is at capacity and the response carries
+	// a Retry-After header. job_expired means the job existed and finished
+	// but its result has aged past the retention TTL.
+	CodeBadJob     = "bad_job"
+	CodeUnknownJob = "unknown_job"
+	CodeJobExpired = "job_expired"
+	CodeQueueFull  = "queue_full"
+
+	// Shard-router errors (502): the consistent-hash owner of the request's
+	// routing key is unreachable. The router marks the shard down and
+	// subsequent requests for the same key re-route deterministically to
+	// the next live shard on the ring.
+	CodeShardDown = "shard_down"
+
 	// Routing errors (404/405).
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"

@@ -88,3 +88,145 @@ func FuzzServeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchRequest drives arbitrary bytes through the batch decoder and
+// the full /v1/batch handler: no panics, envelope rejections carry stable
+// codes, accepted batches answer index-aligned results, and per-item
+// failures stay isolated in their slots.
+func FuzzBatchRequest(f *testing.F) {
+	spec, err := ProblemSpecOf(testutil.Fig4Problem(f, utility.Linear{D: 10}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(BatchRequest{ProblemSpec: spec, Items: []BatchItem{
+		{K: 1, Algo: "lazy"}, {K: 2, Algo: "algorithm2"}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	mixed, err := json.Marshal(BatchRequest{ProblemSpec: spec, Items: []BatchItem{
+		{K: 2}, {K: 0}, {K: 1, Algo: "annealing"}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mixed)
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{"digest":"rapd1-00","items":[{"k":1}]}`))
+	f.Add(valid[:len(valid)/2]) // truncated mid-structure
+	f.Add([]byte(`null`))
+
+	srv := New(Config{MaxBatchItems: 64})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if req, p, apiErr := decodeBatchRequest(body, 64); apiErr != nil {
+			if apiErr.Status < 400 || apiErr.Status > 599 {
+				t.Errorf("batch: error status %d outside 4xx/5xx", apiErr.Status)
+			}
+			if apiErr.Code == "" {
+				t.Error("batch: empty error code")
+			}
+		} else if req == nil || (req.Digest == "" && (p == nil || p.Validate() != nil)) {
+			t.Error("batch: accepted body decoded to an invalid problem")
+		}
+
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(string(body)))
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			var batch BatchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+				t.Fatalf("200 body is not a BatchResponse: %v", err)
+			}
+			failed := 0
+			for i, item := range batch.Items {
+				if item.Index != i {
+					t.Errorf("item %d carries index %d: ordering broke", i, item.Index)
+				}
+				if item.Error != nil {
+					failed++
+					if item.Error.Code == "" {
+						t.Errorf("item %d error lacks a code", i)
+					}
+				}
+			}
+			if failed != batch.Failed {
+				t.Errorf("failed = %d but %d items carry errors", batch.Failed, failed)
+			}
+		} else {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Err.Code == "" {
+				t.Errorf("status %d body is not the uniform error shape: %v (%s)",
+					rec.Code, err, rec.Body.Bytes())
+			}
+		}
+	})
+}
+
+// FuzzJobsRequest drives arbitrary bytes through the job submit path: no
+// panics, rejections carry stable codes, and any accepted job must reach
+// a terminal state (the envelope decoded to real runnable work).
+func FuzzJobsRequest(f *testing.F) {
+	spec, err := ProblemSpecOf(testutil.Fig4Problem(f, utility.Linear{D: 10}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	inner, err := json.Marshal(PlaceRequest{ProblemSpec: spec, K: 2, Algo: "lazy"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(JobRequest{Kind: "place", Request: inner})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	batchInner, err := json.Marshal(BatchRequest{ProblemSpec: spec, Items: []BatchItem{{K: 1}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	batchJob, err := json.Marshal(JobRequest{Kind: "batch", Request: batchInner})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batchJob)
+	f.Add([]byte(`{"kind":"place"}`))
+	f.Add([]byte(`{"kind":"detour","request":{}}`))
+	f.Add(valid[:len(valid)/2]) // truncated mid-structure
+	f.Add([]byte(`null`))
+
+	srv := New(Config{JobQueue: 4096})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+		srv.Handler().ServeHTTP(rec, req)
+		switch {
+		case rec.Code == http.StatusOK:
+			var st JobStatus
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.ID == "" {
+				t.Fatalf("200 body is not a JobStatus: %v (%s)", err, rec.Body.Bytes())
+			}
+			// An accepted job must finish; poll it through the handler.
+			for {
+				poll := httptest.NewRecorder()
+				srv.Handler().ServeHTTP(poll, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID, nil))
+				if poll.Code != http.StatusOK {
+					t.Fatalf("poll %s: status %d: %s", st.ID, poll.Code, poll.Body.Bytes())
+				}
+				if err := json.Unmarshal(poll.Body.Bytes(), &st); err != nil {
+					t.Fatal(err)
+				}
+				if st.State == JobDone || st.State == JobFailed || st.State == JobCanceled {
+					break
+				}
+			}
+		case rec.Code == http.StatusTooManyRequests:
+			if rec.Header().Get("Retry-After") == "" {
+				t.Error("429 without a Retry-After header")
+			}
+		default:
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Err.Code == "" {
+				t.Errorf("status %d body is not the uniform error shape: %v (%s)",
+					rec.Code, err, rec.Body.Bytes())
+			}
+		}
+	})
+}

@@ -145,11 +145,20 @@ func (s *Server) handlePlace(r *http.Request, body []byte) (any, *APIError) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
+	return s.runPlace(ctx, req, p)
+}
+
+// runPlace is the transport-free core of /v1/place: resolve the engine
+// (by digest reference or by building from the problem), budget it, and
+// dispatch the solver. The async job lane reuses it under a job-scoped
+// context instead of a request context.
+func (s *Server) runPlace(ctx context.Context, req *PlaceRequest, p *core.Problem) (any, *APIError) {
 	var (
 		eng             *core.Engine
 		warm            *core.Warm
 		digest, outcome string
 		release         func()
+		apiErr          *APIError
 	)
 	if req.Digest != "" {
 		eng, warm, digest, release, apiErr = s.engineByRef(ctx, req.Digest)

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+// newTestCluster builds n shard workers and a router in front of them,
+// all over real loopback listeners. Returns the router front plus the
+// per-shard servers for metric inspection.
+func newTestCluster(t *testing.T, n int, cfg Config) (*Router, *httptest.Server, []*Server, []*httptest.Server) {
+	t.Helper()
+	backends := make([]Backend, n)
+	servers := make([]*Server, n)
+	workers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		wcfg := cfg
+		wcfg.Metrics = nil // each shard owns a private registry
+		wcfg.JobIDPrefix = "w" + string(rune('0'+i)) + "-"
+		servers[i] = New(wcfg)
+		workers[i] = httptest.NewServer(servers[i].Handler())
+		t.Cleanup(workers[i].Close)
+		backends[i] = Backend{Name: "w" + string(rune('0'+i)), URL: workers[i].URL}
+	}
+	router, err := NewRouter(RouterConfig{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+	return router, front, servers, workers
+}
+
+// totalBuilds sums serve.engine.builds across the cluster's shards.
+func totalBuilds(servers []*Server) int64 {
+	var n int64
+	for _, s := range servers {
+		n += s.Metrics().Counter("serve.engine.builds").Value()
+	}
+	return n
+}
+
+// TestRouterBitIdentityAndAffinity is the router acceptance contract: a
+// request through the router answers bit-identically to a direct
+// single-worker server, and every request touching one problem — full
+// body, by reference, different budgets — lands on one shard (the
+// cluster builds each problem's engine exactly once).
+func TestRouterBitIdentityAndAffinity(t *testing.T) {
+	_, front, servers, _ := newTestCluster(t, 4, Config{})
+	problems := raceProblems(t, 6)
+	for i := range problems {
+		p := &problems[i]
+		if err := checkPlace(front.URL, p); err != nil {
+			t.Fatalf("problem %d via router: %v", i, err)
+		}
+		// The same problem by reference must hit the shard that built it.
+		status, body := postJSON(t, front.URL+"/v1/place", mustMarshal(t, PlaceRequest{
+			Digest: p.digest, K: 1, Algo: "lazy"}))
+		if status != http.StatusOK {
+			t.Fatalf("problem %d by reference via router: status %d: %s", i, status, body)
+		}
+	}
+	if builds := totalBuilds(servers); builds != int64(len(problems)) {
+		t.Errorf("cluster built %d engines for %d problems: by-reference requests crossed shards",
+			builds, len(problems))
+	}
+}
+
+// TestRouterSpreadsLoad sanity-checks the hash ring: enough distinct
+// problems land on more than one shard.
+func TestRouterSpreadsLoad(t *testing.T) {
+	router, front, servers, _ := newTestCluster(t, 4, Config{})
+	problems := raceProblems(t, 8)
+	owners := map[string]bool{}
+	for i := range problems {
+		name, ok := router.Owner(problems[i].digest)
+		if !ok {
+			t.Fatalf("no owner for %s", problems[i].digest)
+		}
+		owners[name] = true
+		if err := checkPlace(front.URL, &problems[i]); err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+	}
+	if len(owners) < 2 {
+		t.Errorf("8 problems all hashed to one shard; ring is not spreading")
+	}
+	loaded := 0
+	for _, s := range servers {
+		if s.Metrics().Counter("serve.engine.builds").Value() > 0 {
+			loaded++
+		}
+	}
+	if loaded != len(owners) {
+		t.Errorf("%d shards built engines, Owner predicted %d", loaded, len(owners))
+	}
+}
+
+// TestRouterUpdateLineage walks the delta path through the router: place
+// establishes a lineage on one shard, /v1/update (routed by the same base
+// digest) evolves it there, and the derived base@seq digest reads back
+// bit-identically — proof that updates are forwarded to the owning shard.
+func TestRouterUpdateLineage(t *testing.T) {
+	_, front, servers, _ := newTestCluster(t, 4, Config{})
+	status, body := postJSON(t, front.URL+"/v1/place",
+		mustMarshal(t, PlaceRequest{ProblemSpec: fig4Spec(t), K: 2, Algo: "lazy"}))
+	if status != http.StatusOK {
+		t.Fatalf("seed place: status %d: %s", status, body)
+	}
+	var seeded PlaceResponse
+	if err := json.Unmarshal(body, &seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = postJSON(t, front.URL+"/v1/update", mustMarshal(t, UpdateRequest{
+		Digest:  seeded.Digest,
+		Updates: []FlowUpdateSpec{{Op: "set_volume", Flow: 0, Volume: 12}},
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("update via router: status %d: %s", status, body)
+	}
+	var upd UpdateResponse
+	if err := json.Unmarshal(body, &upd); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(upd.Digest, "@") {
+		t.Fatalf("update digest %q is not a lineage digest", upd.Digest)
+	}
+
+	status, body = postJSON(t, front.URL+"/v1/place",
+		mustMarshal(t, PlaceRequest{Digest: upd.Digest, K: 2, Algo: "lazy"}))
+	if status != http.StatusOK {
+		t.Fatalf("pinned read via router: status %d: %s", status, body)
+	}
+	if builds := totalBuilds(servers); builds != 1 {
+		t.Errorf("cluster built %d engines across a single lineage, want 1", builds)
+	}
+}
+
+// TestRouterJobAffinity pins job routing: a job submitted through the
+// router is minted on the digest's owning shard with that shard's ID
+// prefix, and status polls route back to it by prefix alone.
+func TestRouterJobAffinity(t *testing.T) {
+	router, front, _, _ := newTestCluster(t, 4, Config{})
+	inner := mustMarshal(t, PlaceRequest{ProblemSpec: fig4Spec(t), K: 2, Algo: "lazy"})
+	status, body := postJSON(t, front.URL+"/v1/jobs",
+		mustMarshal(t, JobRequest{Kind: "place", Request: inner}))
+	if status != http.StatusOK {
+		t.Fatalf("submit via router: status %d: %s", status, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// The job ID's prefix names the digest's owning shard.
+	p := testProblemDigest(t)
+	owner, ok := router.Owner(p)
+	if !ok || !strings.HasPrefix(st.ID, owner+"-") {
+		t.Fatalf("job id %q minted off the owning shard %q", st.ID, owner)
+	}
+	final := awaitJob(t, front.URL, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("job via router finished %+v", final)
+	}
+
+	// Unknown prefixes are a routing-level 404, not a proxy error.
+	status, code := getJobErrorCode(t, front.URL, "zz-j1")
+	if status != http.StatusNotFound || code != CodeUnknownJob {
+		t.Errorf("foreign-prefix job: status %d code %q, want 404 unknown_job", status, code)
+	}
+	status, code = getJobErrorCode(t, front.URL, "noprefix")
+	if status != http.StatusNotFound || code != CodeUnknownJob {
+		t.Errorf("prefixless job: status %d code %q, want 404 unknown_job", status, code)
+	}
+}
+
+// testProblemDigest computes the Fig. 4 base digest via the wire (a place
+// against any shard returns it).
+func testProblemDigest(t *testing.T) string {
+	t.Helper()
+	s := New(Config{})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/place",
+		strings.NewReader(string(mustMarshal(t, PlaceRequest{ProblemSpec: fig4Spec(t), K: 1}))))
+	s.Handler().ServeHTTP(rec, req)
+	var resp PlaceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Digest == "" {
+		t.Fatalf("digest probe failed: %v (%s)", err, rec.Body.Bytes())
+	}
+	return resp.Digest
+}
+
+func getJobErrorCode(t *testing.T, url, id string) (int, string) {
+	t.Helper()
+	status, body := getJob(t, url, id)
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("decode error response %s: %v", body, err)
+	}
+	return status, er.Err.Code
+}
+
+// TestRouterShardDown pins the failure contract: killing a worker makes
+// requests for its keys answer a machine-readable 502 shard_down once,
+// after which the same keys re-route deterministically to one successor
+// shard — and unaffected shards never see a blip.
+func TestRouterShardDown(t *testing.T) {
+	router, front, servers, workers := newTestCluster(t, 4, Config{})
+	problems := raceProblems(t, 8)
+
+	// Seed every problem so each shard owns a known subset.
+	ownerOf := map[int]string{}
+	for i := range problems {
+		name, _ := router.Owner(problems[i].digest)
+		ownerOf[i] = name
+		if err := checkPlace(front.URL, &problems[i]); err != nil {
+			t.Fatalf("seed problem %d: %v", i, err)
+		}
+	}
+
+	// Kill the shard that owns problem 0.
+	dead := ownerOf[0]
+	deadIdx := -1
+	for i := range servers {
+		if "w"+string(rune('0'+i)) == dead {
+			deadIdx = i
+		}
+	}
+	workers[deadIdx].Close()
+
+	// First contact with the dead shard: 502 shard_down.
+	status, body := postJSON(t, front.URL+"/v1/place", mustMarshal(t, PlaceRequest{
+		Digest: problems[0].digest, K: 1, Algo: "lazy"}))
+	if status != http.StatusBadGateway {
+		t.Fatalf("dead-shard request: status %d, want 502 (%s)", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Err.Code != CodeShardDown {
+		t.Fatalf("dead-shard body %s (err %v), want shard_down", body, err)
+	}
+
+	// Re-routing is deterministic: Owner moves every dead-shard key to one
+	// fixed successor, repeatedly, and the requests now succeed there.
+	for i := range problems {
+		if ownerOf[i] != dead {
+			// Keys of live shards must not move.
+			if name, _ := router.Owner(problems[i].digest); name != ownerOf[i] {
+				t.Fatalf("live key %d moved %s -> %s after an unrelated shard died", i, ownerOf[i], name)
+			}
+			continue
+		}
+		succ1, ok1 := router.Owner(problems[i].digest)
+		succ2, ok2 := router.Owner(problems[i].digest)
+		if !ok1 || !ok2 || succ1 != succ2 || succ1 == dead {
+			t.Fatalf("re-route of key %d is not deterministic: %q/%q", i, succ1, succ2)
+		}
+		if err := checkPlace(front.URL, &problems[i]); err != nil {
+			t.Fatalf("re-routed problem %d: %v", i, err)
+		}
+	}
+
+	// The dead shard's jobs are gone with it: 502, not a hang.
+	status, code := getJobErrorCode(t, front.URL, dead+"-j1")
+	if status != http.StatusBadGateway || code != CodeShardDown {
+		t.Errorf("dead-shard job status: %d %q, want 502 shard_down", status, code)
+	}
+
+	// The router's health view degrades and names the dead shard.
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h RouterHealth
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Shards[dead] != "down" {
+		t.Errorf("router health = %+v, want degraded with %s down", h, dead)
+	}
+}
+
+// TestRouterErrorPassthrough asserts the router preserves worker error
+// semantics byte-for-byte: status, code, and the uniform error shape.
+func TestRouterErrorPassthrough(t *testing.T) {
+	_, front, _, _ := newTestCluster(t, 2, Config{})
+	cases := []struct {
+		name, path string
+		body       []byte
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad budget", "/v1/place",
+			mustMarshal(t, PlaceRequest{ProblemSpec: fig4Spec(t), K: 0}),
+			http.StatusUnprocessableEntity, CodeBadBudget},
+		{"unknown digest", "/v1/place", mustMarshal(t, PlaceRequest{
+			Digest: "rapd1-0000000000000000000000000000000000000000000000000000000000000000",
+			K:      1}),
+			http.StatusNotFound, CodeUnknownDigest},
+		{"malformed body", "/v1/place", []byte(`{"k":`),
+			http.StatusBadRequest, CodeBadJSON},
+		{"bad placement", "/v1/evaluate",
+			mustMarshal(t, EvaluateRequest{ProblemSpec: fig4Spec(t), Placement: []graph.NodeID{99}}),
+			http.StatusUnprocessableEntity, CodeBadPlacement},
+		{"unknown endpoint", "/v1/nope", []byte(`{}`),
+			http.StatusNotFound, CodeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code := postErrorCode(t, front.URL+tc.path, tc.body)
+			if status != tc.wantStatus || code != tc.wantCode {
+				t.Errorf("status %d code %q, want %d %q", status, code, tc.wantStatus, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestRouterIdenticalAnswerToSingleWorker is the scale-out bit-identity
+// gate: for every algorithm, the routed answer equals the single fresh
+// engine's answer at Float64bits precision.
+func TestRouterIdenticalAnswerToSingleWorker(t *testing.T) {
+	_, front, _, _ := newTestCluster(t, 3, Config{})
+	spec := fig4Spec(t)
+	for _, algo := range []string{"algorithm1", "algorithm2", "combined", "lazy"} {
+		_, single := newTestServer(t, Config{})
+		body := mustMarshal(t, PlaceRequest{ProblemSpec: spec, K: 2, Algo: algo})
+		status, routed := postJSON(t, front.URL+"/v1/place", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s via router: status %d: %s", algo, status, routed)
+		}
+		status, direct := postJSON(t, single.URL+"/v1/place", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s direct: status %d: %s", algo, status, direct)
+		}
+		var a, b PlaceResponse
+		if err := json.Unmarshal(routed, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(direct, &b); err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("%s: routed %v, direct %v", algo, a.Nodes, b.Nodes)
+		}
+		for i := range a.Nodes {
+			if a.Nodes[i] != b.Nodes[i] {
+				t.Fatalf("%s: routed %v, direct %v", algo, a.Nodes, b.Nodes)
+			}
+		}
+		if math.Float64bits(a.Attracted) != math.Float64bits(b.Attracted) {
+			t.Fatalf("%s: routed attracted %v, direct %v: not bit-identical", algo, a.Attracted, b.Attracted)
+		}
+	}
+}

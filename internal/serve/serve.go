@@ -75,6 +75,23 @@ type Config struct {
 	// Metrics receives the server's counters, gauges, and histograms
 	// (nil means a fresh private registry; read it via Metrics()).
 	Metrics *obs.Registry
+	// MaxBatchItems caps the item count of one /v1/batch request
+	// (<= 0 means DefaultMaxBatchItems).
+	MaxBatchItems int
+	// JobWorkers is the async-job worker count (<= 0 means
+	// DefaultJobWorkers).
+	JobWorkers int
+	// JobQueue bounds the pending-job queue; a full queue answers 429
+	// queue_full with a Retry-After hint (<= 0 means DefaultJobQueue).
+	JobQueue int
+	// JobTTL is how long a finished job's result stays fetchable before
+	// GET answers 410 job_expired (<= 0 means DefaultJobTTL).
+	JobTTL time.Duration
+	// JobIDPrefix prefixes every job ID this server mints. Shard workers
+	// behind a Router set it to "<shardname>-" so the router can route
+	// GET /v1/jobs/{id} back to the owning shard. Must not contain '-'
+	// beyond the trailing separator.
+	JobIDPrefix string
 }
 
 // Server is the placement query service. Create one with New, mount
@@ -87,11 +104,16 @@ type Server struct {
 	gate    *par.Gate
 	mux     *http.ServeMux
 	start   time.Time
+	jobs    *jobs
 
 	draining  atomic.Bool
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
 	inflightG *obs.Gauge
+
+	batchItems *obs.Counter
+	batchErrs  *obs.Counter
+	jobErrs    *obs.Counter
 }
 
 // New builds a Server from cfg, applying defaults to zero fields.
@@ -111,19 +133,39 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	s := &Server{
-		cfg:       cfg,
-		metrics:   cfg.Metrics,
-		cache:     newEngineCache(cfg.CacheBytes, cfg.Metrics),
-		gate:      par.NewGate(cfg.MaxInFlight),
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		inflightG: cfg.Metrics.Gauge("serve.inflight"),
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
 	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = DefaultJobWorkers
+	}
+	if cfg.JobQueue <= 0 {
+		cfg.JobQueue = DefaultJobQueue
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = DefaultJobTTL
+	}
+	s := &Server{
+		cfg:        cfg,
+		metrics:    cfg.Metrics,
+		cache:      newEngineCache(cfg.CacheBytes, cfg.Metrics),
+		gate:       par.NewGate(cfg.MaxInFlight),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		jobs:       newJobs(cfg.JobQueue, DefaultJobRetain, cfg.JobTTL, cfg.JobIDPrefix, cfg.Metrics),
+		inflightG:  cfg.Metrics.Gauge("serve.inflight"),
+		batchItems: cfg.Metrics.Counter("serve.batch.items"),
+		batchErrs:  cfg.Metrics.Counter("serve.batch.item_errors"),
+		jobErrs:    cfg.Metrics.Counter("serve.jobs.errors"),
+	}
+	s.jobs.start(s, cfg.JobWorkers)
 	s.mux.HandleFunc("/v1/place", s.solveEndpoint("place", s.handlePlace))
 	s.mux.HandleFunc("/v1/evaluate", s.solveEndpoint("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/detour", s.solveEndpoint("detour", s.handleDetour))
 	s.mux.HandleFunc("/v1/update", s.solveEndpoint("update", s.handleUpdate))
+	s.mux.HandleFunc("/v1/batch", s.solveEndpoint("batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/jobs", s.solveEndpoint("jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -141,9 +183,11 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Drain switches the server into shutdown mode — new requests are refused
 // with 503 shutting_down — and blocks until every in-flight request has
-// completed or ctx is done. Pair it with http.Server.Shutdown: Drain
-// guarantees no solve is abandoned mid-computation at the application
-// layer, Shutdown closes the listeners.
+// completed or ctx is done. Accepted async jobs count as in-flight from
+// submit until they reach a terminal state, so Drain waits for the queue
+// to empty before stopping the job workers. Pair it with
+// http.Server.Shutdown: Drain guarantees no solve is abandoned
+// mid-computation at the application layer, Shutdown closes the listeners.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -153,6 +197,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.jobs.shutdown()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -25,6 +25,12 @@ go test -run '^$' -fuzz '^FuzzReproRoundTrip$' -fuzztime 10s ./internal/invarian
 echo "==> fuzz smoke: FuzzServeRequest (10s)"
 go test -run '^$' -fuzz '^FuzzServeRequest$' -fuzztime 10s ./internal/serve
 
+echo "==> fuzz smoke: FuzzBatchRequest (10s)"
+go test -run '^$' -fuzz '^FuzzBatchRequest$' -fuzztime 10s ./internal/serve
+
+echo "==> fuzz smoke: FuzzJobsRequest (10s)"
+go test -run '^$' -fuzz '^FuzzJobsRequest$' -fuzztime 10s ./internal/serve
+
 echo "==> fuzz smoke: FuzzIgnoreDirective (10s)"
 go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 10s ./internal/lint
 
@@ -45,6 +51,12 @@ go run ./cmd/serverap -load 3s -clients 4 -problems 3 \
     -metrics-out /tmp/serverap_metrics.txt > /tmp/serverap_load.txt
 grep -q ' 0 failures' /tmp/serverap_load.txt \
     || { echo "serverap load smoke reported failures"; cat /tmp/serverap_load.txt; exit 1; }
+
+echo "==> serverap sharded load smoke (3s, 3 shards behind the router)"
+go run ./cmd/serverap -load 3s -clients 4 -problems 3 -shards 3 -seed 5 \
+    > /tmp/serverap_shard_load.txt
+grep -q ' 0 failures' /tmp/serverap_shard_load.txt \
+    || { echo "serverap sharded load smoke reported failures"; cat /tmp/serverap_shard_load.txt; exit 1; }
 
 echo "==> bench smoke (quick mode, report-only + instrumented run)"
 # Report-only on purpose: ns/op is machine-dependent, so the tier-1 gate
