@@ -56,11 +56,18 @@ func startCluster(cfg serve.Config, n int) (*shardCluster, error) {
 	// worker before any request bytes are sent, and http.Server.Shutdown
 	// stalls five seconds before it treats such a StateNew connection as
 	// idle. Closing the client side first makes worker shutdown immediate.
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = serve.DefaultTimeout
+	}
 	c.client = &http.Client{
 		Transport: http.DefaultTransport.(*http.Transport).Clone(),
-		Timeout:   serve.DefaultTimeout + 10*time.Second,
+		// The workers' request ceiling plus headroom: a `-timeout 60s`
+		// worker legally takes up to 60s, and the router must outwait it
+		// rather than time out (and fail) a still-valid request.
+		Timeout: timeout + 10*time.Second,
 	}
-	router, err := serve.NewRouter(serve.RouterConfig{Backends: backends, MaxBody: cfg.MaxBody, Client: c.client})
+	router, err := serve.NewRouter(serve.RouterConfig{Backends: backends, MaxBody: cfg.MaxBody, Timeout: timeout, Client: c.client})
 	if err != nil {
 		c.close()
 		return nil, err

@@ -92,9 +92,10 @@ type job struct {
 	state     string
 	result    any
 	apiErr    *APIError
-	canceled  bool               // cancel requested (observed at pop or via ctx)
+	canceled  bool               // cancel requested (finishes a queued job; signals a running one via ctx)
 	cancel    context.CancelFunc // non-nil while running
 	expiresAt time.Time          // terminal time + TTL
+	expired   bool               // TTL lapse observed; serve.jobs.expired already counted
 	done      chan struct{}
 }
 
@@ -273,15 +274,18 @@ func (q *jobs) retryAfterS() int {
 	return est
 }
 
-// runOne executes one popped job. A cancel that raced the pop is honoured
-// without running; a cancel during the run cancels the job context and
-// reports state canceled whatever the runner returned.
+// runOne executes one popped job. A job canceled while it was queued is
+// already terminal at pop time — the pop only releases its in-flight slot;
+// a cancel during the run cancels the job context and reports state
+// canceled whatever the runner returned.
 func (q *jobs) runOne(s *Server, j *job) {
 	start := q.now()
 	q.queueUS.Observe(float64(start.Sub(j.enqueued).Microseconds()))
 	j.mu.Lock()
-	if j.canceled {
-		q.finishLocked(j, JobCanceled, nil, nil)
+	if j.terminalLocked() || j.canceled {
+		if !j.terminalLocked() {
+			q.finishLocked(j, JobCanceled, nil, nil)
+		}
 		j.mu.Unlock()
 		s.inflight.Done()
 		return
@@ -339,10 +343,15 @@ func (q *jobs) get(id string) (*JobStatus, *APIError) {
 		return nil, errorf(http.StatusNotFound, CodeUnknownJob, "no job %q", id)
 	}
 	j.mu.Lock()
-	if j.terminalLocked() && q.now().After(j.expiresAt) {
-		j.result = nil // release the payload; the tombstone stays until reaped
+	if j.terminalLocked() && (j.expired || q.now().After(j.expiresAt)) {
+		if !j.expired {
+			// Count the expiry once, on the transition — repeat polls of an
+			// expired id must not inflate the metric.
+			j.expired = true
+			j.result = nil // release the payload; the tombstone stays until reaped
+			q.expired.Inc()
+		}
 		j.mu.Unlock()
-		q.expired.Inc()
 		return nil, errorf(http.StatusGone, CodeJobExpired,
 			"job %q finished more than %v ago; its result has been released", id, q.ttl)
 	}
@@ -352,8 +361,9 @@ func (q *jobs) get(id string) (*JobStatus, *APIError) {
 }
 
 // cancelJob handles DELETE /v1/jobs/{id}: a queued job goes terminal
-// immediately (the worker skips it at pop), a running job has its context
-// canceled, and a terminal job is returned as-is — cancel is idempotent.
+// immediately (done closes, the retention TTL starts, and the worker just
+// releases its slot at pop), a running job has its context canceled, and a
+// terminal job is returned as-is — cancel is idempotent.
 func (q *jobs) cancelJob(id string) (*JobStatus, *APIError) {
 	q.mu.Lock()
 	j, ok := q.byID[id]
@@ -364,7 +374,13 @@ func (q *jobs) cancelJob(id string) (*JobStatus, *APIError) {
 	j.mu.Lock()
 	if !j.terminalLocked() {
 		j.canceled = true
-		if j.cancel != nil {
+		switch {
+		case j.state == JobQueued:
+			// Terminal now, not at pop: on a backed-up queue the cancel must
+			// be observable immediately, not look like a no-op until a
+			// worker gets around to the tombstone.
+			q.finishLocked(j, JobCanceled, nil, nil)
+		case j.cancel != nil:
 			j.cancel()
 		}
 	}

@@ -328,6 +328,84 @@ func TestJobCancel(t *testing.T) {
 	}
 }
 
+// TestJobCancelQueuedImmediate pins the queued-cancel window on a
+// backed-up queue: DELETE returns the job already terminal — done closes
+// and the retention TTL starts at cancel time, not whenever a worker
+// finally reaches the tombstone.
+func TestJobCancelQueuedImmediate(t *testing.T) {
+	release := make(chan struct{})
+	jobKinds["stallq"] = func(s *Server, raw []byte) (jobRun, *APIError) {
+		return func(ctx context.Context) (any, *APIError) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return map[string]bool{"stalled": true}, nil
+		}, nil
+	}
+	s, ts := newTestServer(t, Config{JobWorkers: 1, JobQueue: 8})
+
+	// The blocker occupies the lone worker, so the victim is provably
+	// still queued when the cancel lands.
+	blocker := submitJob(t, ts.URL, "stallq", []byte(`{}`))
+	waitFor(t, "worker to pick up the blocker", func() bool {
+		_, data := getJob(t, ts.URL, blocker.ID)
+		var st JobStatus
+		return json.Unmarshal(data, &st) == nil && st.State == JobRunning
+	})
+	victim := submitJob(t, ts.URL, "stallq", []byte(`{}`))
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.State != JobCanceled {
+		t.Fatalf("cancel of a queued job: status %d state %q, want 200 %q", resp.StatusCode, st.State, JobCanceled)
+	}
+	// Status polls agree without waiting for a worker pop.
+	_, body := getJob(t, ts.URL, victim.ID)
+	st = JobStatus{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCanceled {
+		t.Fatalf("queued-canceled job polls as %q, want %q", st.State, JobCanceled)
+	}
+	if n := s.Metrics().Counter("serve.jobs.canceled").Value(); n != 1 {
+		t.Errorf("serve.jobs.canceled = %d, want 1", n)
+	}
+
+	// The worker tolerates the already-terminal job at pop: releasing the
+	// blocker lets the queue drain and the victim's in-flight slot go.
+	close(release)
+	if final := awaitJob(t, ts.URL, blocker.ID); final.State != JobDone {
+		t.Fatalf("blocker finished %+v", final)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung: a queued-cancel leaked its in-flight reservation")
+	}
+	delete(jobKinds, "stallq")
+}
+
 // TestJobResultTTL pins retention: after the TTL lapses the job's result
 // is released and GET answers 410 job_expired — distinct from the 404 an
 // unknown id gets.
@@ -351,6 +429,17 @@ func TestJobResultTTL(t *testing.T) {
 	}
 	if expired := s.Metrics().Counter("serve.jobs.expired").Value(); expired != 1 {
 		t.Errorf("serve.jobs.expired = %d, want 1", expired)
+	}
+
+	// Repeat polls of the expired id keep answering 410 but count the
+	// expiry only once — one impatient client must not inflate the metric.
+	for i := 0; i < 3; i++ {
+		if status, body := getJob(t, ts.URL, st.ID); status != http.StatusGone {
+			t.Fatalf("repeat post-TTL get %d: status %d, want 410 (%s)", i, status, body)
+		}
+	}
+	if expired := s.Metrics().Counter("serve.jobs.expired").Value(); expired != 1 {
+		t.Errorf("serve.jobs.expired after repeat polls = %d, want 1", expired)
 	}
 }
 

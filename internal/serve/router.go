@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -39,8 +42,13 @@ type RouterConfig struct {
 	// router reads bodies to extract routing keys, so it enforces the same
 	// limit the workers do.
 	MaxBody int64
-	// Client issues the proxied requests (nil means a client with a
-	// DefaultTimeout overall timeout).
+	// Timeout is the per-request deadline ceiling of the workers behind
+	// the router (<= 0 means DefaultTimeout). It sizes the default proxy
+	// client at Timeout+10s so a worker legally using its whole deadline
+	// is never cut off by the router. Ignored when Client is set.
+	Timeout time.Duration
+	// Client issues the proxied requests (nil means a client whose overall
+	// timeout is Timeout+10s).
 	Client *http.Client
 	// Metrics receives the router's counters (nil means a fresh registry).
 	Metrics *obs.Registry
@@ -55,12 +63,16 @@ type RouterConfig struct {
 // base@seq lineage linear under horizontal scale. Job status and cancel
 // route by the job ID's shard-name prefix instead.
 //
-// A backend that fails at the transport level is marked down: the failing
-// request answers 502 shard_down (machine-readable, like every other
-// failure in the API) and subsequent requests for its keys re-route
-// deterministically to the next live shard on the ring. Down is sticky —
-// under cmd/serverap the workers are in-process, so a dead worker means
-// the process is on its way out, not flapping.
+// A backend that genuinely fails at the transport level (refused or reset
+// connection) is marked down: the failing request answers 502 shard_down
+// (machine-readable, like every other failure in the API) and subsequent
+// requests for its keys re-route deterministically to the next live shard
+// on the ring. Down is sticky — under cmd/serverap the workers are
+// in-process, so a dead worker means the process is on its way out, not
+// flapping. A client that disconnects mid-proxy or a worker slow enough
+// to trip the proxy client's timeout is NOT a shard failure and never
+// marks the backend down: its keys keep their owner and its job IDs stay
+// reachable.
 type Router struct {
 	backends []*routedBackend
 	ring     []ringPoint // sorted by hash
@@ -97,8 +109,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: DefaultTimeout + 10*time.Second}
+		cfg.Client = &http.Client{Timeout: cfg.Timeout + 10*time.Second}
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
@@ -259,8 +274,16 @@ func (r *Router) handleKeyed(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.maxBody))
 	if err != nil {
 		r.routeErrs.Inc()
-		writeError(w, errorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
-			"request body exceeds %d bytes", r.maxBody))
+		// Same error shape as the worker-side solveEndpoint: only a tripped
+		// byte limit is 413, any other read failure (disconnect mid-upload,
+		// short body) is a 400.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, errorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", r.maxBody))
+		} else {
+			writeError(w, errorf(http.StatusBadRequest, CodeBadJSON, "read body: %v", err))
+		}
 		return
 	}
 	r.proxy(w, req, r.pick(r.routingKey(body)), body)
@@ -303,8 +326,9 @@ func (r *Router) shardDown(rb *routedBackend) *APIError {
 
 // proxy forwards the request to rb and streams the response back,
 // preserving status, body, and the content-type / Retry-After headers the
-// API contract uses. A transport-level failure marks the backend down and
-// answers 502 shard_down.
+// API contract uses. A genuine transport-level failure marks the backend
+// down and answers 502 shard_down; a canceled client or a timed-out proxy
+// call does not (see the classification in the error branch).
 func (r *Router) proxy(w http.ResponseWriter, req *http.Request, rb *routedBackend, body []byte) {
 	if rb == nil {
 		r.routeErrs.Inc()
@@ -322,9 +346,27 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, rb *routedBacke
 	}
 	resp, err := r.client.Do(out)
 	if err != nil {
-		rb.down.Store(true)
-		rb.failures.Inc()
 		r.routeErrs.Inc()
+		// Classify before blaming the shard. The outbound request shares the
+		// incoming request's context, so a client that disconnects or
+		// cancels mid-proxy fails client.Do with the worker blameless; and a
+		// slow-but-alive worker that trips the proxy client's timeout is a
+		// request failure, not a dead process. Marking either down would
+		// re-route its keys (breaking the digest→shard lineage pinning) and
+		// orphan every job ID the shard minted. Only genuine transport
+		// failures — refused or reset connections — are sticky-down.
+		if req.Context().Err() != nil || errors.Is(err, context.Canceled) {
+			writeError(w, ctxError(err))
+			return
+		}
+		rb.failures.Inc()
+		var ne net.Error
+		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+			writeError(w, errorf(http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"shard %s: %v", rb.Name, err))
+			return
+		}
+		rb.down.Store(true)
 		writeError(w, r.shardDown(rb))
 		return
 	}

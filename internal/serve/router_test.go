@@ -1,12 +1,17 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"roadside/internal/graph"
 )
@@ -286,6 +291,148 @@ func TestRouterShardDown(t *testing.T) {
 	}
 	if h.Status != "degraded" || h.Shards[dead] != "down" {
 		t.Errorf("router health = %+v, want degraded with %s down", h, dead)
+	}
+}
+
+// TestRouterSlowShardStaysUp pins the timeout classification: a worker
+// that outlives the proxy client's timeout costs that request a 504
+// deadline_exceeded but is NOT marked down — its keys keep their owner and
+// the next request succeeds on the very same shard.
+func TestRouterSlowShardStaysUp(t *testing.T) {
+	var stall atomic.Bool
+	stall.Store(true)
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stall.Load() {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(2 * time.Second):
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore errdrop test fixture response
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(worker.Close)
+	router, err := NewRouter(RouterConfig{
+		Backends: []Backend{{Name: "w0", URL: worker.URL}},
+		Client:   &http.Client{Timeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+
+	status, body := postJSON(t, front.URL+"/v1/place", []byte(`{"digest":"d","k":1}`))
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusGatewayTimeout || er.Err.Code != CodeDeadlineExceeded {
+		t.Fatalf("slow shard: %d %q, want 504 deadline_exceeded (%s)", status, er.Err.Code, body)
+	}
+	if owner, ok := router.Owner("d"); !ok || owner != "w0" {
+		t.Fatalf("slow shard lost its keys: owner %q ok=%v, want w0", owner, ok)
+	}
+
+	// Once the worker answers in time again, the same key succeeds there.
+	stall.Store(false)
+	if status, body = postJSON(t, front.URL+"/v1/place", []byte(`{"digest":"d","k":1}`)); status != http.StatusOK {
+		t.Fatalf("recovered shard: status %d, want 200 (%s)", status, body)
+	}
+}
+
+// TestRouterClientDisconnectStaysUp pins the cancel classification: a
+// client that disconnects mid-proxy fails only its own request — the
+// healthy worker it was talking to is not blamed, stays up, and keeps
+// serving its keys.
+func TestRouterClientDisconnectStaysUp(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(entered) })
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore errdrop test fixture response
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(worker.Close)
+	router, err := NewRouter(RouterConfig{Backends: []Backend{{Name: "w0", URL: worker.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, front.URL+"/v1/place",
+		strings.NewReader(`{"digest":"d","k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-entered
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		//lint:ignore errdrop unreachable in a passing test
+		_ = resp.Body.Close()
+		t.Fatal("canceled request unexpectedly succeeded")
+	}
+	close(release)
+
+	// The disconnect blamed the client, not the shard.
+	if owner, ok := router.Owner("d"); !ok || owner != "w0" {
+		t.Fatalf("client disconnect downed the shard: owner %q ok=%v, want w0", owner, ok)
+	}
+	if status, body := postJSON(t, front.URL+"/v1/place", []byte(`{"digest":"d","k":1}`)); status != http.StatusOK {
+		t.Fatalf("follow-up after disconnect: status %d, want 200 (%s)", status, body)
+	}
+}
+
+// errorReader fails on first read, simulating a disconnect mid-upload.
+type errorReader struct{}
+
+func (errorReader) Read([]byte) (int, error) { return 0, errors.New("peer reset") }
+
+// TestRouterBodyReadErrorShape pins the router's body-read error contract
+// to the worker-side solveEndpoint's: only a tripped MaxBody limit is 413
+// body_too_large; any other read failure is 400 bad_json.
+func TestRouterBodyReadErrorShape(t *testing.T) {
+	router, err := NewRouter(RouterConfig{
+		Backends: []Backend{{Name: "w0", URL: "http://127.0.0.1:0"}},
+		MaxBody:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	router.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/place", errorReader{}))
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusBadRequest || er.Err.Code != CodeBadJSON {
+		t.Errorf("read failure: %d %q, want 400 bad_json", rec.Code, er.Err.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	oversized := strings.NewReader(`{"digest":"` + strings.Repeat("x", 128) + `"}`)
+	router.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/place", oversized))
+	er = ErrorResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusRequestEntityTooLarge || er.Err.Code != CodeBodyTooLarge {
+		t.Errorf("oversized body: %d %q, want 413 body_too_large", rec.Code, er.Err.Code)
 	}
 }
 
