@@ -38,6 +38,7 @@ func run(args []string) error {
 		ratios   = fs.Bool("ratios", false, "also run the empirical approximation-ratio study")
 		budgeted = fs.Bool("budgeted", false, "also run the budgeted-placement extension study")
 		radio    = fs.Bool("radio", false, "also run the radio-range extension study")
+		models   = fs.Bool("models", false, "also run the objective-model economics study")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +99,23 @@ func run(args []string) error {
 			}
 		}
 	}
-	if *ablation || *ratios || *budgeted || *radio {
+	if *models {
+		r, err := experiment.Models(opts)
+		if err != nil {
+			return fmt.Errorf("models: %w", err)
+		}
+		fmt.Println(r.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "models.csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	if *ablation || *ratios || *budgeted || *radio || *models {
 		figSet := false
 		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "fig" {

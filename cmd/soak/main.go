@@ -13,9 +13,18 @@
 //
 // verify.sh runs a short soak as a local gate and CI runs the full budget
 // under -race. -list prints the invariant registry; -run filters it by
-// regexp. -selftest-break injects the deliberately broken self-test
-// invariant, proving the failure path (shrink, artifact, non-zero exit) end
-// to end without touching real invariants.
+// regexp — e.g. -run 'detour-.*' for the detour identities, or
+// -run 'prob-coverage-submodular|resistance-psd|capacity-saturation-monotone|model-greedy-approx'
+// for the objective-model economics (probabilistic composition,
+// grounded-Laplacian positive definiteness, capacity rate monotonicity,
+// and the per-model 1-1/e exhaustive cross-check). -selftest-break
+// injects the deliberately broken self-test invariant, proving the
+// failure path (shrink, artifact, non-zero exit) end to end without
+// touching real invariants.
+//
+// An unfiltered soak refuses to run with fewer than minRegistry
+// registered invariants: losing registrations (a dropped init, a bad
+// merge) must fail loudly, not silently soak a thinner contract.
 package main
 
 import (
@@ -64,6 +73,13 @@ func main() {
 	}
 }
 
+// minRegistry is the smallest invariant registry an unfiltered soak
+// accepts. The objective-model invariants (prob-coverage-submodular,
+// resistance-psd, capacity-saturation-monotone, model-greedy-approx)
+// brought the registry to 20; anything under 19 means registrations were
+// lost and the soak would silently prove less than it claims.
+const minRegistry = 19
+
 // errFailures distinguishes invariant violations (artifacts already
 // written) from operational errors.
 type errFailures int
@@ -85,6 +101,10 @@ func run(w io.Writer, opt options) error {
 	}
 	if len(invs) == 0 {
 		return fmt.Errorf("no invariants match -run %q", opt.runFilter)
+	}
+	if opt.runFilter == "" && len(invariant.All()) < minRegistry {
+		return fmt.Errorf("registry holds %d invariants, need >= %d: registrations were lost",
+			len(invariant.All()), minRegistry)
 	}
 	reg := obs.NewRegistry()
 	cfg := invariant.Config{

@@ -184,6 +184,12 @@ func (e *Engine) applyOps(ops []FlowUpdate, cow bool) ([]graph.NodeID, error) {
 	if len(e.shards) == 0 {
 		return nil, fmt.Errorf("core: delta update on zero-value engine")
 	}
+	if e.p.Model != nil {
+		// Model weights may couple flows (capacity demand sums every
+		// flow's volume through a node), so the per-flow gain rescale
+		// below would silently leave other flows' weights stale.
+		return nil, fmt.Errorf("%w: engine built with model %q", ErrModelUpdate, e.p.Model.Name())
+	}
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("%w: empty update batch", ErrBadUpdate)
 	}

@@ -53,6 +53,12 @@ type Engine struct {
 	// derives an engine reporting elsewhere.
 	obs obs.StepObserver
 
+	// comp is the composition branch resolved from the problem's objective
+	// model at construction (see objective.go). The zero value compBest is
+	// the paper objective; the greedy state loops branch on it once per
+	// shard, outside the hot per-visit loops.
+	comp compMode
+
 	// Delta-layer state (see delta.go). The shop trees are retained so an
 	// added flow's detour rows can be computed without re-running
 	// preprocessing — the graph and shops never change under flow updates,
@@ -234,7 +240,11 @@ func (e *Engine) FlowDetour(f int, nodes []graph.NodeID) float64 {
 }
 
 // Evaluate computes the objective w(S): the expected number of drivers per
-// day who detour to the shop under placement nodes.
+// day who detour to the shop under placement nodes. Under ComposeBest
+// objectives (the paper's rule, with or without a model) repeated nodes
+// are idempotent; under a ComposeIndependent model each occurrence counts
+// as another independent chance, so nodes should be distinct — every
+// solver in this module places distinct nodes.
 func (e *Engine) Evaluate(nodes []graph.NodeID) float64 {
 	cur := e.newDetourState()
 	for _, v := range nodes {
@@ -274,22 +284,39 @@ func (e *Engine) StandaloneGain(v graph.NodeID) float64 {
 	return total
 }
 
-// detourState tracks, per flow, the current minimum detour and the utility
-// gain already banked at that detour during greedy construction or
-// evaluation. Storing the gain alongside the detour means the covered-flow
-// delta of a marginal-gain scan needs no utility recompute: it is the
-// difference of two precomputed gains.
+// detourState tracks, per flow, the placement progress of an incremental
+// evaluation. Its two arrays are interpreted by the engine's composition
+// branch (see objective.go):
+//
+//   - compBest (nil model): cur is the flow's minimum detour so far (+Inf
+//     = uncovered) and gain the utility gain banked at that detour.
+//     Storing the gain alongside the detour means the covered-flow delta
+//     of a marginal-gain scan needs no utility recompute: it is the
+//     difference of two precomputed gains.
+//   - compBestWeighted: cur is still the minimum detour (it classifies
+//     covered vs uncovered flows), but gain banks the maximum weighted
+//     visit gain — with per-node weights the best offer is no longer the
+//     nearest one.
+//   - compIndependent: cur is the flow's survival probability Π(1-p_i)
+//     (1 = untouched) and gain the accumulated expected value.
+//
+// total() is the objective under every branch: the sum of banked gains in
+// flow order.
 type detourState struct {
-	cur  []float64 // per-flow minimum detour so far (+Inf = uncovered)
-	gain []float64 // per-flow gain at cur (0 while uncovered)
+	cur  []float64
+	gain []float64
 }
 
 func (e *Engine) newDetourState() *detourState {
 	n := e.p.Flows.Len()
 	buf := make([]float64, 2*n)
 	s := &detourState{cur: buf[:n], gain: buf[n:]}
+	init := math.Inf(1)
+	if e.comp == compIndependent {
+		init = 1 // survival probability of an untouched flow
+	}
 	for i := range s.cur {
-		s.cur[i] = math.Inf(1)
+		s.cur[i] = init
 	}
 	return s
 }
@@ -300,12 +327,31 @@ func (s *detourState) place(e *Engine, v graph.NodeID) {
 		sh := &e.shards[si]
 		lo, hi := sh.visitRange(v)
 		flows := sh.visitFlow[lo:hi]
-		dets := sh.visitDetour[lo:hi]
 		gains := sh.visitGain[lo:hi]
-		for i, f := range flows {
-			if d := dets[i]; d < s.cur[f] {
-				s.cur[f] = d
-				s.gain[f] = gains[i]
+		switch e.comp {
+		case compIndependent:
+			rems := sh.visitRem[lo:hi]
+			for i, f := range flows {
+				s.gain[f] += s.cur[f] * gains[i]
+				s.cur[f] *= rems[i]
+			}
+		case compBestWeighted:
+			dets := sh.visitDetour[lo:hi]
+			for i, f := range flows {
+				if d := dets[i]; d < s.cur[f] {
+					s.cur[f] = d
+				}
+				if g := gains[i]; g > s.gain[f] {
+					s.gain[f] = g
+				}
+			}
+		default:
+			dets := sh.visitDetour[lo:hi]
+			for i, f := range flows {
+				if d := dets[i]; d < s.cur[f] {
+					s.cur[f] = d
+					s.gain[f] = gains[i]
+				}
 			}
 		}
 	}
@@ -337,17 +383,45 @@ func (s *detourState) marginalGain(e *Engine, v graph.NodeID) (uncovered, covere
 		// every greedy scan. Shard order is flow order, so the accumulation
 		// order matches the old flat arena bit for bit.
 		flows := sh.visitFlow[lo:hi]
-		dets := sh.visitDetour[lo:hi]
 		gains := sh.visitGain[lo:hi]
-		for i, f := range flows {
-			curD := cur[f]
-			if dets[i] >= curD {
-				continue
+		switch e.comp {
+		case compIndependent:
+			// The flow's marginal value is survival * q * Volume, which is
+			// exactly survival * visitGain. Untouched flows (no banked
+			// value yet) feed Algorithm 2's uncovered candidate.
+			for i, f := range flows {
+				delta := cur[f] * gains[i]
+				//lint:ignore floatcmp zero-probability visits contribute exactly 0 either way; skipping keeps them out of the class split
+				if delta == 0 {
+					continue
+				}
+				//lint:ignore floatcmp a flow is uncovered iff its banked value still holds its exact zero initial
+				if bank[f] == 0 {
+					uncovered += delta
+				} else {
+					covered += delta
+				}
 			}
-			if math.IsInf(curD, 1) {
-				uncovered += gains[i]
-			} else {
-				covered += gains[i] - bank[f]
+		case compBestWeighted:
+			for i, f := range flows {
+				if math.IsInf(cur[f], 1) {
+					uncovered += gains[i] // bank is still 0
+				} else if g := gains[i]; g > bank[f] {
+					covered += g - bank[f]
+				}
+			}
+		default:
+			dets := sh.visitDetour[lo:hi]
+			for i, f := range flows {
+				curD := cur[f]
+				if dets[i] >= curD {
+					continue
+				}
+				if math.IsInf(curD, 1) {
+					uncovered += gains[i]
+				} else {
+					covered += gains[i] - bank[f]
+				}
 			}
 		}
 	}

@@ -70,6 +70,21 @@ func ProblemDigest(p *Problem) (string, error) {
 	for _, c := range p.Candidates {
 		w64(uint64(c))
 	}
+	// The model section is written only when a model is set, so every
+	// pre-model digest is unchanged. A model engine's arenas depend on the
+	// model's name and parameters (they reweight the precomputed gains),
+	// so both are folded in, length-framed like the utility name.
+	if p.Model != nil {
+		section('m')
+		mname := p.Model.Name()
+		w64(uint64(len(mname)))
+		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+		_, _ = h.Write([]byte(mname))
+		params := p.Model.Params()
+		w64(uint64(len(params)))
+		//lint:ignore errdrop hash.Hash.Write is documented to never return an error
+		_, _ = h.Write([]byte(params))
+	}
 	return DigestVersion + "-" + hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -137,6 +152,7 @@ func (e *Engine) ArenaBytes() int64 {
 			int64(len(sh.visitFlow))*i32Size +
 			int64(len(sh.visitDetour))*f64Size +
 			int64(len(sh.visitGain))*f64Size +
+			int64(len(sh.visitRem))*f64Size +
 			int64(len(sh.flowOff))*i32Size +
 			int64(len(sh.flowNode))*nodeSize +
 			int64(len(sh.flowDetour))*f64Size

@@ -76,6 +76,9 @@ func (e *Engine) Fingerprint() uint64 {
 		for _, g := range sh.visitGain {
 			w64(math.Float64bits(g))
 		}
+		for _, r := range sh.visitRem {
+			w64(math.Float64bits(r))
+		}
 		for _, o := range sh.flowOff {
 			w64(uint64(o))
 		}

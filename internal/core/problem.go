@@ -48,6 +48,12 @@ type Problem struct {
 	// Candidates optionally restricts the intersections eligible for RAP
 	// placement. Empty means every intersection is eligible.
 	Candidates []graph.NodeID
+	// Model optionally swaps the objective economy (see objective.go):
+	// probabilistic coverage, effective-resistance value, capacity-limited
+	// RAPs. Nil is the paper's additive coverage objective, bit-identical
+	// to pre-model engines. Engines built with a model refuse delta
+	// updates (ErrModelUpdate).
+	Model ObjectiveModel
 }
 
 // Validate checks the instance for structural problems. It does not verify

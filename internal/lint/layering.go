@@ -19,7 +19,24 @@ var layerRules = map[string][]string{
 	"internal/graph":   {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/geo":     {"internal/core", "internal/experiment", "internal/baseline"},
 	"internal/utility": {"internal/core", "internal/experiment", "internal/baseline"},
-	"internal/core":    {"internal/experiment", "internal/baseline"},
+	// core defines the ObjectiveModel interface; the concrete objective
+	// models live above it in internal/model. The reverse import would be a
+	// cycle by design, not just by accident.
+	"internal/core": {"internal/experiment", "internal/baseline", "internal/model"},
+	// Numeric kernels sit at the bottom with obs: every layer may call
+	// them, they may call nothing domain-shaped.
+	"internal/stats": {
+		"internal/graph", "internal/geo", "internal/utility", "internal/core",
+		"internal/model", "internal/flow", "internal/experiment",
+		"internal/baseline", "internal/serve", "internal/invariant",
+	},
+	// Objective models plug into core's interface from above; they must
+	// stay below the harness/experiment layers that consume them and out of
+	// testutil (non-test code must not link the testing package).
+	"internal/model": {
+		"internal/experiment", "internal/baseline", "internal/invariant",
+		"internal/serve", "internal/testutil",
+	},
 	// The property-testing harness sits above the solvers and generators it
 	// audits but below the experiment/baseline layer (and must never leak
 	// into it — production figures do not depend on the test harness). It

@@ -1,0 +1,70 @@
+package model_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/model"
+	"roadside/internal/opt"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+// TestGreedyApproxAllModels is the exhaustive cross-check of the tentpole:
+// for every objective model, at small k the greedy solvers must stay
+// within the 1-1/e bound of the true optimum found by brute force — the
+// submodularity proof made executable. Lazy and combined greedy must also
+// agree exactly (the stale-bound heap is an optimization, not a different
+// algorithm).
+func TestGreedyApproxAllModels(t *testing.T) {
+	bound := 1 - 1/math.E
+	models := map[string]model.Objective{
+		"probabilistic": model.Probabilistic{Reception: 0.8},
+		"resistance":    model.Resistance{Scale: 50},
+		"capacity": model.Capacity{
+			RangeFeet:     500,
+			SpeedFtPerSec: 100,
+			DataRateBps:   4e4,
+			AdSizeBits:    1e6,
+			MinCompletion: 0.3,
+		},
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2015))
+			for trial := 0; trial < 8; trial++ {
+				p := testutil.RandomProblem(t, rng, 12, 8, 3, utility.Linear{D: 60})
+				p.Model = m
+				e, err := core.NewEngine(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				best, err := opt.Exhaustive(e, opt.Options{Budget: 500_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				combined, err := core.GreedyCombined(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lazy, err := core.GreedyLazy(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(combined.Attracted) != math.Float64bits(lazy.Attracted) {
+					t.Fatalf("trial %d: lazy %v != combined %v", trial, lazy.Attracted, combined.Attracted)
+				}
+				if combined.Attracted < bound*best.Attracted-tol {
+					t.Fatalf("trial %d: greedy %v below (1-1/e)*OPT = %v (OPT %v)",
+						trial, combined.Attracted, bound*best.Attracted, best.Attracted)
+				}
+				if combined.Attracted > best.Attracted+tol {
+					t.Fatalf("trial %d: greedy %v exceeds OPT %v (exhaustive search broken)",
+						trial, combined.Attracted, best.Attracted)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+)
+
+// Capacity is the capacity-limited RAP objective: a RAP's downlink is a
+// finite shared data rate, and a driver only acts on the advertisement if
+// enough of it is delivered during the contact window while passing the
+// node. The contact window is the classic drive-through time
+//
+//	T = 2 * RangeFeet / SpeedFtPerSec
+//
+// and the node's steady-state demand rate is the advertisement traffic
+// of every flow routed through it, spread over the day:
+//
+//	demand(v) = NodeVolume(v) * AdSizeBits / 86400   [bits/s]
+//
+// When demand exceeds DataRateBps the per-vehicle share shrinks by
+// DataRateBps/demand (fair sharing), so the delivered fraction in one
+// contact is
+//
+//	completion(v) = min(1, DataRateBps * min(1, DataRateBps/demand(v)) * T / AdSizeBits)
+//
+// and completions below MinCompletion deliver nothing at all — a
+// saturated RAP's visit weight collapses to exactly zero, which is what
+// exercises the solvers' zero-gain termination contract under load.
+//
+// The weight depends only on the static flow set, never on the placement,
+// so the objective remains weighted maximum coverage: monotone
+// submodular, and pointwise non-decreasing in DataRateBps (the
+// capacity-saturation-monotone invariant).
+type Capacity struct {
+	// RangeFeet is the radio range in feet; a vehicle is in contact for
+	// 2*RangeFeet of travel.
+	RangeFeet float64
+	// SpeedFtPerSec is the pass-through vehicle speed in feet per second.
+	SpeedFtPerSec float64
+	// DataRateBps is the RAP's shared downlink data rate in bits per
+	// second.
+	DataRateBps float64
+	// AdSizeBits is the advertisement payload in bits.
+	AdSizeBits float64
+	// MinCompletion is the delivered fraction below which the
+	// advertisement is useless, in [0, 1]. 0 disables the hard floor.
+	MinCompletion float64
+}
+
+var _ Objective = Capacity{}
+
+// DefaultCapacity returns capacity parameters in the spirit of the
+// reference RSU configuration: a 200 m (656 ft) radio range, 150 km/h
+// (137 ft/s) pass-through speed, a 1 Gbit/s shared downlink, a 5 MB
+// advertisement, and a one-half completion floor.
+func DefaultCapacity() Capacity {
+	return Capacity{
+		RangeFeet:     656,
+		SpeedFtPerSec: 137,
+		DataRateBps:   1e9,
+		AdSizeBits:    4e7,
+		MinCompletion: 0.5,
+	}
+}
+
+// Validate checks the model parameters.
+func (m Capacity) Validate() error {
+	pos := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("model: capacity %s %v must be a positive finite number", name, v)
+		}
+		return nil
+	}
+	if err := pos("range", m.RangeFeet); err != nil {
+		return err
+	}
+	if err := pos("speed", m.SpeedFtPerSec); err != nil {
+		return err
+	}
+	if err := pos("data rate", m.DataRateBps); err != nil {
+		return err
+	}
+	if err := pos("ad size", m.AdSizeBits); err != nil {
+		return err
+	}
+	if math.IsNaN(m.MinCompletion) || m.MinCompletion < 0 || m.MinCompletion > 1 {
+		return fmt.Errorf("model: capacity completion floor %v outside [0, 1]", m.MinCompletion)
+	}
+	return nil
+}
+
+// Name implements Objective.
+func (m Capacity) Name() string { return "capacity" }
+
+// Params implements Objective.
+func (m Capacity) Params() string {
+	return fmt.Sprintf("range=%g,speed=%g,rate=%g,ad=%g,minc=%g",
+		m.RangeFeet, m.SpeedFtPerSec, m.DataRateBps, m.AdSizeBits, m.MinCompletion)
+}
+
+// Compose implements Objective: capacity reweights the paper's best-RAP
+// rule.
+func (m Capacity) Compose() core.Composition { return core.ComposeBest }
+
+// ContactSeconds returns the contact window T = 2*Range/Speed.
+func (m Capacity) ContactSeconds() float64 {
+	return 2 * m.RangeFeet / m.SpeedFtPerSec
+}
+
+// Completion returns the delivered advertisement fraction at a node whose
+// daily advertisable volume is vol vehicles, after the MinCompletion
+// floor. It is exposed for tests and invariants; Prepare tabulates it per
+// node.
+func (m Capacity) Completion(vol float64) float64 {
+	demand := vol * m.AdSizeBits / 86_400
+	share := 1.0
+	if demand > m.DataRateBps {
+		share = m.DataRateBps / demand
+	}
+	completion := m.DataRateBps * share * m.ContactSeconds() / m.AdSizeBits
+	if completion > 1 {
+		completion = 1
+	}
+	if completion < m.MinCompletion {
+		return 0
+	}
+	return completion
+}
+
+// Prepare implements Objective: it tabulates the per-node completion from
+// the flow set's static node volumes.
+func (m Capacity) Prepare(p *core.Problem) (core.VisitWeigher, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Graph.NumNodes()
+	weights := make(nodeWeigher, n)
+	for v := 0; v < n; v++ {
+		weights[v] = m.Completion(p.Flows.NodeVolume(graph.NodeID(v)))
+	}
+	return weights, nil
+}

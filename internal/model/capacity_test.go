@@ -1,0 +1,187 @@
+package model_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/graph"
+	"roadside/internal/model"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+func TestCapacityValidate(t *testing.T) {
+	for _, mutate := range []func(*model.Capacity){
+		func(m *model.Capacity) { m.RangeFeet = 0 },
+		func(m *model.Capacity) { m.RangeFeet = math.NaN() },
+		func(m *model.Capacity) { m.SpeedFtPerSec = -1 },
+		func(m *model.Capacity) { m.DataRateBps = 0 },
+		func(m *model.Capacity) { m.DataRateBps = math.Inf(1) },
+		func(m *model.Capacity) { m.AdSizeBits = 0 },
+		func(m *model.Capacity) { m.MinCompletion = -0.1 },
+		func(m *model.Capacity) { m.MinCompletion = 1.1 },
+		func(m *model.Capacity) { m.MinCompletion = math.NaN() },
+	} {
+		m := model.DefaultCapacity()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v: want error", m)
+		}
+	}
+	if err := model.DefaultCapacity().Validate(); err != nil {
+		t.Errorf("default: %v", err)
+	}
+}
+
+func TestCapacityIdentity(t *testing.T) {
+	m := model.DefaultCapacity()
+	if m.Name() != "capacity" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.Compose() != core.ComposeBest {
+		t.Errorf("compose = %v, want ComposeBest", m.Compose())
+	}
+	if got := m.ContactSeconds(); math.Abs(got-2*656.0/137.0) > tol {
+		t.Errorf("contact window = %v, want 2*range/speed", got)
+	}
+}
+
+// TestCompletionPinned pins the completion formula on hand-computed
+// points: a RAP with T = 10 s contact, 1 Mbit/s rate, 8 Mbit ad.
+func TestCompletionPinned(t *testing.T) {
+	m := model.Capacity{
+		RangeFeet:     500,
+		SpeedFtPerSec: 100, // T = 10 s
+		DataRateBps:   1e6,
+		AdSizeBits:    8e6,
+		MinCompletion: 0,
+	}
+	// Unsaturated: demand = vol*8e6/86400 <= 1e6 for vol <= 10800.
+	// completion = 1e6 * 10 / 8e6 = 1.25 -> clamped to 1.
+	if got := m.Completion(100); got != 1 {
+		t.Errorf("unsaturated completion = %v, want 1 (clamped)", got)
+	}
+	// Saturated 2x: vol = 21600 -> demand 2e6, share 0.5,
+	// completion = 1e6*0.5*10/8e6 = 0.625.
+	if got := m.Completion(21600); math.Abs(got-0.625) > tol {
+		t.Errorf("2x-saturated completion = %v, want 0.625", got)
+	}
+	// With a completion floor above that, the same node collapses to 0.
+	m.MinCompletion = 0.7
+	if got := m.Completion(21600); got != 0 {
+		t.Errorf("floored completion = %v, want exactly 0", got)
+	}
+	// Zero volume: no demand, full (clamped) completion.
+	if got := m.Completion(0); got != 1 {
+		t.Errorf("zero-volume completion = %v, want 1", got)
+	}
+}
+
+// TestCompletionMonotoneInRate: the delivered fraction is pointwise
+// non-decreasing in the downlink rate — the property the
+// capacity-saturation-monotone invariant re-checks end to end.
+func TestCompletionMonotoneInRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		m := model.DefaultCapacity()
+		m.MinCompletion = rng.Float64()
+		vol := rng.Float64() * 1e6
+		rate := 1e3 * math.Pow(10, rng.Float64()*6)
+		lo, hi := m, m
+		lo.DataRateBps = rate
+		hi.DataRateBps = rate * (1 + rng.Float64()*10)
+		if cLo, cHi := lo.Completion(vol), hi.Completion(vol); cHi < cLo {
+			t.Fatalf("trial %d: completion fell from %v to %v as rate rose (vol %v)",
+				trial, cLo, cHi, vol)
+		}
+	}
+}
+
+// TestCapacitySaturationZeroGain: under a starved downlink every node's
+// completion hits the floor, all visit weights are exactly zero, and the
+// greedy solvers must exercise their zero-gain termination contract —
+// returning fewer than k RAPs rather than padding with useless ones.
+func TestCapacitySaturationZeroGain(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	p := testutil.RandomProblem(t, rng, 16, 10, 3, utility.Linear{D: 60})
+	m := model.DefaultCapacity()
+	m.DataRateBps = 1 // 1 bit/s: nothing completes
+	p.Model = m
+	e, err := core.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Candidates() {
+		if g := e.StandaloneGain(v); g != 0 {
+			t.Fatalf("starved standalone gain at %d = %v, want exactly 0", v, g)
+		}
+	}
+	for name, solve := range map[string]func(*core.Engine) (*core.Placement, error){
+		"combined": core.GreedyCombined,
+		"lazy":     core.GreedyLazy,
+	} {
+		got, err := solve(e)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Nodes) != 0 || got.Attracted != 0 {
+			t.Errorf("%s: placed %v (value %v) under zero gains, want early termination",
+				name, got.Nodes, got.Attracted)
+		}
+	}
+}
+
+// TestCapacityAbundantMatchesPaper: with an effectively infinite downlink
+// and no floor, every completion clamps to 1 and the capacity objective
+// degenerates to the paper's objective exactly.
+func TestCapacityAbundantMatchesPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := testutil.RandomProblem(t, rng, 14, 9, 3, utility.Linear{D: 60})
+	base, err := core.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := *p
+	m := model.DefaultCapacity()
+	m.DataRateBps = 1e15
+	m.MinCompletion = 0
+	pm.Model = m
+	em, err := core.NewEngine(&pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 20; probe++ {
+		nodes := samplePlacement(rng, base.Candidates(), 1+rng.Intn(3))
+		if b, mv := base.Evaluate(nodes), em.Evaluate(nodes); math.Abs(b-mv) > tol*(1+math.Abs(b)) {
+			t.Fatalf("probe %d: paper %v vs abundant capacity %v", probe, b, mv)
+		}
+	}
+}
+
+// TestCapacityPrepareUsesNodeVolume: the tabulated weight at a node is the
+// completion of that node's daily volume.
+func TestCapacityPrepareUsesNodeVolume(t *testing.T) {
+	p := testutil.Fig4Problem(t, utility.Linear{D: 6})
+	m := model.DefaultCapacity()
+	m.DataRateBps = 2e5
+	m.MinCompletion = 0
+	w, err := m.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < p.Graph.NumNodes(); v++ {
+		want := m.Completion(p.Flows.NodeVolume(graph.NodeID(v)))
+		if got := w.Weight(0, graph.NodeID(v)); got != want {
+			t.Errorf("weight(%d) = %v, want completion %v", v, got, want)
+		}
+	}
+	// Out-of-range nodes weigh zero instead of panicking.
+	if got := w.Weight(0, graph.NodeID(999)); got != 0 {
+		t.Errorf("out-of-range weight = %v, want 0", got)
+	}
+	if got := w.Weight(0, graph.NodeID(-1)); got != 0 {
+		t.Errorf("negative-node weight = %v, want 0", got)
+	}
+}

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrConfig reports a malformed model configuration.
+var ErrConfig = errors.New("model: invalid config")
+
+// Config is the JSON wire form of an objective model, the shape clients
+// and experiment manifests configure models with. Name selects the model;
+// the remaining fields parameterize it (fields of other models must stay
+// zero). Zero-valued knobs keep their model defaults where the model
+// defines one (resistance's solver knobs), and EncodeConfig omits zero
+// fields, so decode(encode(m)) is the identity on models — the
+// FuzzModelConfig target holds the codec to that round-trip.
+type Config struct {
+	Name string `json:"name"`
+
+	// Probabilistic.
+	Reception float64 `json:"reception,omitempty"`
+
+	// Resistance.
+	Scale      float64 `json:"scale,omitempty"`
+	DenseLimit int     `json:"dense_limit,omitempty"`
+	Tol        float64 `json:"tol,omitempty"`
+	MaxIter    int     `json:"max_iter,omitempty"`
+
+	// Capacity.
+	RangeFeet     float64 `json:"range_feet,omitempty"`
+	SpeedFtPerSec float64 `json:"speed_ft_per_sec,omitempty"`
+	DataRateBps   float64 `json:"data_rate_bps,omitempty"`
+	AdSizeBits    float64 `json:"ad_size_bits,omitempty"`
+	MinCompletion float64 `json:"min_completion,omitempty"`
+}
+
+// FromConfig builds and validates the objective model a config describes.
+func FromConfig(c Config) (Objective, error) {
+	switch c.Name {
+	case "probabilistic":
+		m := Probabilistic{Reception: c.Reception}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		return m, nil
+	case "resistance":
+		m := Resistance{Scale: c.Scale, DenseLimit: c.DenseLimit, Tol: c.Tol, MaxIter: c.MaxIter}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		return m, nil
+	case "capacity":
+		m := Capacity{
+			RangeFeet:     c.RangeFeet,
+			SpeedFtPerSec: c.SpeedFtPerSec,
+			DataRateBps:   c.DataRateBps,
+			AdSizeBits:    c.AdSizeBits,
+			MinCompletion: c.MinCompletion,
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: unknown model %q", ErrConfig, c.Name)
+}
+
+// ToConfig renders a model back into its wire config. Only the three
+// models of this package are representable.
+func ToConfig(m Objective) (Config, error) {
+	switch m := m.(type) {
+	case Probabilistic:
+		return Config{Name: m.Name(), Reception: m.Reception}, nil
+	case Resistance:
+		return Config{Name: m.Name(), Scale: m.Scale, DenseLimit: m.DenseLimit,
+			Tol: m.Tol, MaxIter: m.MaxIter}, nil
+	case Capacity:
+		return Config{Name: m.Name(), RangeFeet: m.RangeFeet, SpeedFtPerSec: m.SpeedFtPerSec,
+			DataRateBps: m.DataRateBps, AdSizeBits: m.AdSizeBits, MinCompletion: m.MinCompletion}, nil
+	}
+	if m == nil {
+		return Config{}, fmt.Errorf("%w: nil model", ErrConfig)
+	}
+	return Config{}, fmt.Errorf("%w: unencodable model type %T", ErrConfig, m)
+}
+
+// ParseConfig decodes a JSON model config and builds its model. Unknown
+// fields and trailing data are rejected; malformed input returns an
+// error, never a panic (the FuzzModelConfig target enforces this).
+func ParseConfig(data []byte) (Objective, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after config object", ErrConfig)
+	}
+	return FromConfig(c)
+}
+
+// EncodeConfig renders a model as canonical JSON:
+// ParseConfig(EncodeConfig(m)) == m for every valid model.
+func EncodeConfig(m Objective) ([]byte, error) {
+	c, err := ToConfig(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
+}

@@ -1,0 +1,275 @@
+package model_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadside/internal/core"
+	"roadside/internal/geo"
+	"roadside/internal/graph"
+	"roadside/internal/model"
+	"roadside/internal/testutil"
+	"roadside/internal/utility"
+)
+
+// lineGraph builds a two-way path 0-1-...-n-1 with the given street
+// lengths (len(lengths) = n-1).
+func lineGraph(t *testing.T, lengths []float64) *graph.Graph {
+	t.Helper()
+	n := len(lengths) + 1
+	b := graph.NewBuilder(n, 2*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	for i, l := range lengths {
+		if err := b.AddStreet(graph.NodeID(i), graph.NodeID(i+1), l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFieldSeriesResistance pins the field on a graph with a closed form:
+// on a path grounded at node 0, resistances add in series. A two-way
+// street of length L is two directed edges of conductance 1/L each, i.e.
+// one resistor of L/2, so R(k) = sum of lengths[0:k] / 2.
+func TestFieldSeriesResistance(t *testing.T) {
+	lengths := []float64{100, 250, 40, 1000}
+	g := lineGraph(t, lengths)
+	m := model.DefaultResistance()
+	res, err := m.Field(g, []graph.NodeID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	if res[0] != 0 {
+		t.Errorf("R(shop) = %v, want exactly 0", res[0])
+	}
+	for k := 1; k < len(res); k++ {
+		want += lengths[k-1] / 2
+		if math.Abs(res[k]-want) > tol*(1+want) {
+			t.Errorf("R(%d) = %v, want series sum %v", k, res[k], want)
+		}
+	}
+}
+
+// TestFieldParallelResistance pins the other classic law: two equal-length
+// routes between shop and a node halve the resistance.
+func TestFieldParallelResistance(t *testing.T) {
+	// Triangle: 0 (shop) - 1 direct (length 300), and 0 - 2 - 1 via two
+	// 150-foot streets. Two-way streets mean each street of length L is a
+	// resistor L/2; the direct arm is 150, the two-hop arm is 75+75=150,
+	// in parallel: 75.
+	b := graph.NewBuilder(3, 6)
+	b.AddNode(geo.Pt(0, 0))
+	b.AddNode(geo.Pt(2, 0))
+	b.AddNode(geo.Pt(1, 1))
+	for _, s := range []struct {
+		u, v graph.NodeID
+		l    float64
+	}{{0, 1, 300}, {0, 2, 150}, {2, 1, 150}} {
+		if err := b.AddStreet(s.u, s.v, s.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.DefaultResistance().Field(g, []graph.NodeID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[1]-75) > tol*76 {
+		t.Errorf("R(1) = %v, want 75 (150 ∥ 150)", res[1])
+	}
+}
+
+// TestFieldDisconnected: nodes with no undirected route to any shop carry
+// infinite resistance and weight exactly 0.
+func TestFieldDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geo.Pt(float64(i), 0))
+	}
+	if err := b.AddStreet(0, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStreet(2, 3, 50); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.DefaultResistance().Field(g, []graph.NodeID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res[2], 1) || !math.IsInf(res[3], 1) {
+		t.Errorf("off-component resistances = %v, %v, want +Inf", res[2], res[3])
+	}
+	if math.Abs(res[1]-25) > tol*26 {
+		t.Errorf("R(1) = %v, want 25", res[1])
+	}
+}
+
+// TestFieldDenseMatchesCG is the model-level differential test: the dense
+// Cholesky path and the per-node CG fallback must agree on the same graph
+// to solver tolerance.
+func TestFieldDenseMatchesCG(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		p := testutil.RandomProblem(t, rng, 30, 10, 3, utility.Linear{D: 60})
+		dense := model.Resistance{Scale: 5000, DenseLimit: 4096}
+		iter := model.Resistance{Scale: 5000, DenseLimit: 1, Tol: 1e-12}
+		a, err := dense.Field(p.Graph, []graph.NodeID{p.Shop}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := iter.Field(p.Graph, []graph.NodeID{p.Shop}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a {
+			if math.IsInf(a[v], 1) != math.IsInf(b[v], 1) {
+				t.Fatalf("trial %d node %d: dense %v vs cg %v disagree on reachability", trial, v, a[v], b[v])
+			}
+			if math.IsInf(a[v], 1) {
+				continue
+			}
+			if math.Abs(a[v]-b[v]) > 1e-7*(1+math.Abs(a[v])) {
+				t.Fatalf("trial %d node %d: dense %v vs cg %v", trial, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+// TestFieldNeedRestriction: under the CG fallback, nodes outside need stay
+// unresolved (+Inf) while requested nodes resolve; shops stay 0 either
+// way.
+func TestFieldNeedRestriction(t *testing.T) {
+	g := lineGraph(t, []float64{100, 100, 100})
+	m := model.Resistance{Scale: 5000, DenseLimit: 1}
+	res, err := m.Field(g, []graph.NodeID{0}, []graph.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 0 {
+		t.Errorf("R(shop) = %v, want 0", res[0])
+	}
+	if math.Abs(res[2]-100) > tol*101 {
+		t.Errorf("R(2) = %v, want 100", res[2])
+	}
+	if !math.IsInf(res[1], 1) || !math.IsInf(res[3], 1) {
+		t.Errorf("unrequested nodes = %v, %v, want +Inf placeholders", res[1], res[3])
+	}
+}
+
+func TestGroundedLaplacianErrors(t *testing.T) {
+	g := lineGraph(t, []float64{100})
+	if _, _, err := model.GroundedLaplacian(nil, []graph.NodeID{0}); err == nil {
+		t.Error("nil graph: want error")
+	}
+	if _, _, err := model.GroundedLaplacian(g, nil); err == nil {
+		t.Error("no shops: want error")
+	}
+	if _, _, err := model.GroundedLaplacian(g, []graph.NodeID{99}); err == nil {
+		t.Error("out-of-range shop: want error")
+	}
+}
+
+func TestGroundedLaplacianAllShops(t *testing.T) {
+	g := lineGraph(t, []float64{100})
+	sp, interior, err := model.GroundedLaplacian(g, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.N != 0 || len(interior) != 0 {
+		t.Errorf("grounding every node must leave an empty interior, got n=%d", sp.N)
+	}
+	res, err := model.DefaultResistance().Field(g, []graph.NodeID{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 0 || res[1] != 0 {
+		t.Errorf("all-shop field = %v, want zeros", res)
+	}
+}
+
+func TestResistanceValidate(t *testing.T) {
+	for _, m := range []model.Resistance{
+		{Scale: 0}, {Scale: -5}, {Scale: math.NaN()}, {Scale: math.Inf(1)},
+		{Scale: 1, DenseLimit: -1}, {Scale: 1, Tol: -1}, {Scale: 1, Tol: math.NaN()},
+		{Scale: 1, MaxIter: -1},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v: want error", m)
+		}
+	}
+	if err := model.DefaultResistance().Validate(); err != nil {
+		t.Errorf("default: %v", err)
+	}
+}
+
+func TestResistanceIdentity(t *testing.T) {
+	m := model.DefaultResistance()
+	if m.Name() != "resistance" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.Compose() != core.ComposeBest {
+		t.Errorf("compose = %v, want ComposeBest", m.Compose())
+	}
+	// Params resolves defaults: zero knobs and explicit defaults digest
+	// identically.
+	explicit := model.Resistance{
+		Scale:      model.DefaultResistanceScale,
+		DenseLimit: model.DefaultDenseLimit,
+		Tol:        model.DefaultCGTol,
+	}
+	if m.Params() != explicit.Params() {
+		t.Errorf("default params %q != explicit defaults %q", m.Params(), explicit.Params())
+	}
+}
+
+// TestResistanceWeights: Prepare's accessibility map is 1 at the shop,
+// strictly decreasing along a path away from it, and within [0, 1]
+// everywhere.
+func TestResistanceWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	p := testutil.RandomProblem(t, rng, 20, 8, 2, utility.Linear{D: 60})
+	p.Model = model.DefaultResistance()
+	e, err := core.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.DefaultResistance().Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < p.Graph.NumNodes(); v++ {
+		got := w.Weight(0, graph.NodeID(v))
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("weight(%d) = %v outside [0, 1]", v, got)
+		}
+	}
+	// The engine accepted the weigher: a placement's value must be no more
+	// than the unweighted objective (weights are <= 1).
+	base, err := core.NewEngine(&core.Problem{
+		Graph: p.Graph, Shop: p.Shop, Flows: p.Flows, Utility: p.Utility, K: p.K,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 10; probe++ {
+		nodes := samplePlacement(rng, e.Candidates(), 2)
+		if wv, bv := e.Evaluate(nodes), base.Evaluate(nodes); wv > bv+tol {
+			t.Fatalf("weighted value %v exceeds unweighted %v", wv, bv)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roadside/internal/graph"
+)
+
+// setCoverObjective is a synthetic monotone submodular objective used to
+// exercise ExhaustiveObjective without an engine: weighted set cover,
+// where candidate v covers elements[v] and the value of a placement is the
+// total weight of the union.
+type setCoverObjective struct {
+	elements map[graph.NodeID][]int
+	weights  []float64
+	k        int
+}
+
+func (o *setCoverObjective) Candidates() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(o.elements))
+	for v := range o.elements {
+		out = append(out, v)
+	}
+	// Deterministic order for the test; the search re-sorts anyway.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (o *setCoverObjective) K() int { return o.k }
+
+func (o *setCoverObjective) StandaloneGain(v graph.NodeID) float64 {
+	var sum float64
+	for _, el := range o.elements[v] {
+		sum += o.weights[el]
+	}
+	return sum
+}
+
+func (o *setCoverObjective) NewState() State {
+	return &setCoverState{o: o, covered: make([]bool, len(o.weights))}
+}
+
+func (o *setCoverObjective) Evaluate(nodes []graph.NodeID) float64 {
+	st := o.NewState()
+	var total float64
+	for _, v := range nodes {
+		total += st.Place(v)
+	}
+	return total
+}
+
+type setCoverState struct {
+	o       *setCoverObjective
+	covered []bool
+}
+
+func (s *setCoverState) Clone() State {
+	return &setCoverState{o: s.o, covered: append([]bool(nil), s.covered...)}
+}
+
+func (s *setCoverState) Place(v graph.NodeID) float64 {
+	var gain float64
+	for _, el := range s.o.elements[v] {
+		if !s.covered[el] {
+			s.covered[el] = true
+			gain += s.o.weights[el]
+		}
+	}
+	return gain
+}
+
+// TestExhaustiveObjectiveSetCover: the search must find the optimal cover
+// of a synthetic weighted-set-cover instance (hand-enumerable: the three
+// pairs value 5, 6, and 8).
+func TestExhaustiveObjectiveSetCover(t *testing.T) {
+	obj := &setCoverObjective{
+		elements: map[graph.NodeID][]int{
+			0: {0, 1, 2},
+			1: {0, 1, 3},
+			2: {2, 4, 5},
+		},
+		weights: []float64{1, 1, 1, 2, 2, 1},
+		k:       2,
+	}
+	got, err := ExhaustiveObjective(obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Attracted-8) > 1e-12 {
+		t.Fatalf("OPT = %v (nodes %v), want 8 via {1, 2}", got.Attracted, got.Nodes)
+	}
+	if len(got.Nodes) != 2 {
+		t.Fatalf("placement %v, want 2 nodes", got.Nodes)
+	}
+	seen := map[graph.NodeID]bool{got.Nodes[0]: true, got.Nodes[1]: true}
+	if !seen[1] || !seen[2] {
+		t.Errorf("placement %v, want {1, 2}", got.Nodes)
+	}
+}
+
+// TestExhaustiveObjectiveBudgetGuard: the interface path must enforce the
+// node budget just like the engine path — both the up-front combination
+// check and the in-search counter.
+func TestExhaustiveObjectiveBudgetGuard(t *testing.T) {
+	elements := make(map[graph.NodeID][]int)
+	weights := make([]float64, 40)
+	for i := 0; i < 40; i++ {
+		elements[graph.NodeID(i)] = []int{i}
+		weights[i] = 1 + float64(i%7)
+	}
+	obj := &setCoverObjective{elements: elements, weights: weights, k: 10}
+	// C(40, 10) ≈ 8.5e8 > 1000: rejected before any search.
+	if _, err := ExhaustiveObjective(obj, Options{Budget: 1000}); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: err = %v, want ErrBudget", err)
+	}
+	// A feasible budget still succeeds.
+	obj.k = 2
+	got, err := ExhaustiveObjective(obj, Options{Budget: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: the two heaviest singletons (weight 7 each).
+	if math.Abs(got.Attracted-14) > 1e-12 {
+		t.Errorf("OPT = %v, want 14", got.Attracted)
+	}
+}
+
+// TestCombinationsOverflow pins the C(n, k) overflow guard.
+func TestCombinationsOverflow(t *testing.T) {
+	if c := combinations(5, 2); c != 10 {
+		t.Errorf("C(5,2) = %d, want 10", c)
+	}
+	if c := combinations(3, 5); c != 0 {
+		t.Errorf("C(3,5) = %d, want 0", c)
+	}
+	if c := combinations(200, 100); c != -1 {
+		t.Errorf("C(200,100) = %d, want -1 (overflow)", c)
+	}
+}

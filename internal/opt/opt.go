@@ -1,13 +1,18 @@
 // Package opt provides a budgeted exhaustive solver for the RAP placement
 // problem. It is used to (a) verify the greedy algorithms' approximation
-// ratios on small instances (Theorems 2-4) and (b) implement the k <= 4
-// optimal branch of the Manhattan two-stage algorithms (Algorithms 3/4).
+// ratios on small instances (Theorems 2-4), (b) implement the k <= 4
+// optimal branch of the Manhattan two-stage algorithms (Algorithms 3/4),
+// and (c) serve as the shared brute-force oracle for every objective model
+// (probabilistic coverage, effective resistance, capacity) via the
+// Objective interface.
 //
 // The search enumerates k-subsets of the candidate set in
-// best-first-sorted order with a subadditive upper bound: since the
-// objective is submodular, w(S) <= sum of standalone gains w({v}), so a
+// best-first-sorted order with a subadditive upper bound: for any monotone
+// submodular objective, w(S) <= sum of standalone gains w({v}), so a
 // partial solution whose value plus the sum of the best remaining
-// standalone gains cannot beat the incumbent is pruned.
+// standalone gains cannot beat the incumbent is pruned. Nothing in the
+// search assumes the additive coverage objective — only monotonicity and
+// submodularity, which every objective model contracts to preserve.
 package opt
 
 import (
@@ -33,16 +38,52 @@ type Options struct {
 	Budget int64
 }
 
+// Objective is the incremental-evaluation surface the exhaustive search
+// needs. core.Engine satisfies it through a thin adapter (Exhaustive), and
+// any monotone submodular objective — the objective models, synthetic test
+// objectives — can plug in directly via ExhaustiveObjective.
+type Objective interface {
+	// Candidates returns the eligible nodes. The search copies the slice
+	// before sorting it.
+	Candidates() []graph.NodeID
+	// K is the placement budget; it is clamped to the candidate count.
+	K() int
+	// StandaloneGain returns w({v}), the subadditive bound's summand. For
+	// monotone submodular w this upper-bounds v's marginal gain in any
+	// context.
+	StandaloneGain(v graph.NodeID) float64
+	// NewState returns an empty incremental evaluation state.
+	NewState() State
+	// Evaluate recomputes w(nodes) from scratch; the winner is re-scored
+	// through it so the reported objective never carries DFS rounding.
+	Evaluate(nodes []graph.NodeID) float64
+}
+
+// State is an incremental placement state of an Objective.
+type State interface {
+	// Clone returns an independent copy.
+	Clone() State
+	// Place adds a RAP at v and returns the marginal objective gain.
+	Place(v graph.NodeID) float64
+}
+
 // Exhaustive returns an optimal placement of the problem's k RAPs, or
-// ErrBudget if the instance is too large for the configured budget.
+// ErrBudget if the instance is too large for the configured budget. It is
+// ExhaustiveObjective over the engine's own objective — which includes
+// whatever objective model the engine was built with.
 func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
+	return ExhaustiveObjective(engineObjective{e}, opts)
+}
+
+// ExhaustiveObjective runs the budgeted exhaustive search over any
+// monotone submodular objective.
+func ExhaustiveObjective(obj Objective, opts Options) (*core.Placement, error) {
 	budget := opts.Budget
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
-	p := e.Problem()
-	cands := append([]graph.NodeID(nil), e.Candidates()...)
-	k := p.K
+	cands := append([]graph.NodeID(nil), obj.Candidates()...)
+	k := obj.K()
 	if k > len(cands) {
 		k = len(cands)
 	}
@@ -53,7 +94,7 @@ func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
 	// Sort candidates by standalone gain, descending, for tight bounds.
 	gains := make([]float64, len(cands))
 	for i, v := range cands {
-		gains[i] = e.StandaloneGain(v)
+		gains[i] = obj.StandaloneGain(v)
 	}
 	order := make([]int, len(cands))
 	for i := range order {
@@ -86,7 +127,6 @@ func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
 	}
 
 	s := &search{
-		e:       e,
 		cands:   sortedCands,
 		k:       k,
 		budget:  budget,
@@ -95,7 +135,7 @@ func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
 		bestSet: nil,
 		bestVal: -1,
 	}
-	s.dfs(0, 0, e.NewState())
+	s.dfs(0, 0, obj.NewState())
 	if s.exceeded {
 		return nil, fmt.Errorf("%w after %d nodes", ErrBudget, budget)
 	}
@@ -104,12 +144,26 @@ func Exhaustive(e *core.Engine, opts Options) (*core.Placement, error) {
 	// floating-point rounding can differ from a direct evaluation.
 	return &core.Placement{
 		Nodes:     nodes,
-		Attracted: e.Evaluate(nodes),
+		Attracted: obj.Evaluate(nodes),
 	}, nil
 }
 
+// engineObjective adapts a core.Engine (and the objective model it was
+// built with) to the search's Objective interface.
+type engineObjective struct{ e *core.Engine }
+
+func (o engineObjective) Candidates() []graph.NodeID            { return o.e.Candidates() }
+func (o engineObjective) K() int                                { return o.e.Problem().K }
+func (o engineObjective) StandaloneGain(v graph.NodeID) float64 { return o.e.StandaloneGain(v) }
+func (o engineObjective) NewState() State                       { return engineState{o.e.NewState()} }
+func (o engineObjective) Evaluate(nodes []graph.NodeID) float64 { return o.e.Evaluate(nodes) }
+
+type engineState struct{ s *core.State }
+
+func (s engineState) Clone() State                 { return engineState{s.s.Clone()} }
+func (s engineState) Place(v graph.NodeID) float64 { return s.s.Place(v) }
+
 type search struct {
-	e        *core.Engine
 	cands    []graph.NodeID
 	k        int
 	budget   int64
@@ -122,7 +176,7 @@ type search struct {
 }
 
 // dfs explores choices of cands[idx:] with the current partial value val.
-func (s *search) dfs(idx int, val float64, state *core.State) {
+func (s *search) dfs(idx int, val float64, state State) {
 	if s.exceeded {
 		return
 	}

@@ -1,0 +1,52 @@
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaled decorates a utility function with a constant success factor in
+// (0, 1]: Prob is the inner probability times Factor. It models a
+// per-contact reception probability — a driver passing a RAP receives the
+// broadcast with probability Factor before the detour decision even
+// applies — and is the closed-form counterpart of the probabilistic
+// objective model's reception weight: the expected value of one RAP under
+// that model is exactly the base objective under the Scaled utility.
+//
+// Scaling by a constant preserves every Function axiom except f(0) ==
+// alpha (a scaled function peaks at Factor*alpha, so Validate rejects it
+// for any Factor < 1); monotonicity, non-negativity, and the
+// zero-beyond-threshold contract carry over unchanged, and
+// Dominates(inner, Scaled{inner}) holds pointwise.
+type Scaled struct {
+	F      Function
+	Factor float64
+}
+
+var _ Function = Scaled{}
+
+// NewScaled validates and builds a Scaled decorator: f must be non-nil
+// and factor must lie in (0, 1] (a zero factor would erase the threshold
+// structure Validate and Dominates reason about).
+func NewScaled(f Function, factor float64) (Scaled, error) {
+	if f == nil {
+		return Scaled{}, fmt.Errorf("%w: nil inner function", ErrInvalid)
+	}
+	if math.IsNaN(factor) || factor <= 0 || factor > 1 {
+		return Scaled{}, fmt.Errorf("%w: scale factor %v outside (0, 1]", ErrInvalid, factor)
+	}
+	return Scaled{F: f, Factor: factor}, nil
+}
+
+// Prob implements Function.
+func (s Scaled) Prob(d, alpha float64) float64 {
+	return s.Factor * s.F.Prob(d, alpha)
+}
+
+// Threshold implements Function.
+func (s Scaled) Threshold() float64 { return s.F.Threshold() }
+
+// Name implements Function.
+func (s Scaled) Name() string {
+	return fmt.Sprintf("scaled(%s,%g)", s.F.Name(), s.Factor)
+}

@@ -1,0 +1,60 @@
+package utility
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewScaled(t *testing.T) {
+	if _, err := NewScaled(nil, 0.5); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil inner: err = %v, want ErrInvalid", err)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewScaled(Linear{D: 5}, bad); !errors.Is(err, ErrInvalid) {
+			t.Errorf("factor %v: err = %v, want ErrInvalid", bad, err)
+		}
+	}
+	s, err := NewScaled(Linear{D: 5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "scaled(linear,0.5)" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if s.Threshold() != 5 {
+		t.Errorf("threshold = %v, want inner threshold 5", s.Threshold())
+	}
+}
+
+func TestScaledProb(t *testing.T) {
+	inner := Linear{D: 10}
+	s := Scaled{F: inner, Factor: 0.25}
+	for _, d := range []float64{0, 1, 5, 9.5, 10, 20} {
+		want := 0.25 * inner.Prob(d, 0.8)
+		if got := s.Prob(d, 0.8); math.Abs(got-want) > 1e-15 {
+			t.Errorf("Prob(%v) = %v, want %v", d, got, want)
+		}
+	}
+	// Beyond the threshold the scaled function still vanishes exactly.
+	if got := s.Prob(11, 0.8); got != 0 {
+		t.Errorf("Prob beyond threshold = %v, want 0", got)
+	}
+}
+
+// TestScaledAxioms: a unit factor changes nothing and passes Validate; a
+// fractional factor breaks only the f(0)=alpha axiom and is dominated by
+// its inner function.
+func TestScaledAxioms(t *testing.T) {
+	for _, inner := range []Function{Threshold{D: 6}, Linear{D: 6}, Sqrt{D: 6}} {
+		if err := Validate(Scaled{F: inner, Factor: 1}, 0.7); err != nil {
+			t.Errorf("%s: unit scale failed Validate: %v", inner.Name(), err)
+		}
+		if err := Validate(Scaled{F: inner, Factor: 0.5}, 0.7); err == nil {
+			t.Errorf("%s: half scale passed Validate, but f(0) != alpha", inner.Name())
+		}
+		if err := Dominates(inner, Scaled{F: inner, Factor: 0.5}, 0.7, 128); err != nil {
+			t.Errorf("Dominates(%s, scaled): %v", inner.Name(), err)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"roadside/internal/geo"
 	"roadside/internal/graph"
 	"roadside/internal/manhattan"
+	"roadside/internal/model"
 	"roadside/internal/opt"
 	"roadside/internal/report"
 	"roadside/internal/sched"
@@ -218,6 +219,38 @@ func SplitDigest(ref string) (string, int, error) { return core.SplitDigest(ref)
 // Exhaustive returns an optimal placement within a combination budget.
 func Exhaustive(e *Engine, budget int64) (*Placement, error) {
 	return opt.Exhaustive(e, opt.Options{Budget: budget})
+}
+
+// ---- Objective models ----
+
+// ObjectiveModel swaps the engine's objective economy; set it on
+// Problem.Model. Nil keeps the paper's additive coverage objective.
+type ObjectiveModel = core.ObjectiveModel
+
+// ProbabilisticModel is probabilistic coverage: each placed RAP converts a
+// flow with probability reception*Prob(detour, alpha) and RAPs compose
+// independently (1 - prod(1-p)).
+type ProbabilisticModel = model.Probabilistic
+
+// ResistanceModel weighs candidates by random-walk accessibility to the
+// shop: 1/(1 + R_eff/scale) on the grounded street-network Laplacian.
+type ResistanceModel = model.Resistance
+
+// CapacityModel models a finite shared downlink: saturated RAPs deliver a
+// shrinking advertisement fraction, collapsing to zero below a completion
+// floor.
+type CapacityModel = model.Capacity
+
+// ModelFromConfig builds an objective model from its JSON wire config.
+func ModelFromConfig(data []byte) (ObjectiveModel, error) { return model.ParseConfig(data) }
+
+// ModelToConfig renders an objective model as canonical JSON.
+func ModelToConfig(m ObjectiveModel) ([]byte, error) { return model.EncodeConfig(m) }
+
+// ExhaustiveObjective runs the budgeted exhaustive search over any
+// monotone submodular objective (see opt.Objective for the surface).
+func ExhaustiveObjective(obj opt.Objective, budget int64) (*Placement, error) {
+	return opt.ExhaustiveObjective(obj, opt.Options{Budget: budget})
 }
 
 // BudgetedProblem adds per-intersection costs and a spend budget.

@@ -6,7 +6,9 @@
 #      (results/COVERAGE_baseline.txt), or
 #   2. a per-package floor is violated (cmd/figures and cmd/bench carry
 #      explicit 75% floors from the harness-coverage work; internal/serve
-#      carries an 80% floor from the placement-service work).
+#      carries an 80% floor from the placement-service work;
+#      internal/model carries an 85% floor from the coverage-economics
+#      work, backed by internal/stats at 90%).
 #
 # The profile is left at ${COVER_PROFILE:-/tmp/coverage.out} so CI can
 # upload it as an artifact. Raise the baseline when coverage improves;
@@ -44,5 +46,7 @@ check_pkg() {
 check_pkg roadside/cmd/figures 75
 check_pkg roadside/cmd/bench 75
 check_pkg roadside/internal/serve 80
+check_pkg roadside/internal/model 85
+check_pkg roadside/internal/stats 90
 
 echo "coverage gate: passed (profile at $profile)"

@@ -22,6 +22,9 @@ go test -run '^$' -fuzz '^FuzzFlowIO$' -fuzztime 10s ./internal/flow
 echo "==> fuzz smoke: FuzzReproRoundTrip (10s)"
 go test -run '^$' -fuzz '^FuzzReproRoundTrip$' -fuzztime 10s ./internal/invariant
 
+echo "==> fuzz smoke: FuzzModelConfig (10s)"
+go test -run '^$' -fuzz '^FuzzModelConfig$' -fuzztime 10s ./internal/model
+
 echo "==> fuzz smoke: FuzzServeRequest (10s)"
 go test -run '^$' -fuzz '^FuzzServeRequest$' -fuzztime 10s ./internal/serve
 
